@@ -1,0 +1,162 @@
+// Command dbftsim runs the executable DBFT binary consensus (Algorithm 1
+// over the Fig. 1 bv-broadcast) on the simulated asynchronous network, with
+// configurable Byzantine strategies and schedulers. It also replays the
+// Appendix B non-termination execution (-lemma7).
+//
+// Usage examples:
+//
+//	dbftsim -n 4 -t 1 -inputs 0,1,1 -byz liar -sched fair
+//	dbftsim -n 7 -t 2 -inputs 0,1,0,1,1 -byz equivocator,silent -sched random -seed 7
+//	dbftsim -lemma7 -rounds 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/dbft"
+	"repro/internal/fairness"
+	"repro/internal/network"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dbftsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dbftsim", flag.ContinueOnError)
+	n := fs.Int("n", 4, "total number of processes")
+	t := fs.Int("t", 1, "tolerated Byzantine processes")
+	inputs := fs.String("inputs", "0,1,1", "comma-separated binary inputs of the correct processes")
+	byz := fs.String("byz", "silent", "comma-separated Byzantine strategies: silent, equivocator, liar")
+	sched := fs.String("sched", "fair", "scheduler: fair, random, fifo")
+	seed := fs.Int64("seed", 1, "random seed")
+	maxRounds := fs.Int("rounds", 12, "round cap")
+	maxSteps := fs.Int("steps", 500000, "delivery budget")
+	lemma7 := fs.Bool("lemma7", false, "replay the Appendix B non-termination execution")
+	trace := fs.Int("trace", 0, "print the first N message deliveries and a delivery summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *lemma7 {
+		return runLemma7(*maxRounds)
+	}
+
+	ins, err := parseInputs(*inputs)
+	if err != nil {
+		return err
+	}
+	strategies := strings.Split(*byz, ",")
+	if len(ins)+len(strategies) != *n {
+		return fmt.Errorf("%d inputs + %d byzantine strategies != n = %d", len(ins), len(strategies), *n)
+	}
+
+	cfg := dbft.Config{N: *n, T: *t, MaxRounds: *maxRounds}
+	all := dbft.AllIDs(*n)
+	correct, err := dbft.Processes(cfg, ins, all)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	byzSet := map[network.ProcID]bool{}
+	procs := make([]network.Process, 0, *n)
+	for _, p := range correct {
+		procs = append(procs, p)
+	}
+	for i, strat := range strategies {
+		id := network.ProcID(len(ins) + i)
+		byzSet[id] = true
+		switch strings.TrimSpace(strat) {
+		case "silent":
+			procs = append(procs, &dbft.Silent{Id: id})
+		case "equivocator":
+			procs = append(procs, &dbft.Equivocator{Id: id, All: all,
+				ZeroSide: func(p network.ProcID) bool { return int(p) < len(ins)/2 }})
+		case "liar":
+			procs = append(procs, &dbft.RandomLiar{Id: id, All: all, Rng: rng})
+		default:
+			return fmt.Errorf("unknown strategy %q", strat)
+		}
+	}
+
+	var scheduler network.Scheduler
+	switch *sched {
+	case "fair":
+		scheduler = fairness.Scheduler{Byzantine: byzSet}
+	case "random":
+		scheduler = network.RandomScheduler{Rng: rng}
+	case "fifo":
+		scheduler = network.FIFOScheduler{}
+	default:
+		return fmt.Errorf("unknown scheduler %q", *sched)
+	}
+
+	sys, err := network.NewSystem(procs, scheduler)
+	if err != nil {
+		return err
+	}
+	sys.RecordTrace = *trace > 0
+	steps, done, err := fairness.RunToDecision(sys, correct, *maxSteps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("n=%d t=%d f=%d scheduler=%s steps=%d\n", *n, *t, len(strategies), *sched, steps)
+	if *trace > 0 {
+		fmt.Print(network.FormatTrace(sys.Trace, *trace))
+		fmt.Println(network.SummarizeTrace(sys.Trace).Format())
+	}
+	fmt.Print(dbft.Describe(correct))
+	if done {
+		if err := dbft.Agreement(correct); err != nil {
+			fmt.Println("AGREEMENT VIOLATED:", err)
+		} else {
+			fmt.Println("agreement: ok")
+		}
+		if err := dbft.Validity(correct, ins); err != nil {
+			fmt.Println("VALIDITY VIOLATED:", err)
+		} else {
+			fmt.Println("validity: ok")
+		}
+		if g := fairness.FirstGoodRound(correct, *maxRounds); g >= 0 {
+			fmt.Printf("fairness witness: round %d was %d-good\n", g, g%2)
+		}
+	} else {
+		fmt.Println("no decision within the step budget")
+	}
+	return nil
+}
+
+func parseInputs(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || (v != 0 && v != 1) {
+			return nil, fmt.Errorf("invalid input %q (want 0 or 1)", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func runLemma7(rounds int) error {
+	results, err := dbft.RunLemma7(rounds)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Appendix B (Lemma 7): without fairness, Algorithm 1 never terminates.")
+	fmt.Println("n=4, t=1, one Byzantine process; correct estimates after each round:")
+	for _, r := range results {
+		fmt.Printf("  round %2d (parity %d): estimates %v\n", r.Round, r.Round%2, r.Estimates)
+	}
+	fmt.Printf("after %d rounds no process has decided; the estimate multiset cycles with period 2\n", rounds)
+	return nil
+}

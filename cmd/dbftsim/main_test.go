@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunScenarios(t *testing.T) {
+	stdout := os.Stdout
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devNull
+	defer func() { os.Stdout = stdout }()
+
+	good := [][]string{
+		{"-n", "4", "-t", "1", "-inputs", "0,1,1", "-byz", "silent", "-sched", "fair"},
+		{"-n", "4", "-t", "1", "-inputs", "1,1,1", "-byz", "liar", "-sched", "random", "-seed", "7"},
+		{"-n", "4", "-t", "1", "-inputs", "0,0,1", "-byz", "equivocator", "-sched", "fifo", "-trace", "3"},
+		{"-lemma7", "-rounds", "6"},
+	}
+	for _, args := range good {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+
+	bad := [][]string{
+		{"-inputs", "0,2,1"},                            // non-binary input
+		{"-n", "4", "-inputs", "0,1", "-byz", "silent"}, // count mismatch
+		{"-byz", "teleport"},                            // unknown strategy
+		{"-sched", "sorcery"},                           // unknown scheduler
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}

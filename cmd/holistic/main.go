@@ -1,0 +1,355 @@
+// Command holistic is the verification CLI: it runs the paper's holistic
+// pipeline, checks individual properties of the three threshold automata,
+// regenerates Table 2, produces the Section 6 counterexample, emits the
+// automata as Graphviz figures, and compiles/checks ByMC-style property
+// files.
+//
+// Usage:
+//
+//	holistic pipeline                 run the full two-phase verification
+//	holistic verify  [flags]          check properties of one model
+//	holistic table2  [flags]          regenerate Table 2
+//	holistic ce                       generate the n<=3t counterexample
+//	holistic dot     [flags]          print a model as Graphviz DOT
+//	holistic spec    [flags]          compile & check a property file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ltl"
+	"repro/internal/models"
+	"repro/internal/schema"
+	"repro/internal/spec"
+	"repro/internal/ta"
+	"repro/internal/taformat"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "holistic:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "pipeline":
+		return cmdPipeline(args[1:])
+	case "verify":
+		return cmdVerify(args[1:])
+	case "table2":
+		return cmdTable2(args[1:])
+	case "ce":
+		return cmdCE(args[1:])
+	case "dot":
+		return cmdDot(args[1:])
+	case "spec":
+		return cmdSpec(args[1:])
+	case "export":
+		return cmdExport(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: holistic <subcommand> [flags]
+
+subcommands:
+  pipeline   run the full two-phase holistic verification (Theorem 6)
+  verify     check properties of one model (-model bv|naive|simplified)
+  table2     regenerate the paper's Table 2
+  ce         generate the disagreement counterexample for n <= 3t
+  dot        print a model as Graphviz DOT (-model ...)
+  spec       compile and check a ByMC-style property file (-model ..., -file ...)
+  export     print a model in the textual automaton format (-model ...)
+
+most subcommands accept -ta <file.ta> to load a user-supplied automaton
+instead of a bundled model.
+`)
+}
+
+func modelByName(name string) (*ta.TA, []spec.Query, error) {
+	switch name {
+	case "bv", "bvbroadcast":
+		a := models.BVBroadcast()
+		qs, err := models.BVQueries(a)
+		return a, qs, err
+	case "naive":
+		a := models.NaiveConsensus()
+		qs, err := models.NaiveQueries(a)
+		return a, qs, err
+	case "simplified":
+		a := models.SimplifiedConsensus()
+		qs, err := models.SimplifiedQueries(a)
+		return a, qs, err
+	case "strb":
+		a := models.STReliableBroadcast()
+		qs, err := models.STRBQueries(a)
+		return a, qs, err
+	case "bosco":
+		a := models.Bosco()
+		qs, err := models.BoscoQueries(a)
+		return a, qs, err
+	default:
+		return nil, nil, fmt.Errorf("unknown model %q (want bv, naive, simplified, strb or bosco)", name)
+	}
+}
+
+func parseMode(s string) (schema.Mode, error) {
+	switch s {
+	case "staged", "":
+		return schema.Staged, nil
+	case "full":
+		return schema.FullEnumeration, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want staged or full)", s)
+	}
+}
+
+func cmdPipeline(args []string) error {
+	fs := flag.NewFlagSet("pipeline", flag.ContinueOnError)
+	mode := fs.String("mode", "staged", "schema mode: staged or full")
+	asJSON := fs.Bool("json", false, "emit a machine-readable JSON certificate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := parseMode(*mode)
+	if err != nil {
+		return err
+	}
+	rep, err := core.HolisticVerification(core.Options{Mode: m})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		data, err := rep.MarshalIndent()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Print(rep.Format())
+	}
+	if !rep.Verified() {
+		return fmt.Errorf("verification incomplete")
+	}
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	model := fs.String("model", "bv", "model: bv, naive or simplified")
+	taFile := fs.String("ta", "", "load the automaton from a .ta file instead of a bundled model")
+	specFile := fs.String("spec", "", "property file to check (required with -ta)")
+	mode := fs.String("mode", "staged", "schema mode: staged or full")
+	prop := fs.String("prop", "", "check only this property (default: all)")
+	stats := fs.Bool("stats", false, "print SMT effort statistics per property")
+	timeout := fs.Duration("timeout", 0, "per-property timeout (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var a *ta.TA
+	var queries []spec.Query
+	var err error
+	if *taFile != "" {
+		a, err = loadTA(*taFile)
+		if err != nil {
+			return err
+		}
+		if *specFile == "" {
+			return fmt.Errorf("-ta requires -spec with the properties to check")
+		}
+		data, rerr := os.ReadFile(*specFile)
+		if rerr != nil {
+			return rerr
+		}
+		pf, perr := ltl.ParseFile(string(data))
+		if perr != nil {
+			return perr
+		}
+		queries, err = ltl.CompileFile(pf, a)
+	} else {
+		a, queries, err = modelByName(*model)
+	}
+	if err != nil {
+		return err
+	}
+	m, err := parseMode(*mode)
+	if err != nil {
+		return err
+	}
+	engine, err := schema.New(a, schema.Options{Mode: m, Timeout: *timeout})
+	if err != nil {
+		return err
+	}
+	found := false
+	for i := range queries {
+		if *prop != "" && queries[i].Name != *prop {
+			continue
+		}
+		found = true
+		res, err := engine.Check(&queries[i])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s %-16s %8d schemas  avg len %6.1f  %v\n",
+			res.Query, res.Outcome, res.Schemas, res.AvgLen, res.Elapsed.Round(time.Millisecond))
+		if *stats {
+			fmt.Printf("    smt: %d LP checks, %d pivots, %d rebuilds, %d B&B nodes, %d case splits\n",
+				res.Solver.LPChecks, res.Solver.Pivots, res.Solver.Rebuilds, res.Solver.BBNodes, res.Solver.CaseSplit)
+		}
+		if res.CE != nil {
+			fmt.Println(res.CE.Format())
+		}
+	}
+	if !found {
+		return fmt.Errorf("no property %q in model %s", *prop, *model)
+	}
+	return nil
+}
+
+func cmdTable2(args []string) error {
+	fs := flag.NewFlagSet("table2", flag.ContinueOnError)
+	skipNaive := fs.Bool("skip-naive", false, "skip the naive-consensus block")
+	naiveTimeout := fs.Duration("naive-timeout", 30*time.Second, "budget for the naive block")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := core.Table2(core.Table2Options{SkipNaive: *skipNaive, NaiveTimeout: *naiveTimeout})
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.FormatTable2(rows))
+	return nil
+}
+
+func cmdCE(args []string) error {
+	fs := flag.NewFlagSet("ce", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := core.GenerateInv1Counterexample(core.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s in %v\n", res.Query, res.Outcome, res.Elapsed.Round(time.Millisecond))
+	if res.CE == nil {
+		return fmt.Errorf("expected a counterexample")
+	}
+	fmt.Println("disagreement execution (certified by replay):")
+	fmt.Print(res.CE.Format())
+	return nil
+}
+
+func cmdDot(args []string) error {
+	fs := flag.NewFlagSet("dot", flag.ContinueOnError)
+	model := fs.String("model", "bv", "model: bv, naive or simplified")
+	taFile := fs.String("ta", "", "load the automaton from a .ta file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var a *ta.TA
+	var err error
+	if *taFile != "" {
+		a, err = loadTA(*taFile)
+	} else {
+		a, _, err = modelByName(*model)
+	}
+	if err != nil {
+		return err
+	}
+	return a.WriteDOT(os.Stdout)
+}
+
+func cmdSpec(args []string) error {
+	fs := flag.NewFlagSet("spec", flag.ContinueOnError)
+	model := fs.String("model", "bv", "model: bv, naive or simplified")
+	file := fs.String("file", "", "property file (default: the bundled spec for the model)")
+	mode := fs.String("mode", "staged", "schema mode")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, _, err := modelByName(*model)
+	if err != nil {
+		return err
+	}
+	src := ""
+	switch {
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	case strings.HasPrefix(*model, "bv"):
+		src = ltl.BVBroadcastSpec
+	case *model == "simplified":
+		src = ltl.SimplifiedConsensusSpec
+	case *model == "strb":
+		src = ltl.STRBSpec
+	default:
+		return fmt.Errorf("no bundled spec for model %s; pass -file", *model)
+	}
+	pf, err := ltl.ParseFile(src)
+	if err != nil {
+		return err
+	}
+	queries, err := ltl.CompileFile(pf, a)
+	if err != nil {
+		return err
+	}
+	m, err := parseMode(*mode)
+	if err != nil {
+		return err
+	}
+	engine, err := schema.New(a, schema.Options{Mode: m})
+	if err != nil {
+		return err
+	}
+	for i := range queries {
+		res, err := engine.Check(&queries[i])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-24s %-16s %8d schemas  %v\n",
+			res.Query, res.Outcome, res.Schemas, res.Elapsed.Round(time.Millisecond))
+	}
+	return nil
+}
+
+// loadTA reads an automaton from a .ta description file.
+func loadTA(path string) (*ta.TA, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return taformat.Parse(string(data))
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
+	model := fs.String("model", "bv", "model: bv, naive or simplified")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, _, err := modelByName(*model)
+	if err != nil {
+		return err
+	}
+	return taformat.Write(os.Stdout, a)
+}

@@ -1,0 +1,64 @@
+// Blockchain: the application the verification protects — a Red-Belly-style
+// replicated ledger committing superblocks through the DBFT vector
+// consensus, which in turn runs one verified binary consensus per proposal.
+//
+// Four replicas (one Byzantine and silent) receive transactions into their
+// mempools; every height commits the union of the accepted proposals as one
+// superblock. The chains of all correct replicas are bit-for-bit identical:
+// no fork is possible with f <= t < n/3, by the very Agreement property the
+// holistic pipeline verifies for all parameters.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/blockchain"
+	"repro/internal/network"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "blockchain:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ledger, err := blockchain.NewLedger(4, 1, []network.ProcID{3})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Red-Belly-style ledger: n=4 replicas, t=1, replica 3 Byzantine (silent)")
+
+	workload := [][]struct {
+		replica network.ProcID
+		tx      blockchain.Tx
+	}{
+		{{0, "alice->bob:10"}, {1, "bob->carol:5"}, {2, "carol->dan:2"}},
+		{{0, "dan->alice:7"}, {1, "alice->carol:1"}, {2, "bob->dan:3"}},
+		{{0, "carol->alice:4"}, {1, "dan->bob:6"}, {2, "alice->dan:9"}},
+	}
+
+	for h, batch := range workload {
+		for _, s := range batch {
+			ledger.Submit(s.replica, s.tx)
+		}
+		block, err := ledger.CommitHeight()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("committed %s\n", block)
+		_ = h
+	}
+
+	if err := ledger.VerifyChains(); err != nil {
+		return err
+	}
+	fmt.Println("\nall correct replicas hold identical chains — no fork.")
+	fmt.Println("replica 0's chain:")
+	for _, b := range ledger.Chain(0) {
+		fmt.Printf("  %s\n", b)
+	}
+	return nil
+}

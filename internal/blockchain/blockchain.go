@@ -1,0 +1,237 @@
+// Package blockchain is the application layer the paper's verification
+// ultimately protects: a Red-Belly-style replicated ledger. At every height
+// each replica proposes a block of pending transactions; the DBFT vector
+// consensus (internal/dbft) decides which proposals commit; their union
+// forms the height's *superblock* — the Red Belly construction in which up
+// to n proposals commit per consensus instance instead of one.
+//
+// Because the underlying binary consensus is the verified algorithm, the
+// ledger inherits its guarantees: no fork with f <= t < n/3 under any
+// schedule, and progress under the bv-broadcast fairness assumption.
+package blockchain
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dbft"
+	"repro/internal/fairness"
+	"repro/internal/network"
+)
+
+// Tx is a transaction payload.
+type Tx string
+
+// Block is one committed superblock.
+type Block struct {
+	Height int
+	// Proposals records how many replica proposals the superblock merged.
+	Proposals int
+	Txs       []Tx
+}
+
+func (b Block) String() string {
+	parts := make([]string, len(b.Txs))
+	for i, tx := range b.Txs {
+		parts[i] = string(tx)
+	}
+	return fmt.Sprintf("block %d (%d proposals): [%s]", b.Height, b.Proposals, strings.Join(parts, " "))
+}
+
+// Ledger orchestrates a fleet of replicas committing superblocks height by
+// height. Correct replicas hold a mempool and a chain; Byzantine replica
+// slots are silent (they simply never propose or vote — the worst a
+// Byzantine process can do to liveness once safety is guaranteed by the
+// consensus layer).
+type Ledger struct {
+	cfg      dbft.Config
+	byz      map[network.ProcID]bool
+	mempools map[network.ProcID][]Tx
+	chains   map[network.ProcID][]Block
+	// MaxSteps bounds each height's consensus (0 = default 5,000,000).
+	MaxSteps int
+}
+
+// NewLedger creates a ledger with n replicas tolerating t Byzantine ones;
+// the ids in byz behave Byzantine (silent).
+func NewLedger(n, t int, byz []network.ProcID) (*Ledger, error) {
+	cfg := dbft.Config{N: n, T: t, MaxRounds: 16}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 3*t && t > 0 {
+		return nil, fmt.Errorf("blockchain: resilience requires n > 3t, got n=%d t=%d", n, t)
+	}
+	l := &Ledger{
+		cfg:      cfg,
+		byz:      map[network.ProcID]bool{},
+		mempools: map[network.ProcID][]Tx{},
+		chains:   map[network.ProcID][]Block{},
+	}
+	for _, id := range byz {
+		if int(id) < 0 || int(id) >= n {
+			return nil, fmt.Errorf("blockchain: byzantine id %d out of range", id)
+		}
+		l.byz[id] = true
+	}
+	if len(l.byz) > t {
+		return nil, fmt.Errorf("blockchain: %d byzantine replicas exceed t=%d", len(l.byz), t)
+	}
+	for i := 0; i < n; i++ {
+		id := network.ProcID(i)
+		if !l.byz[id] {
+			l.chains[id] = nil
+		}
+	}
+	return l, nil
+}
+
+// Submit adds transactions to a replica's mempool (ignored for Byzantine
+// slots).
+func (l *Ledger) Submit(replica network.ProcID, txs ...Tx) {
+	if l.byz[replica] {
+		return
+	}
+	l.mempools[replica] = append(l.mempools[replica], txs...)
+}
+
+// Height reports the number of committed superblocks.
+func (l *Ledger) Height() int {
+	for id, chain := range l.chains {
+		_ = id
+		return len(chain)
+	}
+	return 0
+}
+
+// Chain returns a replica's chain.
+func (l *Ledger) Chain(replica network.ProcID) []Block {
+	return append([]Block(nil), l.chains[replica]...)
+}
+
+const txSep = "\x1f"
+
+func encodeProposal(txs []Tx) string {
+	parts := make([]string, len(txs))
+	for i, tx := range txs {
+		parts[i] = string(tx)
+	}
+	return strings.Join(parts, txSep)
+}
+
+func decodeProposal(s string) []Tx {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, txSep)
+	out := make([]Tx, len(parts))
+	for i, p := range parts {
+		out[i] = Tx(p)
+	}
+	return out
+}
+
+// CommitHeight runs one vector consensus over the current mempools and
+// appends the resulting superblock to every correct replica's chain.
+// Committed transactions leave the mempools.
+func (l *Ledger) CommitHeight() (Block, error) {
+	all := dbft.AllIDs(l.cfg.N)
+	var correct []*dbft.VectorProcess
+	procs := make([]network.Process, 0, l.cfg.N)
+	for i := 0; i < l.cfg.N; i++ {
+		id := network.ProcID(i)
+		if l.byz[id] {
+			procs = append(procs, &dbft.Silent{Id: id})
+			continue
+		}
+		p, err := dbft.NewVectorProcess(id, encodeProposal(l.mempools[id]), l.cfg, all)
+		if err != nil {
+			return Block{}, err
+		}
+		correct = append(correct, p)
+		procs = append(procs, p)
+	}
+	sys, err := network.NewSystem(procs, fairness.Scheduler{Byzantine: l.byz})
+	if err != nil {
+		return Block{}, err
+	}
+	maxSteps := l.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 5_000_000
+	}
+	if _, err := sys.Run(maxSteps, func() bool { return dbft.AllVectorDecided(correct) }); err != nil {
+		return Block{}, err
+	}
+	if !dbft.AllVectorDecided(correct) {
+		return Block{}, fmt.Errorf("blockchain: height %d did not commit within the step budget", l.Height())
+	}
+	if err := dbft.VectorAgreement(correct); err != nil {
+		return Block{}, err
+	}
+
+	// Build the superblock from the agreed vector: the union of committed
+	// proposals, deduplicated, in deterministic order.
+	vector, _ := correct[0].Decided()
+	seen := map[Tx]bool{}
+	var txs []Tx
+	for _, proposal := range vector {
+		for _, tx := range decodeProposal(proposal) {
+			if !seen[tx] {
+				seen[tx] = true
+				txs = append(txs, tx)
+			}
+		}
+	}
+	sort.Slice(txs, func(i, j int) bool { return txs[i] < txs[j] })
+	block := Block{Height: l.Height(), Proposals: len(vector), Txs: txs}
+
+	for id := range l.chains {
+		l.chains[id] = append(l.chains[id], block)
+		// Remove committed transactions from the mempool.
+		var rest []Tx
+		for _, tx := range l.mempools[id] {
+			if !seen[tx] {
+				rest = append(rest, tx)
+			}
+		}
+		l.mempools[id] = rest
+	}
+	return block, nil
+}
+
+// VerifyChains checks that every correct replica holds the identical chain
+// (no fork).
+func (l *Ledger) VerifyChains() error {
+	var ref []Block
+	var refID network.ProcID
+	first := true
+	for id, chain := range l.chains {
+		if first {
+			ref, refID, first = chain, id, false
+			continue
+		}
+		if len(chain) != len(ref) {
+			return fmt.Errorf("blockchain: fork: replica %d at height %d, replica %d at height %d",
+				refID, len(ref), id, len(chain))
+		}
+		for h := range chain {
+			if !sameBlock(chain[h], ref[h]) {
+				return fmt.Errorf("blockchain: fork at height %d between replicas %d and %d", h, refID, id)
+			}
+		}
+	}
+	return nil
+}
+
+func sameBlock(a, b Block) bool {
+	if a.Height != b.Height || len(a.Txs) != len(b.Txs) {
+		return false
+	}
+	for i := range a.Txs {
+		if a.Txs[i] != b.Txs[i] {
+			return false
+		}
+	}
+	return true
+}

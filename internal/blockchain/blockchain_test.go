@@ -1,0 +1,125 @@
+package blockchain
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/network"
+)
+
+func TestNewLedgerValidation(t *testing.T) {
+	if _, err := NewLedger(3, 1, nil); err == nil {
+		t.Error("n=3 t=1 violates n>3t")
+	}
+	if _, err := NewLedger(4, 1, []network.ProcID{1, 2}); err == nil {
+		t.Error("two byzantine replicas exceed t=1")
+	}
+	if _, err := NewLedger(4, 1, []network.ProcID{9}); err == nil {
+		t.Error("out-of-range byzantine id")
+	}
+	if _, err := NewLedger(4, 1, []network.ProcID{3}); err != nil {
+		t.Errorf("valid ledger rejected: %v", err)
+	}
+}
+
+func TestCommitHeightsAllCorrect(t *testing.T) {
+	l, err := NewLedger(4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Submit(0, "alice->bob:10")
+	l.Submit(1, "bob->carol:5")
+	l.Submit(2, "carol->dan:2")
+	l.Submit(3, "dan->alice:1")
+
+	block, err := l.CommitHeight()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if block.Height != 0 {
+		t.Errorf("height = %d, want 0", block.Height)
+	}
+	if len(block.Txs) < 3 { // at least n-t proposals commit
+		t.Errorf("block %v too small", block)
+	}
+	if err := l.VerifyChains(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Committed transactions must leave the mempools: a second height with
+	// no new submissions commits an empty (or near-empty) superblock.
+	block2, err := l.CommitHeight()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range block2.Txs {
+		for _, prev := range block.Txs {
+			if tx == prev {
+				t.Errorf("transaction %q committed twice", tx)
+			}
+		}
+	}
+	if err := l.VerifyChains(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Height() != 2 {
+		t.Errorf("height = %d, want 2", l.Height())
+	}
+}
+
+func TestCommitWithByzantineReplica(t *testing.T) {
+	l, err := NewLedger(4, 1, []network.ProcID{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 3; h++ {
+		l.Submit(0, Tx(fmt.Sprintf("p0-tx%d", h)))
+		l.Submit(1, Tx(fmt.Sprintf("p1-tx%d", h)))
+		l.Submit(3, Tx(fmt.Sprintf("p3-tx%d", h)))
+		block, err := l.CommitHeight()
+		if err != nil {
+			t.Fatalf("height %d: %v", h, err)
+		}
+		if len(block.Txs) < 3 {
+			t.Errorf("height %d: block %v missing correct proposals", h, block)
+		}
+	}
+	if err := l.VerifyChains(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Height() != 3 {
+		t.Errorf("height = %d, want 3", l.Height())
+	}
+	// All correct chains identical, and byzantine slot has no chain.
+	if got := l.Chain(2); got != nil {
+		t.Errorf("byzantine replica has a chain: %v", got)
+	}
+	if got := l.Chain(0); len(got) != 3 {
+		t.Errorf("replica 0 chain length %d", len(got))
+	}
+}
+
+func TestDuplicateSubmissionsDeduplicated(t *testing.T) {
+	l, err := NewLedger(4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same transaction reaches several replicas (gossip): the
+	// superblock must contain it once.
+	for i := 0; i < 4; i++ {
+		l.Submit(network.ProcID(i), "shared-tx")
+	}
+	block, err := l.CommitHeight()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, tx := range block.Txs {
+		if tx == "shared-tx" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("shared-tx appears %d times in %v", count, block)
+	}
+}

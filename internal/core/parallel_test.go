@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// TestParallelMatchesSequential runs the whole pipeline with property-level
+// parallelism and compares every verdict and effort statistic against the
+// sequential run (the engine must be deterministic regardless of
+// scheduling).
+func TestParallelMatchesSequential(t *testing.T) {
+	seq, err := HolisticVerification(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := HolisticVerification(Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Verified() {
+		t.Fatalf("parallel pipeline did not verify:\n%s", par.Format())
+	}
+	compare := func(name string, a, b Report) {
+		if len(a.Results) != len(b.Results) {
+			t.Fatalf("%s: result counts differ", name)
+		}
+		for i := range a.Results {
+			ra, rb := a.Results[i], b.Results[i]
+			if ra.Query != rb.Query || ra.Outcome != rb.Outcome {
+				t.Errorf("%s/%s: sequential %v vs parallel %v", name, ra.Query, ra.Outcome, rb.Outcome)
+			}
+			// Effort counters (schemas/splits) are allowed to differ
+			// slightly under parallelism: concurrent engines intern fresh
+			// solver symbols in interleaved order, which changes Bland-rule
+			// tie-breaking and hence the case-split order — never the
+			// verdict. Guard only against order-of-magnitude drift.
+			if rb.Schemas > 4*ra.Schemas+16 || ra.Schemas > 4*rb.Schemas+16 {
+				t.Errorf("%s/%s: effort diverged: %d vs %d splits",
+					name, ra.Query, ra.Schemas, rb.Schemas)
+			}
+		}
+	}
+	compare("inner", seq.Inner, par.Inner)
+	compare("outer", seq.Outer, par.Outer)
+}
+
+// TestParallelRace exercises the concurrent path under -race (the dedicated
+// race run happens in CI via `go test -race`); here we simply ensure a
+// heavily parallel run stays correct.
+func TestParallelRace(t *testing.T) {
+	rep, err := VerifySimplifiedConsensus(Options{Parallel: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range rep.Results {
+		if res.Outcome != spec.Holds {
+			t.Errorf("%s: %v", res.Query, res.Outcome)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/schema"
+)
+
+// JSON certificates: machine-readable verification reports for archiving
+// and regression comparison (`holistic pipeline -json`).
+
+// ResultJSON is one property verdict.
+type ResultJSON struct {
+	Property  string  `json:"property"`
+	Outcome   string  `json:"outcome"`
+	Mode      string  `json:"mode"`
+	Schemas   int     `json:"schemas"`
+	AvgLen    float64 `json:"avg_len"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+
+	// Counterexample, when the property is violated.
+	CE *CEJSON `json:"counterexample,omitempty"`
+}
+
+// CEJSON is a certified counterexample: concrete parameters, the initial
+// distribution and the accelerated steps.
+type CEJSON struct {
+	Params map[string]int64 `json:"params"`
+	Init   map[string]int64 `json:"init"` // location -> processes
+	Steps  []CEStepJSON     `json:"steps"`
+}
+
+// CEStepJSON is one accelerated firing.
+type CEStepJSON struct {
+	Rule   string `json:"rule"`
+	Factor int64  `json:"factor"`
+}
+
+// ReportJSON is the verdict set for one automaton.
+type ReportJSON struct {
+	Model        string       `json:"model"`
+	Locations    int          `json:"locations"`
+	Rules        int          `json:"rules"`
+	UniqueGuards int          `json:"unique_guards"`
+	Results      []ResultJSON `json:"results"`
+	ElapsedMS    float64      `json:"elapsed_ms"`
+}
+
+// HolisticJSON is the full pipeline certificate.
+type HolisticJSON struct {
+	Inner       ReportJSON `json:"inner"`
+	Outer       ReportJSON `json:"outer"`
+	Agreement   bool       `json:"agreement_verified"`
+	Validity    bool       `json:"validity_verified"`
+	Termination bool       `json:"termination_verified"`
+	ElapsedMS   float64    `json:"elapsed_ms"`
+}
+
+func resultJSON(r schema.Result) ResultJSON {
+	out := ResultJSON{
+		Property:  r.Query,
+		Outcome:   r.Outcome.String(),
+		Mode:      r.Mode.String(),
+		Schemas:   r.Schemas,
+		AvgLen:    r.AvgLen,
+		ElapsedMS: float64(r.Elapsed) / float64(time.Millisecond),
+	}
+	if r.CE != nil {
+		a := r.CE.System.TA
+		ce := &CEJSON{Params: map[string]int64{}, Init: map[string]int64{}}
+		for _, p := range a.Params {
+			ce.Params[a.Table.Name(p)] = r.CE.Params[p]
+		}
+		for l, k := range r.CE.Run.Init.K {
+			if k > 0 {
+				ce.Init[a.Locations[l].Name] = k
+			}
+		}
+		for _, st := range r.CE.Run.Steps {
+			ce.Steps = append(ce.Steps, CEStepJSON{Rule: a.Rules[st.Rule].Name, Factor: st.Factor})
+		}
+		out.CE = ce
+	}
+	return out
+}
+
+// JSON converts the report.
+func (r Report) JSON() ReportJSON {
+	out := ReportJSON{
+		Model:        r.Model,
+		Locations:    r.Size.Locations,
+		Rules:        r.Size.Rules,
+		UniqueGuards: r.Size.UniqueGuards,
+		ElapsedMS:    float64(r.Elapsed) / float64(time.Millisecond),
+	}
+	for _, res := range r.Results {
+		out.Results = append(out.Results, resultJSON(res))
+	}
+	return out
+}
+
+// JSON converts the holistic report.
+func (h HolisticReport) JSON() HolisticJSON {
+	return HolisticJSON{
+		Inner:       h.Inner.JSON(),
+		Outer:       h.Outer.JSON(),
+		Agreement:   h.AgreementVerified,
+		Validity:    h.ValidityVerified,
+		Termination: h.TerminationVerified,
+		ElapsedMS:   float64(h.Elapsed) / float64(time.Millisecond),
+	}
+}
+
+// MarshalIndent renders the holistic certificate as indented JSON.
+func (h HolisticReport) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(h.JSON(), "", "  ")
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestJSONCertificateRoundTrip(t *testing.T) {
+	rep, err := HolisticVerification(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HolisticJSON
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("certificate does not parse: %v", err)
+	}
+	if !back.Agreement || !back.Validity || !back.Termination {
+		t.Errorf("certificate flags: %+v", back)
+	}
+	if back.Inner.Model != "bv-broadcast" || len(back.Inner.Results) != 7 {
+		t.Errorf("inner block: %+v", back.Inner)
+	}
+	if back.Outer.Model != "simplified-consensus" || len(back.Outer.Results) != 9 {
+		t.Errorf("outer block: %+v", back.Outer)
+	}
+	for _, r := range append(back.Inner.Results, back.Outer.Results...) {
+		if r.Outcome != "holds" {
+			t.Errorf("%s: %s", r.Property, r.Outcome)
+		}
+		if r.CE != nil {
+			t.Errorf("%s: unexpected counterexample in certificate", r.Property)
+		}
+	}
+}
+
+func TestJSONCounterexampleSerialized(t *testing.T) {
+	res, err := GenerateInv1Counterexample(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := resultJSON(res)
+	if j.Outcome != "violated" || j.CE == nil {
+		t.Fatalf("result json: %+v", j)
+	}
+	if j.CE.Params["n"] == 0 || j.CE.Params["t"] == 0 {
+		t.Errorf("counterexample parameters missing: %+v", j.CE.Params)
+	}
+	if len(j.CE.Steps) == 0 {
+		t.Error("counterexample has no steps")
+	}
+	total := int64(0)
+	for _, k := range j.CE.Init {
+		total += k
+	}
+	if total != j.CE.Params["n"]-j.CE.Params["f"] {
+		t.Errorf("initial distribution sums to %d, want n-f = %d",
+			total, j.CE.Params["n"]-j.CE.Params["f"])
+	}
+}

@@ -1,0 +1,331 @@
+// Package counter implements the counter-system semantics Sys(TA) of
+// threshold automata (Section 2 of the paper): configurations count how many
+// processes occupy each location, transitions move processes along rules and
+// apply shared-variable updates. It provides
+//
+//   - exact replay of (accelerated) runs, used to validate every
+//     counterexample the schema checker produces, and
+//   - an explicit-state breadth-first checker for fixed parameters, the
+//     TLC/SPIN-style baseline that the paper's related-work section contrasts
+//     with parameterized model checking.
+package counter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/ta"
+)
+
+// System is a one-round counter system with fixed parameter values.
+type System struct {
+	TA     *ta.TA
+	Params map[expr.Sym]int64
+
+	sharedIdx map[expr.Sym]int
+}
+
+// NewSystem builds the counter system of a one-round TA under concrete
+// parameters. The parameters must satisfy the automaton's resilience
+// condition; the automaton must not contain round-switch rules.
+func NewSystem(a *ta.TA, params map[expr.Sym]int64) (*System, error) {
+	for _, r := range a.Rules {
+		if r.RoundSwitch {
+			return nil, fmt.Errorf("counter: %s has round-switch rules; call OneRound first", a.Name)
+		}
+	}
+	for _, p := range a.Params {
+		if _, ok := params[p]; !ok {
+			return nil, fmt.Errorf("counter: missing value for parameter %s", a.Table.Name(p))
+		}
+	}
+	val := func(s expr.Sym) int64 { return params[s] }
+	for _, rc := range a.Resilience {
+		ok, err := rc.Holds(val)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("counter: parameters violate resilience condition %s", rc.String(a.Table))
+		}
+	}
+	idx := make(map[expr.Sym]int, len(a.Shared))
+	for i, s := range a.Shared {
+		idx[s] = i
+	}
+	return &System{TA: a, Params: params, sharedIdx: idx}, nil
+}
+
+// NumCorrect evaluates the correct-process count (conventionally n-f).
+func (s *System) NumCorrect() (int64, error) {
+	return s.TA.CorrectCount.Eval(func(sym expr.Sym) int64 { return s.Params[sym] })
+}
+
+// Config is a configuration of the counter system: location counters K
+// (indexed by ta.LocID) and shared-variable values V (indexed by the
+// position of the variable in TA.Shared).
+type Config struct {
+	K []int64
+	V []int64
+}
+
+// Clone deep-copies the configuration.
+func (c Config) Clone() Config {
+	out := Config{K: make([]int64, len(c.K)), V: make([]int64, len(c.V))}
+	copy(out.K, c.K)
+	copy(out.V, c.V)
+	return out
+}
+
+// Key returns a canonical string identity for visited-set hashing.
+func (c Config) Key() string {
+	var b strings.Builder
+	b.Grow(4 * (len(c.K) + len(c.V)))
+	for _, k := range c.K {
+		fmt.Fprintf(&b, "%d,", k)
+	}
+	b.WriteByte('|')
+	for _, v := range c.V {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}
+
+// String renders the configuration with location and variable names.
+func (s *System) String(c Config) string {
+	var parts []string
+	for i, k := range c.K {
+		if k != 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d", s.TA.Locations[i].Name, k))
+		}
+	}
+	for i, v := range c.V {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", s.TA.Table.Name(s.TA.Shared[i]), v))
+		}
+	}
+	if len(parts) == 0 {
+		return "(empty)"
+	}
+	return strings.Join(parts, " ")
+}
+
+// valuation builds the symbol valuation of c (parameters plus shared vars).
+func (s *System) valuation(c Config) func(expr.Sym) int64 {
+	return func(sym expr.Sym) int64 {
+		if i, ok := s.sharedIdx[sym]; ok {
+			return c.V[i]
+		}
+		return s.Params[sym]
+	}
+}
+
+// GuardHolds evaluates a rule's guard in c.
+func (s *System) GuardHolds(c Config, ruleIdx int) (bool, error) {
+	r := s.TA.Rules[ruleIdx]
+	val := s.valuation(c)
+	for _, g := range r.Guard {
+		ok, err := g.Holds(val)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Enabled reports whether the rule can fire at least once in c.
+func (s *System) Enabled(c Config, ruleIdx int) (bool, error) {
+	r := s.TA.Rules[ruleIdx]
+	if c.K[r.From] < 1 {
+		return false, nil
+	}
+	return s.GuardHolds(c, ruleIdx)
+}
+
+// Apply fires the rule factor times (acceleration). Because guards are
+// rising and updates are nonnegative, a rule whose guard holds before the
+// burst stays enabled throughout it; Apply checks the guard once and that
+// the source holds at least factor processes.
+func (s *System) Apply(c Config, ruleIdx int, factor int64) (Config, error) {
+	if factor < 0 {
+		return Config{}, fmt.Errorf("counter: negative factor %d", factor)
+	}
+	if factor == 0 {
+		return c.Clone(), nil
+	}
+	r := s.TA.Rules[ruleIdx]
+	if c.K[r.From] < factor {
+		return Config{}, fmt.Errorf("counter: rule %s needs %d processes at %s but only %d are there",
+			r.Name, factor, s.TA.Locations[r.From].Name, c.K[r.From])
+	}
+	ok, err := s.GuardHolds(c, ruleIdx)
+	if err != nil {
+		return Config{}, err
+	}
+	if !ok {
+		return Config{}, fmt.Errorf("counter: rule %s guard %s does not hold in %s",
+			r.Name, s.TA.GuardString(r), s.String(c))
+	}
+	out := c.Clone()
+	out.K[r.From] -= factor
+	out.K[r.To] += factor
+	for sym, d := range r.Update {
+		out.V[s.sharedIdx[sym]] += d * factor
+	}
+	return out, nil
+}
+
+// Step is one accelerated firing of a rule.
+type Step struct {
+	Rule   int
+	Factor int64
+}
+
+// Run is an initial configuration together with a sequence of steps.
+type Run struct {
+	Init  Config
+	Steps []Step
+}
+
+// Replay validates and executes the run, returning every intermediate
+// configuration (len(Steps)+1 entries). It fails if any step is illegal, if
+// the initial configuration places processes outside initial locations, or
+// if the total process count does not match n-f.
+func (s *System) Replay(run Run) ([]Config, error) {
+	if len(run.Init.K) != len(s.TA.Locations) || len(run.Init.V) != len(s.TA.Shared) {
+		return nil, fmt.Errorf("counter: initial configuration has wrong dimensions")
+	}
+	var total int64
+	for i, k := range run.Init.K {
+		if k < 0 {
+			return nil, fmt.Errorf("counter: negative counter at %s", s.TA.Locations[i].Name)
+		}
+		if k > 0 && !s.TA.Locations[i].Initial {
+			return nil, fmt.Errorf("counter: %d processes start in non-initial location %s",
+				k, s.TA.Locations[i].Name)
+		}
+		total += k
+	}
+	want, err := s.NumCorrect()
+	if err != nil {
+		return nil, err
+	}
+	if total != want {
+		return nil, fmt.Errorf("counter: initial configuration has %d processes, want n-f = %d", total, want)
+	}
+	for i, v := range run.Init.V {
+		if v != 0 {
+			return nil, fmt.Errorf("counter: shared variable %s starts at %d, want 0",
+				s.TA.Table.Name(s.TA.Shared[i]), v)
+		}
+	}
+	trace := make([]Config, 0, len(run.Steps)+1)
+	cur := run.Init.Clone()
+	trace = append(trace, cur)
+	for i, st := range run.Steps {
+		if st.Rule < 0 || st.Rule >= len(s.TA.Rules) {
+			return nil, fmt.Errorf("counter: step %d references unknown rule %d", i, st.Rule)
+		}
+		next, err := s.Apply(cur, st.Rule, st.Factor)
+		if err != nil {
+			return nil, fmt.Errorf("counter: step %d: %w", i, err)
+		}
+		cur = next
+		trace = append(trace, cur)
+	}
+	return trace, nil
+}
+
+// Format renders a run for diagnostics: initial configuration and each
+// non-trivial step.
+func (s *System) Format(run Run) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "init: %s\n", s.String(run.Init))
+	cur := run.Init
+	for _, st := range run.Steps {
+		if st.Factor == 0 {
+			continue
+		}
+		r := s.TA.Rules[st.Rule]
+		next, err := s.Apply(cur, st.Rule, st.Factor)
+		if err != nil {
+			fmt.Fprintf(&b, "  %s x%d: INVALID (%v)\n", r.Name, st.Factor, err)
+			return b.String()
+		}
+		fmt.Fprintf(&b, "  %s x%d (%s -> %s): %s\n", r.Name, st.Factor,
+			s.TA.Locations[r.From].Name, s.TA.Locations[r.To].Name, s.String(next))
+		cur = next
+	}
+	return b.String()
+}
+
+// EnumerateInitial calls fn for every initial configuration: all
+// distributions of the n-f correct processes over the initial locations.
+// Enumeration stops early if fn returns an error.
+func (s *System) EnumerateInitial(fn func(Config) error) error {
+	inits := s.TA.InitialLocs()
+	nproc, err := s.NumCorrect()
+	if err != nil {
+		return err
+	}
+	k := make([]int64, len(s.TA.Locations))
+	var rec func(i int, left int64) error
+	rec = func(i int, left int64) error {
+		if i == len(inits)-1 {
+			k[inits[i]] = left
+			c := Config{K: append([]int64(nil), k...), V: make([]int64, len(s.TA.Shared))}
+			k[inits[i]] = 0
+			return fn(c)
+		}
+		for take := int64(0); take <= left; take++ {
+			k[inits[i]] = take
+			if err := rec(i+1, left-take); err != nil {
+				return err
+			}
+			k[inits[i]] = 0
+		}
+		return nil
+	}
+	if len(inits) == 0 {
+		return fmt.Errorf("counter: no initial locations")
+	}
+	return rec(0, nproc)
+}
+
+// SumLocs returns Σ K[l] over the set.
+func SumLocs(c Config, set ta.LocSet) int64 {
+	var sum int64
+	for id := range set {
+		sum += c.K[id]
+	}
+	return sum
+}
+
+// SortedRules returns rule indices ordered by source-location depth then rule
+// index: the topological firing order used by schema segments.
+func SortedRules(a *ta.TA) ([]int, error) {
+	depth, err := a.Depth()
+	if err != nil {
+		return nil, err
+	}
+	var idx []int
+	for i, r := range a.Rules {
+		if r.SelfLoop() || r.RoundSwitch {
+			continue
+		}
+		idx = append(idx, i)
+	}
+	sort.SliceStable(idx, func(x, y int) bool {
+		rx, ry := a.Rules[idx[x]], a.Rules[idx[y]]
+		if depth[rx.From] != depth[ry.From] {
+			return depth[rx.From] < depth[ry.From]
+		}
+		return idx[x] < idx[y]
+	})
+	return idx, nil
+}

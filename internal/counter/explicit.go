@@ -1,0 +1,214 @@
+package counter
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ta"
+)
+
+// Explorer performs explicit-state breadth-first exploration of a counter
+// system for fixed parameters. This is the baseline verification method
+// (à la TLC/SPIN) that the paper's related work contrasts with parameterized
+// model checking: exact for one parameter instance, but subject to state
+// explosion as n grows.
+type Explorer struct {
+	Sys *System
+	// MaxStates bounds exploration (0 = default 2,000,000).
+	MaxStates int
+}
+
+// ErrStateBudget is returned when exploration exceeds MaxStates.
+var ErrStateBudget = errors.New("counter: state budget exhausted")
+
+// Stats describes an exploration.
+type Stats struct {
+	States      int
+	Transitions int
+	Frozen      int // states with no enabled progress rule
+}
+
+// errStop is the internal sentinel used to end exploration early.
+var errStop = errors.New("stop exploration")
+
+// BFS explores all reachable configurations, invoking visit for each newly
+// discovered one (frozen reports whether no progress rule is enabled there).
+// Returning a non-nil error from visit aborts the search; the sentinel
+// returned by Stop() aborts without error.
+func (e *Explorer) BFS(visit func(c Config, frozen bool) error) (Stats, error) {
+	_, stats, err := e.search(func(c Config, frozen bool) (bool, error) {
+		if visit == nil {
+			return false, nil
+		}
+		if err := visit(c, frozen); err != nil {
+			if errors.Is(err, errStop) {
+				return true, nil
+			}
+			return false, err
+		}
+		return false, nil
+	})
+	return stats, err
+}
+
+// Stop returns the sentinel that ends a BFS early without error.
+func Stop() error { return errStop }
+
+type parentLink struct {
+	key  string
+	rule int
+}
+
+// search runs BFS and returns the run reaching the first configuration for
+// which found returns true (nil if none).
+func (e *Explorer) search(found func(c Config, frozen bool) (bool, error)) (*Run, Stats, error) {
+	maxStates := e.MaxStates
+	if maxStates <= 0 {
+		maxStates = 2_000_000
+	}
+	sys := e.Sys
+
+	visited := make(map[string]bool)
+	parents := make(map[string]parentLink)
+	initKeys := make(map[string]Config)
+	var queue []Config
+	var stats Stats
+
+	err := sys.EnumerateInitial(func(c Config) error {
+		key := c.Key()
+		if visited[key] {
+			return nil
+		}
+		visited[key] = true
+		initKeys[key] = c
+		queue = append(queue, c)
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+
+	reconstruct := func(c Config) (*Run, error) {
+		var steps []Step
+		key := c.Key()
+		for {
+			if init, ok := initKeys[key]; ok {
+				// reverse steps
+				for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+					steps[i], steps[j] = steps[j], steps[i]
+				}
+				return &Run{Init: init, Steps: steps}, nil
+			}
+			link, ok := parents[key]
+			if !ok {
+				return nil, fmt.Errorf("counter: broken parent chain at %s", key)
+			}
+			steps = append(steps, Step{Rule: link.rule, Factor: 1})
+			key = link.key
+		}
+	}
+
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		stats.States++
+		if stats.States > maxStates {
+			return nil, stats, ErrStateBudget
+		}
+
+		frozen := true
+		cKey := c.Key()
+		for ri, r := range sys.TA.Rules {
+			en, err := sys.Enabled(c, ri)
+			if err != nil {
+				return nil, stats, err
+			}
+			if !en {
+				continue
+			}
+			if !r.SelfLoop() {
+				frozen = false
+				next, err := sys.Apply(c, ri, 1)
+				if err != nil {
+					return nil, stats, err
+				}
+				nKey := next.Key()
+				if !visited[nKey] {
+					visited[nKey] = true
+					parents[nKey] = parentLink{key: cKey, rule: ri}
+					queue = append(queue, next)
+					stats.Transitions++
+				}
+			}
+		}
+		if frozen {
+			stats.Frozen++
+		}
+		hit, err := found(c, frozen)
+		if err != nil {
+			return nil, stats, err
+		}
+		if hit {
+			run, err := reconstruct(c)
+			return run, stats, err
+		}
+	}
+	return nil, stats, nil
+}
+
+// FindViolation searches for a reachable configuration satisfying bad and
+// returns the run reaching it (nil if the predicate is unreachable).
+func (e *Explorer) FindViolation(bad func(Config) bool) (*Run, Stats, error) {
+	return e.search(func(c Config, _ bool) (bool, error) {
+		return bad(c), nil
+	})
+}
+
+// FindStableViolation searches for a reachable configuration that satisfies
+// every justice requirement yet violates the goal. Extending the run by
+// stuttering there forever yields a fair infinite execution on which the goal
+// never holds, so such a configuration witnesses a liveness violation; nil
+// means the liveness property holds for these parameters under the given
+// justice assumptions.
+//
+// Pass the automaton's DefaultJustice (possibly extended with gadget
+// requirements) to obtain the reliable-communication semantics of the paper;
+// note that a configuration with an enabled rule is justice-stable only if no
+// justice requirement forces that rule's source to drain.
+func (e *Explorer) FindStableViolation(goalViolated func(Config) bool, justice []ta.Justice) (*Run, Stats, error) {
+	return e.search(func(c Config, _ bool) (bool, error) {
+		if !goalViolated(c) {
+			return false, nil
+		}
+		ok, err := e.justiceHolds(c, justice)
+		if err != nil {
+			return false, err
+		}
+		return ok, nil
+	})
+}
+
+// justiceHolds reports whether the frozen configuration is consistent with
+// every justice requirement: a triggered requirement must have an empty
+// location (otherwise the frozen continuation would be unfair and is not a
+// legitimate counterexample).
+func (e *Explorer) justiceHolds(c Config, justice []ta.Justice) (bool, error) {
+	val := e.Sys.valuation(c)
+	for _, j := range justice {
+		triggered := true
+		for _, t := range j.Trigger {
+			ok, err := t.Holds(val)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				triggered = false
+				break
+			}
+		}
+		if triggered && c.K[j.Loc] > 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}

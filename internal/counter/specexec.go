@@ -1,0 +1,238 @@
+package counter
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/spec"
+	"repro/internal/ta"
+)
+
+// ExplicitResult is the outcome of checking one query for fixed parameters.
+type ExplicitResult struct {
+	Outcome spec.Outcome
+	// Witness is a configuration witnessing the violation (zero-value when
+	// the property holds).
+	Witness Config
+	// Run is the full violating execution, replayable with System.Replay
+	// (nil when the property holds).
+	Run    *Run
+	States int
+}
+
+// CheckQueryExplicit decides a spec.Query by explicit-state search over the
+// counter system: the fixed-parameter baseline against which the
+// parameterized schema checker is cross-validated.
+//
+// Visit witnesses are tracked with per-set "visited" flags folded into the
+// explored state, so the search is exact even for location sets that a
+// process can leave again.
+func CheckQueryExplicit(sys *System, q *spec.Query, maxStates int) (ExplicitResult, error) {
+	if err := q.Validate(sys.TA); err != nil {
+		return ExplicitResult{}, err
+	}
+	if maxStates <= 0 {
+		maxStates = 2_000_000
+	}
+
+	globalEmpty := make(map[ta.LocID]bool, len(q.GlobalEmpty))
+	for _, l := range q.GlobalEmpty {
+		globalEmpty[l] = true
+	}
+	initEmpty := make(map[ta.LocID]bool, len(q.InitEmpty))
+	for _, l := range q.InitEmpty {
+		initEmpty[l] = true
+	}
+
+	type state struct {
+		c     Config
+		flags uint32
+	}
+	if len(q.VisitNonempty) > 31 {
+		return ExplicitResult{}, fmt.Errorf("counter: too many visit witnesses (%d)", len(q.VisitNonempty))
+	}
+	allFlags := uint32(1)<<len(q.VisitNonempty) - 1
+
+	flagsOf := func(base uint32, c Config) uint32 {
+		f := base
+		for i, set := range q.VisitNonempty {
+			if f&(1<<i) == 0 && SumLocs(c, set) > 0 {
+				f |= 1 << i
+			}
+		}
+		return f
+	}
+
+	sharedHold := func(c Config) (bool, error) {
+		val := sys.valuation(c)
+		for _, sc := range q.FinalShared {
+			ok, err := sc.Holds(val)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	justiceStable := func(c Config) (bool, error) {
+		val := sys.valuation(c)
+		for _, j := range q.Justice {
+			triggered := true
+			for _, t := range j.Trigger {
+				ok, err := t.Holds(val)
+				if err != nil {
+					return false, err
+				}
+				if !ok {
+					triggered = false
+					break
+				}
+			}
+			if triggered && c.K[j.Loc] > 0 {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	finalNonempty := func(c Config) bool {
+		for _, set := range q.FinalNonempty {
+			if SumLocs(c, set) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	isViolation := func(s state) (bool, error) {
+		if s.flags != allFlags || !finalNonempty(s.c) {
+			return false, nil
+		}
+		ok, err := sharedHold(s.c)
+		if err != nil || !ok {
+			return ok, err
+		}
+		if q.Kind == spec.Liveness {
+			return justiceStable(s.c)
+		}
+		return true, nil
+	}
+
+	type parentLink struct {
+		key  string
+		rule int
+	}
+	visited := make(map[string]bool)
+	parents := make(map[string]parentLink)
+	initials := make(map[string]Config)
+	var queue []state
+	res := ExplicitResult{Outcome: spec.Holds}
+
+	stateKey := func(s state) string {
+		return fmt.Sprintf("%s#%d", s.c.Key(), s.flags)
+	}
+	push := func(s state, from string, rule int) {
+		key := stateKey(s)
+		if visited[key] {
+			return
+		}
+		visited[key] = true
+		if from == "" {
+			initials[key] = s.c
+		} else {
+			parents[key] = parentLink{key: from, rule: rule}
+		}
+		queue = append(queue, s)
+	}
+	reconstruct := func(s state) (*Run, error) {
+		var steps []Step
+		key := stateKey(s)
+		for {
+			if init, ok := initials[key]; ok {
+				for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+					steps[i], steps[j] = steps[j], steps[i]
+				}
+				return &Run{Init: init, Steps: steps}, nil
+			}
+			link, ok := parents[key]
+			if !ok {
+				return nil, fmt.Errorf("counter: broken parent chain")
+			}
+			steps = append(steps, Step{Rule: link.rule, Factor: 1})
+			key = link.key
+		}
+	}
+
+	err := sys.EnumerateInitial(func(c Config) error {
+		for l := range initEmpty {
+			if c.K[l] != 0 {
+				return nil
+			}
+		}
+		for l := range globalEmpty {
+			if c.K[l] != 0 {
+				return nil
+			}
+		}
+		push(state{c: c, flags: flagsOf(0, c)}, "", -1)
+		return nil
+	})
+	if err != nil {
+		return ExplicitResult{}, err
+	}
+
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		res.States++
+		if res.States > maxStates {
+			res.Outcome = spec.Budget
+			return res, nil
+		}
+		hit, err := isViolation(s)
+		if err != nil {
+			return ExplicitResult{}, err
+		}
+		if hit {
+			res.Outcome = spec.Violated
+			res.Witness = s.c
+			run, err := reconstruct(s)
+			if err != nil {
+				return ExplicitResult{}, err
+			}
+			res.Run = run
+			return res, nil
+		}
+		sKey := stateKey(s)
+		for ri, r := range sys.TA.Rules {
+			if r.SelfLoop() {
+				continue
+			}
+			if globalEmpty[r.To] {
+				continue // runs violating the □-premise are not counterexamples
+			}
+			en, err := sys.Enabled(s.c, ri)
+			if err != nil {
+				return ExplicitResult{}, err
+			}
+			if !en {
+				continue
+			}
+			next, err := sys.Apply(s.c, ri, 1)
+			if err != nil {
+				return ExplicitResult{}, err
+			}
+			push(state{c: next, flags: flagsOf(s.flags, next)}, sKey, ri)
+		}
+	}
+	return res, nil
+}
+
+// ParamsFor builds a parameter valuation for the conventional n, t, f
+// parameters of a TA.
+func ParamsFor(a *ta.TA, n, t, f int64) map[expr.Sym]int64 {
+	return map[expr.Sym]int64{a.Params[0]: n, a.Params[1]: t, a.Params[2]: f}
+}

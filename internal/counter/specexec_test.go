@@ -1,0 +1,89 @@
+package counter
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/ta"
+)
+
+// specTA builds A --r1[true]/x++--> B --r2[x>=t+1-f]--> C with initial A.
+func specTA(t *testing.T) *ta.TA {
+	t.Helper()
+	b := ta.NewBuilder("specexec")
+	x := b.Shared("x")
+	locA := b.Loc("A", ta.Initial())
+	locB := b.Loc("B")
+	locC := b.Loc("C")
+	b.Rule("r1", locA, locB, ta.Inc(x))
+	b.Rule("r2", locB, locC,
+		ta.Guarded(b.GeThreshold(x, b.Lin(1, ta.LinTerm{Coeff: 1, Sym: b.T()}, ta.LinTerm{Coeff: -1, Sym: b.F()}))))
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestCheckQueryExplicitWitnessRunReplays(t *testing.T) {
+	a := specTA(t)
+	s, err := NewSystem(a, ParamsFor(a, 4, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := spec.Query{
+		Name:          "reach-C",
+		Kind:          spec.Safety,
+		VisitNonempty: []ta.LocSet{ta.NewLocSet(a.MustLoc("C"))},
+	}
+	res, err := CheckQueryExplicit(s, &q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != spec.Violated {
+		t.Fatalf("outcome = %v, want violated (C is reachable)", res.Outcome)
+	}
+	if res.Run == nil {
+		t.Fatal("no witness run attached")
+	}
+	trace, err := s.Replay(*res.Run)
+	if err != nil {
+		t.Fatalf("witness run does not replay: %v\n%s", err, s.Format(*res.Run))
+	}
+	reached := false
+	for _, c := range trace {
+		if c.K[a.MustLoc("C")] > 0 {
+			reached = true
+		}
+	}
+	if !reached {
+		t.Errorf("witness run never reaches C:\n%s", s.Format(*res.Run))
+	}
+}
+
+func TestCheckQueryExplicitHoldsHasNoRun(t *testing.T) {
+	a := specTA(t)
+	s, err := NewSystem(a, ParamsFor(a, 4, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With A empty initially, nothing ever moves: C stays unreachable.
+	q := spec.Query{
+		Name:          "reach-C-empty",
+		Kind:          spec.Safety,
+		InitEmpty:     []ta.LocID{a.MustLoc("A")},
+		VisitNonempty: []ta.LocSet{ta.NewLocSet(a.MustLoc("C"))},
+	}
+	res, err := CheckQueryExplicit(s, &q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A is the only initial location, so emptiness contradicts n-f > 0:
+	// no admissible initial configuration exists and the property holds.
+	if res.Outcome != spec.Holds {
+		t.Fatalf("outcome = %v, want holds", res.Outcome)
+	}
+	if res.Run != nil {
+		t.Error("holds verdict must not attach a run")
+	}
+}

@@ -1,0 +1,438 @@
+// Package dbft is an executable implementation of the algorithms the paper
+// verifies: the binary value broadcast (Fig. 1) and the DBFT binary
+// Byzantine consensus (Algorithm 1) — the coordinator-free variant used by
+// the Red Belly Blockchain, which is safe unconditionally and live under the
+// bv-broadcast fairness assumption of Section 3.3.
+//
+// Processes run over the asynchronous simulated network of internal/network;
+// the package is the ground-truth substrate against which the
+// threshold-automata models are cross-validated.
+package dbft
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/network"
+)
+
+// Config carries the static parameters of a run.
+type Config struct {
+	N int // total number of processes
+	T int // tolerated Byzantine processes (algorithm constant)
+	// MaxRounds caps execution; a correct process stops advancing past it.
+	// The decision rule itself needs no cap (Alg. 1 loops forever to help
+	// laggards; the cap keeps simulations finite).
+	MaxRounds int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("dbft: n must be positive, got %d", c.N)
+	}
+	if c.T < 0 {
+		return fmt.Errorf("dbft: t must be nonnegative, got %d", c.T)
+	}
+	if c.MaxRounds <= 0 {
+		return fmt.Errorf("dbft: MaxRounds must be positive, got %d", c.MaxRounds)
+	}
+	return nil
+}
+
+// roundState holds the per-round message state. Communication closure
+// (Section 2) is implemented by keeping one state per round: early messages
+// accumulate here and take effect once the process enters the round.
+type roundState struct {
+	// bvSenders[v] = distinct processes from which (BV, v) was received.
+	bvSenders [2]map[network.ProcID]bool
+	// echoed[v] reports whether this process has broadcast (BV, v).
+	echoed [2]bool
+	// contestants is the bv-delivered value set (Fig. 1 line 7; the paper's
+	// global-scope variable shared between bv-broadcast and propose).
+	contestants [2]bool
+	auxSent     bool
+	// favorites[q] = the contestant set announced by q's aux message
+	// (Alg. 1 line 8), in arrival order.
+	favorites map[network.ProcID][]int
+	favOrder  []network.ProcID
+}
+
+func newRoundState() *roundState {
+	return &roundState{
+		bvSenders: [2]map[network.ProcID]bool{make(map[network.ProcID]bool), make(map[network.ProcID]bool)},
+		favorites: make(map[network.ProcID][]int),
+	}
+}
+
+// Process is a correct DBFT process.
+type Process struct {
+	id       network.ProcID
+	cfg      Config
+	all      []network.ProcID // broadcast targets
+	instance int              // protocol instance (vector consensus multiplexing)
+
+	est    int
+	round  int
+	rounds map[int]*roundState
+
+	decided      bool
+	decision     int
+	decidedRound int
+
+	// EstimateHistory[r] is the estimate held at the START of round r
+	// (diagnostics for the Lemma 7 reproduction).
+	EstimateHistory []int
+	// DeliveryOrder[r] lists the values in bv-delivery order for round r
+	// (used to detect v-good executions, Def. 2).
+	DeliveryOrder map[int][]int
+}
+
+var _ network.Process = (*Process)(nil)
+
+// NewProcess builds a correct process with the given input value.
+func NewProcess(id network.ProcID, input int, cfg Config, all []network.ProcID) (*Process, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if input != 0 && input != 1 {
+		return nil, fmt.Errorf("dbft: input must be binary, got %d", input)
+	}
+	return &Process{
+		id:            id,
+		cfg:           cfg,
+		all:           append([]network.ProcID(nil), all...),
+		est:           input,
+		rounds:        map[int]*roundState{},
+		DeliveryOrder: map[int][]int{},
+	}, nil
+}
+
+// NewProcessInstance builds a correct process bound to a protocol instance:
+// it tags outgoing messages with the instance and ignores messages of other
+// instances. The vector consensus runs one instance per proposer.
+func NewProcessInstance(id network.ProcID, input int, cfg Config, all []network.ProcID, instance int) (*Process, error) {
+	p, err := NewProcess(id, input, cfg, all)
+	if err != nil {
+		return nil, err
+	}
+	p.instance = instance
+	return p, nil
+}
+
+// ID implements network.Process.
+func (p *Process) ID() network.ProcID { return p.id }
+
+// Decided reports the decision, if any.
+func (p *Process) Decided() (value int, round int, ok bool) {
+	return p.decision, p.decidedRound, p.decided
+}
+
+// Round returns the current round.
+func (p *Process) Round() int { return p.round }
+
+// Estimate returns the current estimate.
+func (p *Process) Estimate() int { return p.est }
+
+func (p *Process) state(r int) *roundState {
+	st, ok := p.rounds[r]
+	if !ok {
+		st = newRoundState()
+		p.rounds[r] = st
+	}
+	return st
+}
+
+// Start implements network.Process: propose(est) — enter round 0 and
+// bv-broadcast the input estimate (Alg. 1 lines 4-6, Fig. 1 line 2).
+func (p *Process) Start(send network.Sender) {
+	p.EstimateHistory = append(p.EstimateHistory, p.est)
+	p.bvBroadcast(p.round, p.est, send)
+}
+
+// bvBroadcast emits (BV, v) for the round and marks it echoed.
+func (p *Process) bvBroadcast(round, v int, send network.Sender) {
+	st := p.state(round)
+	if st.echoed[v] {
+		return
+	}
+	st.echoed[v] = true
+	network.Broadcast(send, p.all, network.Message{
+		From: p.id, Round: round, Kind: network.MsgBV, Value: v, Instance: p.instance,
+	})
+}
+
+// Deliver implements network.Process.
+func (p *Process) Deliver(m network.Message, send network.Sender) {
+	if m.Instance != p.instance {
+		return
+	}
+	if m.Round < 0 || m.Round > p.cfg.MaxRounds {
+		return
+	}
+	st := p.state(m.Round)
+	switch m.Kind {
+	case network.MsgBV:
+		if m.Value != 0 && m.Value != 1 {
+			return // malformed (Byzantine) content is ignored
+		}
+		st.bvSenders[m.Value][m.From] = true
+	case network.MsgAux:
+		if _, dup := st.favorites[m.From]; dup {
+			return // only the first aux message per sender counts
+		}
+		set := sanitizeSet(m.Set)
+		if set == nil {
+			return
+		}
+		st.favorites[m.From] = set
+		st.favOrder = append(st.favOrder, m.From)
+	default:
+		return
+	}
+	p.progress(m.Round, send)
+}
+
+func sanitizeSet(set []int) []int {
+	var has [2]bool
+	for _, v := range set {
+		if v != 0 && v != 1 {
+			return nil
+		}
+		has[v] = true
+	}
+	var out []int
+	if has[0] {
+		out = append(out, 0)
+	}
+	if has[1] {
+		out = append(out, 1)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// progress re-evaluates the guarded statements of Fig. 1 and Alg. 1 for a
+// round. Echo rules (Fig. 1 lines 4-5) fire for any round (they only depend
+// on that round's messages); the aux broadcast and the decision step only
+// fire for the process's current round.
+func (p *Process) progress(round int, send network.Sender) {
+	st := p.state(round)
+
+	// Fig. 1 line 4-5: echo v after t+1 distinct (BV, v).
+	for v := 0; v <= 1; v++ {
+		if len(st.bvSenders[v]) >= p.cfg.T+1 && !st.echoed[v] {
+			p.bvBroadcast(round, v, send)
+		}
+	}
+	// Fig. 1 lines 6-7: deliver v after 2t+1 distinct (BV, v).
+	for v := 0; v <= 1; v++ {
+		if len(st.bvSenders[v]) >= 2*p.cfg.T+1 && !st.contestants[v] {
+			st.contestants[v] = true
+			p.DeliveryOrder[round] = append(p.DeliveryOrder[round], v)
+		}
+	}
+
+	if round != p.round {
+		return
+	}
+	// Alg. 1 lines 7-8: once contestants is nonempty, broadcast it (once).
+	if !st.auxSent && (st.contestants[0] || st.contestants[1]) {
+		st.auxSent = true
+		network.Broadcast(send, p.all, network.Message{
+			From: p.id, Round: round, Kind: network.MsgAux, Value: -1,
+			Set: contestantSlice(st), Instance: p.instance,
+		})
+	}
+	p.tryDecide(send)
+}
+
+func contestantSlice(st *roundState) []int {
+	var out []int
+	if st.contestants[0] {
+		out = append(out, 0)
+	}
+	if st.contestants[1] {
+		out = append(out, 1)
+	}
+	return out
+}
+
+// tryDecide implements Alg. 1 lines 9-14: wait until n-t aux messages whose
+// values are all contestants, compute qualifiers as their union, then decide
+// or adopt an estimate based on the round parity.
+func (p *Process) tryDecide(send network.Sender) {
+	st := p.state(p.round)
+	if !st.auxSent {
+		return // line 8 precedes line 9
+	}
+	var chosen []network.ProcID
+	for _, q := range st.favOrder {
+		ok := true
+		for _, v := range st.favorites[q] {
+			if !st.contestants[v] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			chosen = append(chosen, q)
+			if len(chosen) == p.cfg.N-p.cfg.T {
+				break
+			}
+		}
+	}
+	if len(chosen) < p.cfg.N-p.cfg.T {
+		return
+	}
+	var qualifiers [2]bool
+	for _, q := range chosen {
+		for _, v := range st.favorites[q] {
+			qualifiers[v] = true
+		}
+	}
+
+	parity := p.round % 2
+	switch {
+	case qualifiers[0] != qualifiers[1]: // singleton {v}
+		v := 0
+		if qualifiers[1] {
+			v = 1
+		}
+		p.est = v
+		if v == parity && !p.decided {
+			p.decided = true
+			p.decision = v
+			p.decidedRound = p.round
+		}
+	default: // both values
+		p.est = parity
+	}
+	p.advance(send)
+}
+
+// advance enters the next round (Alg. 1 line 14) and replays its buffered
+// messages.
+func (p *Process) advance(send network.Sender) {
+	if p.round >= p.cfg.MaxRounds {
+		return
+	}
+	p.round++
+	p.EstimateHistory = append(p.EstimateHistory, p.est)
+	p.bvBroadcast(p.round, p.est, send)
+	// Guards over already-buffered messages of the new round re-fire.
+	p.progress(p.round, send)
+}
+
+// Processes builds n-f correct processes with the given inputs and ids
+// 0..len(inputs)-1; ids beyond are left to Byzantine strategies.
+func Processes(cfg Config, inputs []int, all []network.ProcID) ([]*Process, error) {
+	out := make([]*Process, 0, len(inputs))
+	for i, in := range inputs {
+		p, err := NewProcess(network.ProcID(i), in, cfg, all)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// AllIDs returns the id slice [0, n).
+func AllIDs(n int) []network.ProcID {
+	out := make([]network.ProcID, n)
+	for i := range out {
+		out[i] = network.ProcID(i)
+	}
+	return out
+}
+
+// GoodValue reports, for Def. 2, whether the round-r bv-broadcast execution
+// recorded by the processes was v-good: every correct process delivered v
+// first.
+func GoodValue(procs []*Process, round int) (v int, good bool) {
+	first := -1
+	for _, p := range procs {
+		order := p.DeliveryOrder[round]
+		if len(order) == 0 {
+			return 0, false
+		}
+		if first == -1 {
+			first = order[0]
+		} else if order[0] != first {
+			return 0, false
+		}
+	}
+	return first, first != -1
+}
+
+// Agreement checks that no two decided processes decided differently,
+// returning the offending pair otherwise.
+func Agreement(procs []*Process) error {
+	decidedVal := -1
+	var who network.ProcID
+	for _, p := range procs {
+		v, _, ok := p.Decided()
+		if !ok {
+			continue
+		}
+		if decidedVal == -1 {
+			decidedVal, who = v, p.ID()
+		} else if v != decidedVal {
+			return fmt.Errorf("dbft: agreement violated: process %d decided %d, process %d decided %d",
+				who, decidedVal, p.ID(), v)
+		}
+	}
+	return nil
+}
+
+// Validity checks that every decision was proposed by some correct process.
+func Validity(procs []*Process, inputs []int) error {
+	proposed := map[int]bool{}
+	for _, in := range inputs {
+		proposed[in] = true
+	}
+	for _, p := range procs {
+		if v, _, ok := p.Decided(); ok && !proposed[v] {
+			return fmt.Errorf("dbft: validity violated: process %d decided %d, which no correct process proposed",
+				p.ID(), v)
+		}
+	}
+	return nil
+}
+
+// AllDecided reports whether every process in the slice decided.
+func AllDecided(procs []*Process) bool {
+	for _, p := range procs {
+		if _, _, ok := p.Decided(); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Describe summarizes the processes' outcomes.
+func Describe(procs []*Process) string {
+	type row struct {
+		id      network.ProcID
+		est     int
+		round   int
+		decided string
+	}
+	rows := make([]row, len(procs))
+	for i, p := range procs {
+		r := row{id: p.ID(), est: p.Estimate(), round: p.Round(), decided: "-"}
+		if v, rd, ok := p.Decided(); ok {
+			r.decided = fmt.Sprintf("%d@r%d", v, rd)
+		}
+		rows[i] = r
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+	s := ""
+	for _, r := range rows {
+		s += fmt.Sprintf("p%d: est=%d round=%d decided=%s\n", r.id, r.est, r.round, r.decided)
+	}
+	return s
+}

@@ -1,0 +1,406 @@
+// Package expr provides linear integer expressions and constraints over a
+// shared symbol table. It is the common arithmetic substrate for threshold
+// automata guards (internal/ta), the schema encoder (internal/schema) and the
+// SMT core (internal/smt).
+//
+// All arithmetic is exact: coefficients are int64 and every operation that
+// could overflow reports an error instead of wrapping.
+package expr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Sym identifies a symbol (variable) in a Table.
+type Sym int
+
+// NoSym is the zero value returned when a lookup fails.
+const NoSym Sym = -1
+
+// Table interns symbol names and assigns them dense indices. The zero value
+// is ready to use. Tables are safe for concurrent use: the schema checker
+// interns fresh encoding variables from parallel property checks.
+type Table struct {
+	mu    sync.RWMutex
+	names []string
+	index map[string]Sym
+}
+
+// NewTable returns an empty symbol table.
+func NewTable() *Table {
+	return &Table{index: make(map[string]Sym)}
+}
+
+// Intern returns the symbol for name, creating it if necessary.
+func (t *Table) Intern(name string) Sym {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.index == nil {
+		t.index = make(map[string]Sym)
+	}
+	if s, ok := t.index[name]; ok {
+		return s
+	}
+	s := Sym(len(t.names))
+	t.names = append(t.names, name)
+	t.index[name] = s
+	return s
+}
+
+// Lookup returns the symbol for name, or NoSym if it has not been interned.
+func (t *Table) Lookup(name string) Sym {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.index == nil {
+		return NoSym
+	}
+	if s, ok := t.index[name]; ok {
+		return s
+	}
+	return NoSym
+}
+
+// Name returns the name of s. It panics if s is out of range, which always
+// indicates a programming error (symbols are only produced by Intern).
+func (t *Table) Name(s Sym) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.names[s]
+}
+
+// Len reports the number of interned symbols.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.names)
+}
+
+// Names returns a copy of all interned names in symbol order.
+func (t *Table) Names() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, len(t.names))
+	copy(out, t.names)
+	return out
+}
+
+// Lin is a linear expression Const + Σ Coeffs[s]·s. The zero value is the
+// constant 0. Lin values are mutable; use Clone before sharing.
+type Lin struct {
+	Coeffs map[Sym]int64
+	Const  int64
+}
+
+// NewLin returns the constant expression c.
+func NewLin(c int64) Lin {
+	return Lin{Const: c}
+}
+
+// Var returns the expression 1·s.
+func Var(s Sym) Lin {
+	return Lin{Coeffs: map[Sym]int64{s: 1}}
+}
+
+// Term returns the expression coeff·s.
+func Term(s Sym, coeff int64) Lin {
+	if coeff == 0 {
+		return Lin{}
+	}
+	return Lin{Coeffs: map[Sym]int64{s: coeff}}
+}
+
+// Clone returns a deep copy of l.
+func (l Lin) Clone() Lin {
+	out := Lin{Const: l.Const}
+	if len(l.Coeffs) > 0 {
+		out.Coeffs = make(map[Sym]int64, len(l.Coeffs))
+		for s, c := range l.Coeffs {
+			out.Coeffs[s] = c
+		}
+	}
+	return out
+}
+
+// Coeff returns the coefficient of s (0 if absent).
+func (l Lin) Coeff(s Sym) int64 {
+	return l.Coeffs[s]
+}
+
+func addChecked(a, b int64) (int64, error) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, fmt.Errorf("expr: int64 overflow adding %d and %d", a, b)
+	}
+	return s, nil
+}
+
+func mulChecked(a, b int64) (int64, error) {
+	if a == 0 || b == 0 {
+		return 0, nil
+	}
+	p := a * b
+	if p/b != a || (a == math.MinInt64 && b == -1) {
+		return 0, fmt.Errorf("expr: int64 overflow multiplying %d and %d", a, b)
+	}
+	return p, nil
+}
+
+// AddTerm adds coeff·s to l in place.
+func (l *Lin) AddTerm(s Sym, coeff int64) error {
+	if coeff == 0 {
+		return nil
+	}
+	if l.Coeffs == nil {
+		l.Coeffs = make(map[Sym]int64)
+	}
+	c, err := addChecked(l.Coeffs[s], coeff)
+	if err != nil {
+		return err
+	}
+	if c == 0 {
+		delete(l.Coeffs, s)
+	} else {
+		l.Coeffs[s] = c
+	}
+	return nil
+}
+
+// AddConst adds c to l's constant term in place.
+func (l *Lin) AddConst(c int64) error {
+	s, err := addChecked(l.Const, c)
+	if err != nil {
+		return err
+	}
+	l.Const = s
+	return nil
+}
+
+// Add adds other to l in place.
+func (l *Lin) Add(other Lin) error {
+	if err := l.AddConst(other.Const); err != nil {
+		return err
+	}
+	for s, c := range other.Coeffs {
+		if err := l.AddTerm(s, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddScaled adds k·other to l in place.
+func (l *Lin) AddScaled(other Lin, k int64) error {
+	kc, err := mulChecked(other.Const, k)
+	if err != nil {
+		return err
+	}
+	if err := l.AddConst(kc); err != nil {
+		return err
+	}
+	for s, c := range other.Coeffs {
+		p, err := mulChecked(c, k)
+		if err != nil {
+			return err
+		}
+		if err := l.AddTerm(s, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sub subtracts other from l in place.
+func (l *Lin) Sub(other Lin) error {
+	return l.AddScaled(other, -1)
+}
+
+// Neg returns -l as a new expression.
+func (l Lin) Neg() Lin {
+	out := Lin{Const: -l.Const}
+	if len(l.Coeffs) > 0 {
+		out.Coeffs = make(map[Sym]int64, len(l.Coeffs))
+		for s, c := range l.Coeffs {
+			out.Coeffs[s] = -c
+		}
+	}
+	return out
+}
+
+// IsConst reports whether l has no variable terms.
+func (l Lin) IsConst() bool { return len(l.Coeffs) == 0 }
+
+// Eval evaluates l under the given valuation.
+func (l Lin) Eval(val func(Sym) int64) (int64, error) {
+	acc := l.Const
+	for s, c := range l.Coeffs {
+		p, err := mulChecked(c, val(s))
+		if err != nil {
+			return 0, err
+		}
+		acc, err = addChecked(acc, p)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return acc, nil
+}
+
+// Substitute replaces every occurrence of s in l by repl, in place.
+func (l *Lin) Substitute(s Sym, repl Lin) error {
+	c, ok := l.Coeffs[s]
+	if !ok {
+		return nil
+	}
+	delete(l.Coeffs, s)
+	return l.AddScaled(repl, c)
+}
+
+// String renders l using names from tab (or raw symbol numbers when tab is
+// nil), with deterministic term ordering.
+func (l Lin) String(tab *Table) string {
+	syms := make([]Sym, 0, len(l.Coeffs))
+	for s := range l.Coeffs {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	var b strings.Builder
+	first := true
+	for _, s := range syms {
+		c := l.Coeffs[s]
+		name := fmt.Sprintf("x%d", s)
+		if tab != nil {
+			name = tab.Name(s)
+		}
+		switch {
+		case first && c == 1:
+			b.WriteString(name)
+		case first && c == -1:
+			b.WriteString("-" + name)
+		case first:
+			fmt.Fprintf(&b, "%d*%s", c, name)
+		case c == 1:
+			b.WriteString(" + " + name)
+		case c == -1:
+			b.WriteString(" - " + name)
+		case c > 0:
+			fmt.Fprintf(&b, " + %d*%s", c, name)
+		default:
+			fmt.Fprintf(&b, " - %d*%s", -c, name)
+		}
+		first = false
+	}
+	switch {
+	case first:
+		fmt.Fprintf(&b, "%d", l.Const)
+	case l.Const > 0:
+		fmt.Fprintf(&b, " + %d", l.Const)
+	case l.Const < 0:
+		fmt.Fprintf(&b, " - %d", -l.Const)
+	}
+	return b.String()
+}
+
+// Op is a constraint operator. Constraints are canonicalized to compare a
+// linear expression against zero.
+type Op int
+
+const (
+	// GE means L >= 0.
+	GE Op = iota + 1
+	// EQ means L == 0.
+	EQ
+)
+
+func (o Op) String() string {
+	switch o {
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Constraint is the atomic relation L Op 0.
+type Constraint struct {
+	L  Lin
+	Op Op
+}
+
+// GEZero returns the constraint l >= 0.
+func GEZero(l Lin) Constraint { return Constraint{L: l, Op: GE} }
+
+// EQZero returns the constraint l == 0.
+func EQZero(l Lin) Constraint { return Constraint{L: l, Op: EQ} }
+
+// Ge returns the constraint a >= b.
+func Ge(a, b Lin) (Constraint, error) {
+	l := a.Clone()
+	if err := l.Sub(b); err != nil {
+		return Constraint{}, err
+	}
+	return Constraint{L: l, Op: GE}, nil
+}
+
+// Le returns the constraint a <= b.
+func Le(a, b Lin) (Constraint, error) {
+	l := b.Clone()
+	if err := l.Sub(a); err != nil {
+		return Constraint{}, err
+	}
+	return Constraint{L: l, Op: GE}, nil
+}
+
+// Eq returns the constraint a == b.
+func Eq(a, b Lin) (Constraint, error) {
+	l := a.Clone()
+	if err := l.Sub(b); err != nil {
+		return Constraint{}, err
+	}
+	return Constraint{L: l, Op: EQ}, nil
+}
+
+// Negate returns the integer negation of c. For L >= 0 this is -L-1 >= 0
+// (that is, L <= -1). Negating an equality is not representable as a single
+// constraint and returns an error.
+func (c Constraint) Negate() (Constraint, error) {
+	if c.Op != GE {
+		return Constraint{}, fmt.Errorf("expr: cannot negate %s constraint into a single constraint", c.Op)
+	}
+	l := c.L.Neg()
+	if err := l.AddConst(-1); err != nil {
+		return Constraint{}, err
+	}
+	return Constraint{L: l, Op: GE}, nil
+}
+
+// Clone returns a deep copy of c.
+func (c Constraint) Clone() Constraint {
+	return Constraint{L: c.L.Clone(), Op: c.Op}
+}
+
+// Holds evaluates c under the valuation.
+func (c Constraint) Holds(val func(Sym) int64) (bool, error) {
+	v, err := c.L.Eval(val)
+	if err != nil {
+		return false, err
+	}
+	switch c.Op {
+	case GE:
+		return v >= 0, nil
+	case EQ:
+		return v == 0, nil
+	default:
+		return false, fmt.Errorf("expr: unknown operator %v", c.Op)
+	}
+}
+
+// String renders c, e.g. "b0 - 2*t - 1 + f >= 0".
+func (c Constraint) String(tab *Table) string {
+	return c.L.String(tab) + " " + c.Op.String() + " 0"
+}

@@ -1,0 +1,291 @@
+package expr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableIntern(t *testing.T) {
+	tab := NewTable()
+	a := tab.Intern("n")
+	b := tab.Intern("t")
+	if a == b {
+		t.Fatalf("distinct names interned to same symbol %v", a)
+	}
+	if got := tab.Intern("n"); got != a {
+		t.Errorf("re-interning n: got %v want %v", got, a)
+	}
+	if got := tab.Lookup("t"); got != b {
+		t.Errorf("Lookup(t) = %v, want %v", got, b)
+	}
+	if got := tab.Lookup("missing"); got != NoSym {
+		t.Errorf("Lookup(missing) = %v, want NoSym", got)
+	}
+	if tab.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tab.Len())
+	}
+	if tab.Name(a) != "n" || tab.Name(b) != "t" {
+		t.Errorf("Name mismatch: %q %q", tab.Name(a), tab.Name(b))
+	}
+}
+
+func TestTableZeroValue(t *testing.T) {
+	var tab Table
+	if got := tab.Lookup("x"); got != NoSym {
+		t.Errorf("zero-value Lookup = %v, want NoSym", got)
+	}
+	s := tab.Intern("x")
+	if got := tab.Lookup("x"); got != s {
+		t.Errorf("zero-value Intern then Lookup = %v, want %v", got, s)
+	}
+}
+
+func TestLinArithmetic(t *testing.T) {
+	tab := NewTable()
+	x := tab.Intern("x")
+	y := tab.Intern("y")
+
+	l := NewLin(3)
+	if err := l.AddTerm(x, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddTerm(y, -1); err != nil {
+		t.Fatal(err)
+	}
+	// l = 2x - y + 3
+	val := func(s Sym) int64 {
+		if s == x {
+			return 5
+		}
+		return 4
+	}
+	got, err := l.Eval(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2*5-4+3 {
+		t.Errorf("Eval = %d, want %d", got, 2*5-4+3)
+	}
+
+	m := Var(y)
+	if err := m.AddScaled(l, 2); err != nil {
+		t.Fatal(err)
+	}
+	// m = y + 2(2x - y + 3) = 4x - y + 6
+	gm, err := m.Eval(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm != 4*5-4+6 {
+		t.Errorf("AddScaled Eval = %d, want %d", gm, 4*5-4+6)
+	}
+}
+
+func TestAddTermCancellation(t *testing.T) {
+	tab := NewTable()
+	x := tab.Intern("x")
+	l := Var(x)
+	if err := l.AddTerm(x, -1); err != nil {
+		t.Fatal(err)
+	}
+	if !l.IsConst() {
+		t.Errorf("x - x should be constant, got %v", l.Coeffs)
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	tab := NewTable()
+	x := tab.Intern("x")
+	y := tab.Intern("y")
+	z := tab.Intern("z")
+
+	l := Term(x, 3) // 3x
+	if err := l.AddTerm(y, 1); err != nil {
+		t.Fatal(err)
+	}
+	// substitute x := 2z + 1  ->  6z + y + 3
+	repl := Term(z, 2)
+	if err := repl.AddConst(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Substitute(x, repl); err != nil {
+		t.Fatal(err)
+	}
+	if c := l.Coeff(z); c != 6 {
+		t.Errorf("coeff z = %d, want 6", c)
+	}
+	if c := l.Coeff(y); c != 1 {
+		t.Errorf("coeff y = %d, want 1", c)
+	}
+	if l.Const != 3 {
+		t.Errorf("const = %d, want 3", l.Const)
+	}
+	if c := l.Coeff(x); c != 0 {
+		t.Errorf("coeff x = %d, want 0", c)
+	}
+}
+
+func TestOverflowDetection(t *testing.T) {
+	tab := NewTable()
+	x := tab.Intern("x")
+	l := Term(x, math.MaxInt64)
+	if err := l.AddTerm(x, 1); err == nil {
+		t.Error("expected overflow error adding to MaxInt64 coefficient")
+	}
+	m := NewLin(math.MaxInt64)
+	if err := m.AddConst(1); err == nil {
+		t.Error("expected overflow error on constant")
+	}
+	k := Term(x, math.MaxInt64/2+1)
+	if err := k.AddScaled(k.Clone(), 2); err == nil {
+		t.Error("expected overflow error on AddScaled")
+	}
+}
+
+func TestConstraintBuilders(t *testing.T) {
+	tab := NewTable()
+	x := tab.Intern("x")
+	y := tab.Intern("y")
+	val := func(s Sym) int64 {
+		if s == x {
+			return 7
+		}
+		return 3
+	}
+
+	ge, err := Ge(Var(x), Var(y)) // x >= y
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := ge.Holds(val)
+	if err != nil || !ok {
+		t.Errorf("x>=y under x=7,y=3: ok=%v err=%v", ok, err)
+	}
+
+	le, err := Le(Var(x), Var(y)) // x <= y
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = le.Holds(val)
+	if err != nil || ok {
+		t.Errorf("x<=y under x=7,y=3 should fail: ok=%v err=%v", ok, err)
+	}
+
+	eq, err := Eq(Var(x), Var(y))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = eq.Holds(val)
+	if err != nil || ok {
+		t.Errorf("x==y under x=7,y=3 should fail: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestNegate(t *testing.T) {
+	tab := NewTable()
+	x := tab.Intern("x")
+	c, err := Ge(Var(x), NewLin(5)) // x >= 5
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg, err := c.Negate() // x <= 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(0); v <= 10; v++ {
+		val := func(Sym) int64 { return v }
+		a, _ := c.Holds(val)
+		b, _ := neg.Holds(val)
+		if a == b {
+			t.Errorf("x=%d: constraint and negation both %v", v, a)
+		}
+	}
+
+	eq := EQZero(Var(x))
+	if _, err := eq.Negate(); err == nil {
+		t.Error("negating an equality should error")
+	}
+}
+
+func TestString(t *testing.T) {
+	tab := NewTable()
+	b0 := tab.Intern("b0")
+	tt := tab.Intern("t")
+	f := tab.Intern("f")
+
+	// b0 - 2t - 1 + f >= 0  (the guard b0 >= 2t+1-f)
+	l := Var(b0)
+	if err := l.AddTerm(tt, -2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddTerm(f, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddConst(-1); err != nil {
+		t.Fatal(err)
+	}
+	got := GEZero(l).String(tab)
+	want := "b0 - 2*t + f - 1 >= 0"
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if s := NewLin(0).String(nil); s != "0" {
+		t.Errorf("zero Lin String = %q, want 0", s)
+	}
+}
+
+// Property: Add then Sub of the same expression is identity (on evaluation).
+func TestQuickAddSubIdentity(t *testing.T) {
+	tab := NewTable()
+	syms := []Sym{tab.Intern("a"), tab.Intern("b"), tab.Intern("c")}
+	prop := func(ca, cb, cc int8, k int8, va, vb, vc int8) bool {
+		l := Lin{}
+		_ = l.AddTerm(syms[0], int64(ca))
+		_ = l.AddTerm(syms[1], int64(cb))
+		_ = l.AddTerm(syms[2], int64(cc))
+		_ = l.AddConst(int64(k))
+		orig := l.Clone()
+		other := Term(syms[0], int64(vb))
+		_ = other.AddConst(int64(vc))
+		if err := l.Add(other); err != nil {
+			return true // overflow paths are allowed to bail
+		}
+		if err := l.Sub(other); err != nil {
+			return true
+		}
+		vals := []int64{int64(va), int64(vb), int64(vc)}
+		val := func(s Sym) int64 { return vals[int(s)] }
+		g1, err1 := l.Eval(val)
+		g2, err2 := orig.Eval(val)
+		return err1 == nil && err2 == nil && g1 == g2
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Negate flips Holds for GE constraints over small integer points.
+func TestQuickNegateFlips(t *testing.T) {
+	tab := NewTable()
+	x := tab.Intern("x")
+	y := tab.Intern("y")
+	prop := func(cx, cy, k int8, vx, vy int8) bool {
+		l := Term(x, int64(cx))
+		_ = l.AddTerm(y, int64(cy))
+		_ = l.AddConst(int64(k))
+		c := GEZero(l)
+		neg, err := c.Negate()
+		if err != nil {
+			return false
+		}
+		vals := map[Sym]int64{x: int64(vx), y: int64(vy)}
+		val := func(s Sym) int64 { return vals[s] }
+		a, err1 := c.Holds(val)
+		b, err2 := neg.Holds(val)
+		return err1 == nil && err2 == nil && a != b
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+// Package lex is the shared tokenizer for the project's small text formats:
+// the ByMC-style LTL property files (internal/ltl) and the threshold
+// automaton description format (internal/taformat). It handles identifiers,
+// decimal numbers, configurable multi- and single-character operators, and
+// line (//) and block (/* */) comments.
+package lex
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// Kind classifies tokens.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Number
+	Op
+)
+
+// Token is one lexeme.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  int // byte offset
+	Line int // 1-based
+}
+
+// Config selects the operator alphabet.
+type Config struct {
+	// MultiOps are two-character operators, matched greedily before
+	// single-character ones (e.g. "<>", "&&", "->").
+	MultiOps []string
+	// SingleOps are the permitted single operator characters.
+	SingleOps string
+}
+
+// Tokens tokenizes src. The returned slice always ends with an EOF token.
+func Tokens(src string, cfg Config) ([]Token, error) {
+	multi := make(map[string]bool, len(cfg.MultiOps))
+	for _, op := range cfg.MultiOps {
+		if len(op) != 2 {
+			return nil, fmt.Errorf("lex: multi-char operator %q must have length 2", op)
+		}
+		multi[op] = true
+	}
+	single := make(map[byte]bool, len(cfg.SingleOps))
+	for i := 0; i < len(cfg.SingleOps); i++ {
+		single[cfg.SingleOps[i]] = true
+	}
+
+	var toks []Token
+	line := 1
+	i, n := 0, len(src)
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			j := i + 2
+			for {
+				if j+1 >= n {
+					return nil, fail("unterminated block comment")
+				}
+				if src[j] == '\n' {
+					line++
+				}
+				if src[j] == '*' && src[j+1] == '/' {
+					break
+				}
+				j++
+			}
+			i = j + 2
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, Token{Ident, src[i:j], i, line})
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < n && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, Token{Number, src[i:j], i, line})
+			i = j
+		default:
+			if i+1 < n && multi[src[i:i+2]] {
+				toks = append(toks, Token{Op, src[i : i+2], i, line})
+				i += 2
+				continue
+			}
+			if single[c] {
+				toks = append(toks, Token{Op, string(c), i, line})
+				i++
+				continue
+			}
+			return nil, fail("unexpected character %q", string(c))
+		}
+	}
+	toks = append(toks, Token{EOF, "", n, line})
+	return toks, nil
+}

@@ -1,0 +1,87 @@
+package lex
+
+import (
+	"strings"
+	"testing"
+)
+
+var cfg = Config{
+	MultiOps:  []string{"->", "~>", ">=", "<=", "==", "+="},
+	SingleOps: "{}(),;*+-:",
+}
+
+func texts(toks []Token) string {
+	var out []string
+	for _, t := range toks {
+		if t.Kind != EOF {
+			out = append(out, t.Text)
+		}
+	}
+	return strings.Join(out, " ")
+}
+
+func TestTokensBasics(t *testing.T) {
+	toks, err := Tokens("r1: A -> B when b0 >= 2*t + 1 - f do b0 += 1;", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "r1 : A -> B when b0 >= 2 * t + 1 - f do b0 += 1 ;"
+	if got := texts(toks); got != want {
+		t.Errorf("tokens = %q\nwant     %q", got, want)
+	}
+	if toks[len(toks)-1].Kind != EOF {
+		t.Error("missing EOF token")
+	}
+}
+
+func TestTokensComments(t *testing.T) {
+	toks, err := Tokens("a // line\n/* block\nspanning */ b", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := texts(toks); got != "a b" {
+		t.Errorf("tokens = %q", got)
+	}
+	// Line numbers survive comments.
+	if toks[1].Line != 3 {
+		t.Errorf("b on line %d, want 3", toks[1].Line)
+	}
+}
+
+func TestTokensErrors(t *testing.T) {
+	if _, err := Tokens("a @ b", cfg); err == nil {
+		t.Error("expected error for unknown character")
+	}
+	if _, err := Tokens("/* open", cfg); err == nil {
+		t.Error("expected error for unterminated comment")
+	}
+	if _, err := Tokens("x", Config{MultiOps: []string{"==="}}); err == nil {
+		t.Error("expected error for 3-char multi op")
+	}
+}
+
+func TestMultiBeforeSingle(t *testing.T) {
+	toks, err := Tokens("a ~> b - c", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := texts(toks); got != "a ~> b - c" {
+		t.Errorf("tokens = %q", got)
+	}
+	if toks[1].Kind != Op || toks[1].Text != "~>" {
+		t.Errorf("second token = %+v, want ~>", toks[1])
+	}
+}
+
+func TestIdentifiersAndNumbers(t *testing.T) {
+	toks, err := Tokens("_x9 42 foo_bar", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []Kind{Ident, Number, Ident, EOF}
+	for i, k := range wantKinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d kind = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}

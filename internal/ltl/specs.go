@@ -1,0 +1,137 @@
+package ltl
+
+// BVBroadcastSpec renders the four bv-broadcast properties of Section 3.2
+// in the ByMC-style property syntax: BV-Justification, BV-Obligation,
+// BV-Uniformity (both symmetric instances each) and BV-Termination.
+// Locs_v of the paper — the locations a process may occupy while v is not in
+// its contestants set — appears expanded in the goals.
+const BVBroadcastSpec = `
+/* BV-Justification: only values bv-broadcast by correct processes are
+   delivered. */
+bv_just0: [](locV0 == 0) -> [](locC0 == 0 && locCB0 == 0 && locC01 == 0);
+bv_just1: [](locV1 == 0) -> [](locC1 == 0 && locCB1 == 0 && locC01 == 0);
+
+/* BV-Obligation: t+1 correct broadcasts of v force delivery of v at every
+   correct process. */
+bv_obl0: []( b0 >= T + 1 -> <>( locV0 == 0 && locV1 == 0 && locB0 == 0 &&
+	locB1 == 0 && locB01 == 0 && locC1 == 0 && locCB1 == 0 ) );
+bv_obl1: []( b1 >= T + 1 -> <>( locV0 == 0 && locV1 == 0 && locB0 == 0 &&
+	locB1 == 0 && locB01 == 0 && locC0 == 0 && locCB0 == 0 ) );
+
+/* BV-Uniformity: one delivery of v forces delivery of v everywhere. */
+bv_unif0: <>( locC0 != 0 || locCB0 != 0 || locC01 != 0 ) ->
+	<>( locV0 == 0 && locV1 == 0 && locB0 == 0 && locB1 == 0 &&
+	    locB01 == 0 && locC1 == 0 && locCB1 == 0 );
+bv_unif1: <>( locC1 != 0 || locCB1 != 0 || locC01 != 0 ) ->
+	<>( locV0 == 0 && locV1 == 0 && locB0 == 0 && locB1 == 0 &&
+	    locB01 == 0 && locC0 == 0 && locCB0 == 0 );
+
+/* BV-Termination: every correct process eventually delivers something. */
+bv_term: <>( locV0 == 0 && locV1 == 0 && locB0 == 0 && locB1 == 0 &&
+	locB01 == 0 );
+`
+
+// SimplifiedConsensusSpec is the Appendix F specification of the simplified
+// consensus automaton, adapted to this module's naming (shared variables
+// a0/a1 for the paper's aux0/aux1, location suffix x for the primed second
+// half) and with the "business as usual" thresholds written as N - T - F —
+// the form matching the Fig. 4 guards, which count only messages from
+// correct processes (the paper's file writes N - T over counters that
+// include the f Byzantine contributions; see EXPERIMENTS.md).
+//
+// The <>[] premise lists the justice preconditions: the proven bv-broadcast
+// properties (BV-Termination, BV-Obligation, BV-Uniformity) standing in for
+// the verified inner automaton, plus reliable communication on the aux
+// thresholds. BV-Justification needs no precondition — it is baked into the
+// structure of the gadget (guards of M -> M0/M1).
+const SimplifiedConsensusSpec = `
+s_round_termination:
+<>[](
+	(locV0 == 0) &&
+	(locV1 == 0) &&
+
+	/* BV-Termination */
+	(locM == 0) &&
+	/* BV-Obligation */
+	(locM1 == 0 || bvb0 < T + 1) &&
+	(locM0 == 0 || bvb1 < T + 1) &&
+	/* BV-Uniformity */
+	(locM1 == 0 || a0 == 0) &&
+	(locM0 == 0 || a1 == 0) &&
+
+	/* Business as usual */
+	(locM1 == 0 || a1 < N - T - F) &&
+	(locM0 == 0 || a0 < N - T - F) &&
+	(locM01 == 0 || a0 + a1 < N - T - F) &&
+
+	(locD1 == 0) &&
+	(locE0 == 0) &&
+	(locE1 == 0) &&
+
+	(locV0x == 0) &&
+	(locV1x == 0) &&
+
+	/* BV-Termination */
+	(locMx == 0) &&
+	/* BV-Obligation */
+	(locM1x == 0 || bvb0x < T + 1) &&
+	(locM0x == 0 || bvb1x < T + 1) &&
+	/* BV-Uniformity */
+	(locM1x == 0 || a0x == 0) &&
+	(locM0x == 0 || a1x == 0) &&
+
+	(locM1x == 0 || a1x < N - T - F) &&
+	(locM0x == 0 || a0x < N - T - F) &&
+	(locM01x == 0 || a0x + a1x < N - T - F)
+)
+->
+<>(
+	locV0 == 0 &&
+	locV1 == 0 &&
+	locM == 0 &&
+	locM0 == 0 &&
+	locM1 == 0 &&
+	locM01 == 0 &&
+	locE0 == 0 &&
+	locE1 == 0 &&
+	locD1 == 0 &&
+	locV0x == 0 &&
+	locV1x == 0 &&
+	locMx == 0 &&
+	locM0x == 0 &&
+	locM1x == 0 &&
+	locM01x == 0
+);
+
+inv1_0: <>(locD0 != 0) -> [](locD1 == 0 && locE1x == 0);
+
+inv2_0: [](locV0 == 0) -> [](locD0 == 0 && locE0x == 0);
+
+inv1_1: <>(locD1 != 0) -> [](locD0 == 0 && locE0x == 0);
+
+inv2_1: [](locV1 == 0) -> [](locD1 == 0 && locE1x == 0);
+
+dec_0: [](locV0 == 0) -> [](locE0 == 0 && locE1 == 0);
+
+dec_1: [](locV1 == 0) -> [](locE0x == 0 && locE1x == 0);
+
+good_0: [](locM0 == 0) -> [](locD0 == 0 && locE0x == 0);
+
+good_1: [](locM1x == 0) -> [](locE1x == 0);
+`
+
+// STRBSpec renders the three Srikanth-Toueg reliable broadcast properties
+// (the original threshold-automata benchmark, reference [33]).
+const STRBSpec = `
+/* Unforgeability: if no correct process received the INIT message, no
+   correct process ever accepts. */
+unforgeability: [](locV1 == 0) -> [](locAC == 0);
+
+/* Correctness: if every correct process received the INIT message, every
+   correct process eventually accepts. */
+correctness: [](locV0 == 0) -> <>( locV0 == 0 && locV1 == 0 && locSE == 0 );
+
+/* Relay: if some correct process accepts, every correct process eventually
+   accepts. */
+relay: <>(locAC != 0) -> <>( locV0 == 0 && locV1 == 0 && locSE == 0 );
+`

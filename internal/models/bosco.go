@@ -1,0 +1,213 @@
+package models
+
+import (
+	"repro/internal/expr"
+	"repro/internal/spec"
+	"repro/internal/ta"
+)
+
+// Bosco builds a threshold automaton for BOSCO, the one-step Byzantine
+// asynchronous consensus of Song and van Renesse (DISC'08) — reference [63]
+// of the paper and a standard benchmark of parameterized TA verification.
+// Each process broadcasts its vote, waits for n-t VOTE messages and then:
+//
+//   - decides v if more than (n+3t)/2 of the received votes are v;
+//   - otherwise adopts v for the underlying consensus if more than (n-t)/2
+//     of them are v;
+//   - otherwise keeps its own value (location UU).
+//
+// The adversary chooses which n-t of the available messages arrive, so the
+// automaton's guards are the *possibility* conditions for each outcome,
+// derived by quantifier elimination over the received counts cnt0, cnt1
+// (cnt0 + cnt1 = n-t, cnt_v <= x_v + f, with x_v the votes sent by correct
+// processes):
+//
+//	decide 0:  2(x0+f) >= n+3t+1   ∧  2(n-t) >= n+3t+1 (param: n > 5t)
+//	adopt 0:   2(x0+f) >= n-t+1    ∧  2(x1+f) >= n-5t   (sample cannot
+//	           avoid being a decide-0 sample otherwise — this conjunct is
+//	           the branch priority of the algorithm: adopt fires only when
+//	           some sample adopts WITHOUT satisfying the decide threshold)
+//	keep own:  2(x_v+f) >= n-t for both v
+//
+// all conjoined with availability x0 + x1 + f >= n-t.
+//
+// The classic results become checkable queries (BoscoQueries):
+// one-step lemma/agreement under n > 3t; weakly one-step termination in one
+// communication step under n > 5t when f = 0 and inputs are unanimous;
+// strongly one-step under n > 7t with any f <= t; and the gap in between,
+// where the checker produces the adopt-instead-of-decide counterexample.
+func Bosco() *ta.TA {
+	b := ta.NewBuilder("bosco")
+	x0 := b.Shared("x0")
+	x1 := b.Shared("x1")
+	n, t, f := b.N(), b.T(), b.F()
+
+	v0 := b.Loc("V0", ta.Initial())
+	v1 := b.Loc("V1", ta.Initial())
+	s0 := b.Loc("S0")
+	s1 := b.Loc("S1")
+	d0 := b.Loc("D0")
+	d1 := b.Loc("D1")
+	u0 := b.Loc("U0")
+	u1 := b.Loc("U1")
+	uu := b.Loc("UU")
+
+	// 2*x_v + [params] >= 0 builders.
+	guard := func(xv expr.Sym, xCoeff int64, terms ...ta.LinTerm) expr.Constraint {
+		l := expr.Term(xv, xCoeff)
+		for _, tm := range terms {
+			_ = l.AddTerm(tm.Sym, tm.Coeff)
+		}
+		return expr.GEZero(l)
+	}
+	addConst := func(c expr.Constraint, k int64) expr.Constraint {
+		out := c.Clone()
+		_ = out.L.AddConst(k)
+		return out
+	}
+
+	// Availability: x0 + x1 >= n - t - f.
+	avail := b.SumGeThreshold([]expr.Sym{x0, x1}, b.Lin(0,
+		ta.LinTerm{Coeff: 1, Sym: n}, ta.LinTerm{Coeff: -1, Sym: t}, ta.LinTerm{Coeff: -1, Sym: f}))
+	// Param-only: one-step decisions need a sample large enough,
+	// 2(n-t) >= n+3t+1, i.e. n - 5t - 1 >= 0.
+	sampleBigEnough := expr.GEZero(func() expr.Lin {
+		l := expr.Var(n)
+		_ = l.AddTerm(t, -5)
+		_ = l.AddConst(-1)
+		return l
+	}())
+
+	// decide v: 2x_v >= n+3t+1-2f.
+	decide := func(xv expr.Sym) expr.Constraint {
+		return addConst(guard(xv, 2,
+			ta.LinTerm{Coeff: -1, Sym: n}, ta.LinTerm{Coeff: -3, Sym: t}, ta.LinTerm{Coeff: 2, Sym: f}), -1)
+	}
+	// adopt v threshold: 2x_v >= n-t+1-2f.
+	adopt := func(xv expr.Sym) expr.Constraint {
+		return addConst(guard(xv, 2,
+			ta.LinTerm{Coeff: -1, Sym: n}, ta.LinTerm{Coeff: 1, Sym: t}, ta.LinTerm{Coeff: 2, Sym: f}), -1)
+	}
+	// priority conjunct for adopting v: the other value must be present
+	// enough that some sample misses the decide-v threshold,
+	// 2x_{1-v} >= n-5t-2f.
+	spoiler := func(xOther expr.Sym) expr.Constraint {
+		return guard(xOther, 2,
+			ta.LinTerm{Coeff: -1, Sym: n}, ta.LinTerm{Coeff: 5, Sym: t}, ta.LinTerm{Coeff: 2, Sym: f})
+	}
+	// keep-own: both values fill half a sample, 2x_v >= n-t-2f.
+	half := func(xv expr.Sym) expr.Constraint {
+		return guard(xv, 2,
+			ta.LinTerm{Coeff: -1, Sym: n}, ta.LinTerm{Coeff: 1, Sym: t}, ta.LinTerm{Coeff: 2, Sym: f})
+	}
+
+	b.Rule("i0", v0, s0, ta.Inc(x0))
+	b.Rule("i1", v1, s1, ta.Inc(x1))
+	for _, src := range []struct {
+		loc  ta.LocID
+		name string
+	}{{s0, "0"}, {s1, "1"}} {
+		b.Rule("d0_"+src.name, src.loc, d0, ta.Guarded(decide(x0), sampleBigEnough, avail))
+		b.Rule("d1_"+src.name, src.loc, d1, ta.Guarded(decide(x1), sampleBigEnough, avail))
+		b.Rule("a0_"+src.name, src.loc, u0, ta.Guarded(adopt(x0), spoiler(x1), avail))
+		b.Rule("a1_"+src.name, src.loc, u1, ta.Guarded(adopt(x1), spoiler(x0), avail))
+		b.Rule("uu_"+src.name, src.loc, uu, ta.Guarded(half(x0), half(x1), avail))
+	}
+	for _, l := range []ta.LocID{d0, d1, u0, u1, uu} {
+		b.SelfLoop(l)
+	}
+	return b.MustBuild()
+}
+
+// BoscoQueries returns the checkable forms of BOSCO's classic results.
+func BoscoQueries(a *ta.TA) ([]spec.Query, error) {
+	var err error
+	set := func(names ...string) ta.LocSet {
+		s, serr := a.LocSetByName(names...)
+		if serr != nil && err == nil {
+			err = serr
+		}
+		return s
+	}
+	loc := func(name string) ta.LocID {
+		id, lerr := a.LocByName(name)
+		if lerr != nil && err == nil {
+			err = lerr
+		}
+		return id
+	}
+	n, t, f := a.Params[0], a.Params[1], a.Params[2]
+	resWith := func(extra int64, pinFZero bool) []expr.Constraint {
+		// n >= extra*t + 1, t >= f >= 0, t >= 1 (+ optionally f == 0).
+		nGe := expr.Var(n)
+		_ = nGe.AddTerm(t, -extra)
+		_ = nGe.AddConst(-1)
+		tGeF := expr.Var(t)
+		_ = tGeF.AddTerm(f, -1)
+		tGe1 := expr.Var(t)
+		_ = tGe1.AddConst(-1)
+		out := []expr.Constraint{
+			expr.GEZero(nGe), expr.GEZero(tGeF), expr.GEZero(expr.Var(f)), expr.GEZero(tGe1),
+		}
+		if pinFZero {
+			out = append(out, expr.EQZero(expr.Var(f)))
+		}
+		return out
+	}
+	notD0 := set("V0", "V1", "S0", "S1", "D1", "U0", "U1", "UU")
+
+	queries := []spec.Query{
+		{
+			// BOSCO Lemma 1 (n > 3t): a one-step decision for 0 forces every
+			// other correct process to decide 0 or adopt 0.
+			Name:          "Lemma1_0",
+			Kind:          spec.Safety,
+			VisitNonempty: []ta.LocSet{set("D0"), set("D1", "U1", "UU")},
+		},
+		{
+			Name:          "Lemma1_1",
+			Kind:          spec.Safety,
+			VisitNonempty: []ta.LocSet{set("D1"), set("D0", "U0", "UU")},
+		},
+		{
+			// Weakly one-step (n > 5t, f = 0): unanimous correct inputs
+			// decide in one communication step.
+			Name:            "WeaklyOneStep",
+			Kind:            spec.Liveness,
+			InitEmpty:       []ta.LocID{loc("V1")},
+			FinalNonempty:   []ta.LocSet{notD0},
+			Justice:         a.DefaultJustice(),
+			RelaxResilience: resWith(5, true),
+		},
+		{
+			// Strongly one-step (n > 7t): unanimous correct inputs decide in
+			// one step regardless of the f <= t Byzantine votes.
+			Name:            "StronglyOneStep",
+			Kind:            spec.Liveness,
+			InitEmpty:       []ta.LocID{loc("V1")},
+			FinalNonempty:   []ta.LocSet{notD0},
+			Justice:         a.DefaultJustice(),
+			RelaxResilience: resWith(7, false),
+		},
+		{
+			// The gap: with only n > 5t and real faults, Byzantine votes can
+			// push a correct process into adopting instead of deciding —
+			// the checker must produce this counterexample.
+			Name:            "OneStepGap",
+			Kind:            spec.Liveness,
+			InitEmpty:       []ta.LocID{loc("V1")},
+			FinalNonempty:   []ta.LocSet{notD0},
+			Justice:         a.DefaultJustice(),
+			RelaxResilience: resWith(5, false),
+		},
+	}
+	if err != nil {
+		return nil, err
+	}
+	for i := range queries {
+		if verr := queries[i].Validate(a); verr != nil {
+			return nil, verr
+		}
+	}
+	return queries, nil
+}

@@ -1,0 +1,177 @@
+// Package models contains the three threshold automata of the paper —
+// the binary-value broadcast (Fig. 2), the naive Byzantine-consensus
+// automaton (Fig. 3 / Table 3) and the simplified consensus automaton
+// (Fig. 4) — together with their LTL properties rendered as counterexample
+// queries (internal/spec) and fairness assumptions (Appendix F).
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/spec"
+	"repro/internal/ta"
+)
+
+// BVBroadcast builds the threshold automaton of the binary value broadcast
+// (Fig. 2). Locations encode which values a correct process has broadcast
+// and delivered (Table 1):
+//
+//	V0,V1: initial, holding input 0 resp. 1
+//	B0,B1: broadcast own value
+//	B01:   broadcast both values, delivered none
+//	C0,C1: delivered own value (added it to contestants)
+//	CB0:   delivered 0, broadcast both;  CB1 symmetric
+//	C01:   delivered both values
+//
+// Shared variables b0, b1 count the BV messages sent by correct processes;
+// the f messages Byzantine processes may contribute are folded into the
+// guards (a threshold of t+1 received messages becomes b_v >= t+1-f sent by
+// correct processes).
+func BVBroadcast() *ta.TA {
+	b := ta.NewBuilder("bv-broadcast")
+	b0 := b.Shared("b0")
+	b1 := b.Shared("b1")
+
+	// Guard thresholds: t+1-f and 2t+1-f.
+	tPlus1 := b.Lin(1, ta.LinTerm{Coeff: 1, Sym: b.T()}, ta.LinTerm{Coeff: -1, Sym: b.F()})
+	twoTPlus1 := b.Lin(1, ta.LinTerm{Coeff: 2, Sym: b.T()}, ta.LinTerm{Coeff: -1, Sym: b.F()})
+
+	v0 := b.Loc("V0", ta.Initial(), ta.Semantics(nil, nil))
+	v1 := b.Loc("V1", ta.Initial(), ta.Semantics(nil, nil))
+	b0l := b.Loc("B0", ta.Semantics([]int{0}, nil))
+	b1l := b.Loc("B1", ta.Semantics([]int{1}, nil))
+	b01 := b.Loc("B01", ta.Semantics([]int{0, 1}, nil))
+	c0 := b.Loc("C0", ta.Semantics([]int{0}, []int{0}))
+	c1 := b.Loc("C1", ta.Semantics([]int{1}, []int{1}))
+	cb0 := b.Loc("CB0", ta.Semantics([]int{0, 1}, []int{0}))
+	cb1 := b.Loc("CB1", ta.Semantics([]int{0, 1}, []int{1}))
+	c01 := b.Loc("C01", ta.Semantics([]int{0, 1}, []int{0, 1}))
+
+	// r1, r2: initial broadcast of the input value (Fig. 1 line 2).
+	b.Rule("r1", v0, b0l, ta.Inc(b0))
+	b.Rule("r2", v1, b1l, ta.Inc(b1))
+	// r3: deliver 0 after 2t+1 distinct BV(0) (Fig. 1 lines 6-7).
+	b.Rule("r3", b0l, c0, ta.Guarded(b.GeThreshold(b0, twoTPlus1)))
+	// r4: echo 1 after t+1 distinct BV(1) (Fig. 1 lines 4-5).
+	b.Rule("r4", b0l, b01, ta.Guarded(b.GeThreshold(b1, tPlus1)), ta.Inc(b1))
+	// r5: echo 0.
+	b.Rule("r5", b1l, b01, ta.Guarded(b.GeThreshold(b0, tPlus1)), ta.Inc(b0))
+	// r6: deliver 1.
+	b.Rule("r6", b1l, c1, ta.Guarded(b.GeThreshold(b1, twoTPlus1)))
+	// r7: having delivered 0, echo 1.
+	b.Rule("r7", c0, cb0, ta.Guarded(b.GeThreshold(b1, tPlus1)), ta.Inc(b1))
+	// r8: from B01 (both echoed), deliver 0 first.
+	b.Rule("r8", b01, cb0, ta.Guarded(b.GeThreshold(b0, twoTPlus1)))
+	// r9: from B01, deliver 1 first.
+	b.Rule("r9", b01, cb1, ta.Guarded(b.GeThreshold(b1, twoTPlus1)))
+	// r10: having delivered 1, echo 0.
+	b.Rule("r10", c1, cb1, ta.Guarded(b.GeThreshold(b0, tPlus1)), ta.Inc(b0))
+	// r11: second delivery 1.
+	b.Rule("r11", cb0, c01, ta.Guarded(b.GeThreshold(b1, twoTPlus1)))
+	// r12: second delivery 0.
+	b.Rule("r12", cb1, c01, ta.Guarded(b.GeThreshold(b0, twoTPlus1)))
+
+	// The 7 self-loops of Fig. 2 model per-process asynchrony: a process may
+	// linger in any location it is not forced out of by fairness.
+	for _, l := range []ta.LocID{b0l, b1l, c0, c1, cb0, cb1, c01} {
+		b.SelfLoop(l)
+	}
+	return b.MustBuild()
+}
+
+// bvLocsWithout returns Locs_v of the paper: every location a correct
+// process may occupy while v is not in its contestants set.
+func bvLocsWithout(a *ta.TA, v int) (ta.LocSet, error) {
+	if v == 0 {
+		return a.LocSetByName("V0", "V1", "B0", "B1", "B01", "C1", "CB1")
+	}
+	return a.LocSetByName("V0", "V1", "B0", "B1", "B01", "C0", "CB0")
+}
+
+// bvDelivered returns the set of locations where v has been delivered
+// (v ∈ contestants): C_v, CB_v, C01.
+func bvDelivered(a *ta.TA, v int) (ta.LocSet, error) {
+	if v == 0 {
+		return a.LocSetByName("C0", "CB0", "C01")
+	}
+	return a.LocSetByName("C1", "CB1", "C01")
+}
+
+// BVQueries returns the counterexample queries for the four bv-broadcast
+// properties of Section 3.2 (both symmetric instances each for
+// Justification, Obligation, Uniformity, plus Termination):
+//
+//	BV-Just_v:  κ[Vv]=0 ⇒ □(κ[Cv]=0 ∧ κ[CBv]=0 ∧ κ[C01]=0)
+//	BV-Obl_v:   □(b_v ≥ t+1 ⇒ ◇ all correct left Locs_v)
+//	BV-Unif_v:  ◇ v delivered somewhere ⇒ ◇ all correct left Locs_v
+//	BV-Term:    ◇ no correct process remains in V0,V1,B0,B1,B01
+func BVQueries(a *ta.TA) ([]spec.Query, error) {
+	justice := a.DefaultJustice()
+	var out []spec.Query
+	for v := 0; v <= 1; v++ {
+		vLoc, err := a.LocByName(fmt.Sprintf("V%d", v))
+		if err != nil {
+			return nil, err
+		}
+		delivered, err := bvDelivered(a, v)
+		if err != nil {
+			return nil, err
+		}
+		locsWithout, err := bvLocsWithout(a, v)
+		if err != nil {
+			return nil, err
+		}
+		bv, err := a.SharedByName(fmt.Sprintf("b%d", v))
+		if err != nil {
+			return nil, err
+		}
+		// b_v >= t+1 : t+1 correct processes bv-broadcast v.
+		trigger := expr.Var(bv)
+		if err := trigger.AddTerm(a.Params[1], -1); err != nil {
+			return nil, err
+		}
+		if err := trigger.AddConst(-1); err != nil {
+			return nil, err
+		}
+
+		out = append(out,
+			spec.Query{
+				Name:          fmt.Sprintf("BV-Just%d", v),
+				Kind:          spec.Safety,
+				InitEmpty:     []ta.LocID{vLoc},
+				VisitNonempty: []ta.LocSet{delivered},
+			},
+			spec.Query{
+				Name:          fmt.Sprintf("BV-Obl%d", v),
+				Kind:          spec.Liveness,
+				FinalShared:   []expr.Constraint{expr.GEZero(trigger)},
+				FinalNonempty: []ta.LocSet{locsWithout},
+				Justice:       justice,
+			},
+			spec.Query{
+				Name:          fmt.Sprintf("BV-Unif%d", v),
+				Kind:          spec.Liveness,
+				VisitNonempty: []ta.LocSet{delivered},
+				FinalNonempty: []ta.LocSet{locsWithout},
+				Justice:       justice,
+			},
+		)
+	}
+	undelivered, err := a.LocSetByName("V0", "V1", "B0", "B1", "B01")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, spec.Query{
+		Name:          "BV-Term",
+		Kind:          spec.Liveness,
+		FinalNonempty: []ta.LocSet{undelivered},
+		Justice:       justice,
+	})
+	for i := range out {
+		if err := out[i].Validate(a); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package models
+
+import (
+	"repro/internal/spec"
+	"repro/internal/ta"
+)
+
+// STReliableBroadcast builds the threshold automaton of the classic
+// Srikanth-Toueg authenticated/reliable broadcast — the original benchmark
+// of threshold-automata verification (John, Konnov, Schmid, Veith, Widder,
+// SPIN'13; reference [33] of the paper) and an ancestor of both the
+// bv-broadcast and the Bracha broadcast this repository implements
+// executably (internal/rbc).
+//
+// Locations: a correct process starts in V1 (it received the broadcaster's
+// INIT message) or V0 (it did not); SE = it has sent its ECHO; AC = it has
+// accepted. The shared variable e counts ECHO messages sent by correct
+// processes; the Byzantine contribution f is folded into the guards as
+// usual:
+//
+//	V1 -> SE: true, e++            (echo upon INIT)
+//	V0 -> SE: e >= t+1-f, e++      (echo upon t+1 distinct echoes)
+//	SE -> AC: e >= 2t+1-f          (accept upon 2t+1 distinct echoes)
+//
+// The three properties are the classic ones: Unforgeability (nobody accepts
+// if nobody got the INIT), Correctness (if everybody got the INIT,
+// everybody accepts) and Relay (if somebody accepts, everybody accepts).
+func STReliableBroadcast() *ta.TA {
+	b := ta.NewBuilder("st-reliable-broadcast")
+	e := b.Shared("e")
+
+	tPlus1 := b.Lin(1, ta.LinTerm{Coeff: 1, Sym: b.T()}, ta.LinTerm{Coeff: -1, Sym: b.F()})
+	twoTPlus1 := b.Lin(1, ta.LinTerm{Coeff: 2, Sym: b.T()}, ta.LinTerm{Coeff: -1, Sym: b.F()})
+
+	v0 := b.Loc("V0", ta.Initial())
+	v1 := b.Loc("V1", ta.Initial())
+	se := b.Loc("SE")
+	ac := b.Loc("AC")
+
+	b.Rule("r1", v1, se, ta.Inc(e))
+	b.Rule("r2", v0, se, ta.Guarded(b.GeThreshold(e, tPlus1)), ta.Inc(e))
+	b.Rule("r3", se, ac, ta.Guarded(b.GeThreshold(e, twoTPlus1)))
+	b.SelfLoop(se)
+	b.SelfLoop(ac)
+	return b.MustBuild()
+}
+
+// STRBQueries returns the counterexample queries for the three reliable
+// broadcast properties.
+func STRBQueries(a *ta.TA) ([]spec.Query, error) {
+	justice := a.DefaultJustice()
+	var err error
+	set := func(names ...string) ta.LocSet {
+		s, serr := a.LocSetByName(names...)
+		if serr != nil && err == nil {
+			err = serr
+		}
+		return s
+	}
+	loc := func(name string) ta.LocID {
+		id, lerr := a.LocByName(name)
+		if lerr != nil && err == nil {
+			err = lerr
+		}
+		return id
+	}
+	queries := []spec.Query{
+		{
+			// Unforgeability: [](locV1 == 0) -> [](locAC == 0).
+			Name:          "Unforgeability",
+			Kind:          spec.Safety,
+			InitEmpty:     []ta.LocID{loc("V1")},
+			VisitNonempty: []ta.LocSet{set("AC")},
+		},
+		{
+			// Correctness: [](locV0 == 0) -> <> all correct accepted.
+			Name:          "Correctness",
+			Kind:          spec.Liveness,
+			InitEmpty:     []ta.LocID{loc("V0")},
+			FinalNonempty: []ta.LocSet{set("V0", "V1", "SE")},
+			Justice:       justice,
+		},
+		{
+			// Relay: <>(locAC != 0) -> <> all correct accepted.
+			Name:          "Relay",
+			Kind:          spec.Liveness,
+			VisitNonempty: []ta.LocSet{set("AC")},
+			FinalNonempty: []ta.LocSet{set("V0", "V1", "SE")},
+			Justice:       justice,
+		},
+	}
+	if err != nil {
+		return nil, err
+	}
+	for i := range queries {
+		if verr := queries[i].Validate(a); verr != nil {
+			return nil, verr
+		}
+	}
+	return queries, nil
+}

@@ -1,0 +1,250 @@
+// Package network simulates the system model of Section 2: n asynchronous
+// sequential processes exchanging messages over a reliable fully-connected
+// point-to-point network. Message delays are unbounded but finite; at each
+// step exactly one in-flight message is delivered, chosen by a pluggable
+// Scheduler (the adversary). Up to t processes may be Byzantine: they are
+// ordinary Process implementations free to send arbitrary messages.
+//
+// The package drives the *executable* DBFT implementation of internal/dbft,
+// cross-validating the threshold-automata models: agreement and validity
+// hold for every schedule when f <= t, termination holds under the fairness
+// assumption of Section 3.3, and both fail in the regimes the paper
+// identifies (f > n/3, unfair schedules — Appendix B).
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// ProcID identifies a process (0-based).
+type ProcID int
+
+// MsgKind distinguishes the two message types of Algorithm 1.
+type MsgKind string
+
+// Message kinds.
+const (
+	// MsgBV is a binary-value broadcast message (Fig. 1): carries Value.
+	MsgBV MsgKind = "BV"
+	// MsgAux is an auxiliary message (Alg. 1 line 8): carries Set, the
+	// sender's contestants at broadcast time.
+	MsgAux MsgKind = "AUX"
+	// MsgProp, MsgEcho and MsgReady implement the Bracha reliable broadcast
+	// used by the vector consensus for proposals: they carry Proposer and
+	// Payload.
+	MsgProp  MsgKind = "PROP"
+	MsgEcho  MsgKind = "ECHO"
+	MsgReady MsgKind = "READY"
+)
+
+// Message is a point-to-point message. Round tags implement
+// communication-closure: receivers buffer future rounds and never act on
+// past ones.
+type Message struct {
+	From  ProcID
+	To    ProcID
+	Round int
+	Kind  MsgKind
+	Value int   // MsgBV
+	Set   []int // MsgAux (sorted)
+
+	// Instance multiplexes independent protocol instances over one network
+	// (the vector consensus runs one binary consensus per proposer).
+	Instance int
+	// Proposer and Payload carry reliable-broadcast content
+	// (MsgProp/MsgEcho/MsgReady).
+	Proposer ProcID
+	Payload  string
+}
+
+func (m Message) String() string {
+	switch m.Kind {
+	case MsgBV:
+		return fmt.Sprintf("BV(r%d,%d) %d->%d", m.Round, m.Value, m.From, m.To)
+	case MsgProp, MsgEcho, MsgReady:
+		return fmt.Sprintf("%s(p%d,%q) %d->%d", m.Kind, m.Proposer, m.Payload, m.From, m.To)
+	default:
+		vals := make([]string, len(m.Set))
+		for i, v := range m.Set {
+			vals[i] = fmt.Sprintf("%d", v)
+		}
+		return fmt.Sprintf("AUX(r%d,{%s}) %d->%d", m.Round, strings.Join(vals, ","), m.From, m.To)
+	}
+}
+
+// Sender lets a process emit messages during Start or Deliver.
+type Sender func(m Message)
+
+// Process is a participant: correct processes implement Algorithm 1,
+// Byzantine processes implement an attack strategy.
+type Process interface {
+	ID() ProcID
+	// Start is invoked once before any delivery.
+	Start(send Sender)
+	// Deliver handles one incoming message.
+	Deliver(m Message, send Sender)
+}
+
+// Scheduler resolves asynchrony: given the in-flight messages, it picks the
+// index of the next one to deliver. It fully determines the adversarial
+// message ordering.
+type Scheduler interface {
+	Next(inflight []Message, step int) int
+}
+
+// System wires processes, the in-flight message multiset and a scheduler.
+type System struct {
+	procs map[ProcID]Process
+	order []ProcID
+	sched Scheduler
+
+	inflight []Message
+	started  bool
+	sender   ProcID // process currently executing Start/Deliver
+
+	// Trace records every delivered message when enabled.
+	Trace       []Message
+	RecordTrace bool
+	Steps       int
+	DroppedPast int // deliveries to finished processes etc. (diagnostics)
+}
+
+// NewSystem builds a system over the given processes.
+func NewSystem(procs []Process, sched Scheduler) (*System, error) {
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("network: no processes")
+	}
+	if sched == nil {
+		return nil, fmt.Errorf("network: no scheduler")
+	}
+	s := &System{procs: make(map[ProcID]Process, len(procs)), sched: sched}
+	for _, p := range procs {
+		if _, dup := s.procs[p.ID()]; dup {
+			return nil, fmt.Errorf("network: duplicate process id %d", p.ID())
+		}
+		s.procs[p.ID()] = p
+		s.order = append(s.order, p.ID())
+	}
+	sort.Slice(s.order, func(i, j int) bool { return s.order[i] < s.order[j] })
+	return s, nil
+}
+
+// send enqueues a message (reliable: it stays in flight until delivered).
+// Channels are authenticated point-to-point links (Section 2 of the paper):
+// the sender identity is stamped by the network, so even a Byzantine process
+// cannot forge another process's From — forging would defeat every
+// distinct-sender threshold of the protocols above.
+func (s *System) send(m Message) {
+	if _, ok := s.procs[m.To]; !ok {
+		s.DroppedPast++
+		return
+	}
+	m.From = s.sender
+	s.inflight = append(s.inflight, m)
+}
+
+// Inflight returns the number of undelivered messages.
+func (s *System) Inflight() int { return len(s.inflight) }
+
+// Step delivers exactly one message (after starting all processes on the
+// first call). It reports whether a delivery happened (false = quiescent).
+func (s *System) Step() (bool, error) {
+	if !s.started {
+		s.started = true
+		for _, id := range s.order {
+			s.sender = id
+			s.procs[id].Start(s.send)
+		}
+	}
+	if len(s.inflight) == 0 {
+		return false, nil
+	}
+	idx := s.sched.Next(s.inflight, s.Steps)
+	if idx < 0 || idx >= len(s.inflight) {
+		return false, fmt.Errorf("network: scheduler chose out-of-range message %d of %d", idx, len(s.inflight))
+	}
+	m := s.inflight[idx]
+	s.inflight = append(s.inflight[:idx], s.inflight[idx+1:]...)
+	s.Steps++
+	if s.RecordTrace {
+		s.Trace = append(s.Trace, m)
+	}
+	s.sender = m.To
+	s.procs[m.To].Deliver(m, s.send)
+	return true, nil
+}
+
+// Run steps until quiescence, the stop predicate fires, or maxSteps is
+// reached. It returns the number of steps taken.
+func (s *System) Run(maxSteps int, stop func() bool) (int, error) {
+	for i := 0; maxSteps <= 0 || i < maxSteps; i++ {
+		if stop != nil && stop() {
+			return s.Steps, nil
+		}
+		progressed, err := s.Step()
+		if err != nil {
+			return s.Steps, err
+		}
+		if !progressed {
+			return s.Steps, nil
+		}
+	}
+	return s.Steps, nil
+}
+
+// Broadcast sends m to every process (including the sender, per the
+// paper's broadcast primitive).
+func Broadcast(send Sender, procs []ProcID, m Message) {
+	for _, to := range procs {
+		mm := m
+		mm.To = to
+		send(mm)
+	}
+}
+
+// --- Schedulers ---
+
+// FIFOScheduler delivers messages in send order: the synchronous-friendly
+// baseline.
+type FIFOScheduler struct{}
+
+// Next implements Scheduler.
+func (FIFOScheduler) Next(inflight []Message, _ int) int { return 0 }
+
+// RandomScheduler delivers a uniformly random in-flight message: the
+// standard asynchrony model for property-based testing.
+type RandomScheduler struct {
+	Rng *rand.Rand
+}
+
+// Next implements Scheduler.
+func (r RandomScheduler) Next(inflight []Message, _ int) int {
+	return r.Rng.Intn(len(inflight))
+}
+
+// PriorityScheduler delivers the in-flight message with the smallest key.
+// Ties break by queue position (send order).
+type PriorityScheduler struct {
+	Key func(m Message) int
+}
+
+// Next implements Scheduler.
+func (p PriorityScheduler) Next(inflight []Message, _ int) int {
+	best := 0
+	bestKey := p.Key(inflight[0])
+	for i := 1; i < len(inflight); i++ {
+		if k := p.Key(inflight[i]); k < bestKey {
+			best, bestKey = i, k
+		}
+	}
+	return best
+}
+
+// FuncScheduler adapts a plain function.
+type FuncScheduler func(inflight []Message, step int) int
+
+// Next implements Scheduler.
+func (f FuncScheduler) Next(inflight []Message, step int) int { return f(inflight, step) }

@@ -1,0 +1,196 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// pingProc sends one message to its peer on start and counts deliveries.
+type pingProc struct {
+	id       ProcID
+	peer     ProcID
+	received []Message
+	relay    bool
+}
+
+func (p *pingProc) ID() ProcID { return p.id }
+func (p *pingProc) Start(send Sender) {
+	send(Message{From: p.id, To: p.peer, Round: 0, Kind: MsgBV, Value: int(p.id)})
+}
+func (p *pingProc) Deliver(m Message, send Sender) {
+	p.received = append(p.received, m)
+	if p.relay && m.Round < 3 {
+		send(Message{From: p.id, To: p.peer, Round: m.Round + 1, Kind: MsgBV, Value: m.Value})
+	}
+}
+
+func TestSystemBasics(t *testing.T) {
+	a := &pingProc{id: 0, peer: 1}
+	b := &pingProc{id: 1, peer: 0}
+	sys, err := NewSystem([]Process{a, b}, FIFOScheduler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, err := sys.Run(100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 2 {
+		t.Errorf("steps = %d, want 2", steps)
+	}
+	if len(a.received) != 1 || len(b.received) != 1 {
+		t.Errorf("deliveries: a=%d b=%d, want 1 each", len(a.received), len(b.received))
+	}
+}
+
+func TestSystemRelayAndStop(t *testing.T) {
+	a := &pingProc{id: 0, peer: 1, relay: true}
+	b := &pingProc{id: 1, peer: 0, relay: true}
+	sys, err := NewSystem([]Process{a, b}, FIFOScheduler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.RecordTrace = true
+	_, err = sys.Run(0, func() bool { return len(a.received) >= 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.received) < 2 {
+		t.Error("stop predicate never satisfied")
+	}
+	if len(sys.Trace) != sys.Steps {
+		t.Errorf("trace length %d != steps %d", len(sys.Trace), sys.Steps)
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(nil, FIFOScheduler{}); err == nil {
+		t.Error("empty process list should error")
+	}
+	a := &pingProc{id: 0, peer: 0}
+	if _, err := NewSystem([]Process{a}, nil); err == nil {
+		t.Error("nil scheduler should error")
+	}
+	if _, err := NewSystem([]Process{a, &pingProc{id: 0}}, FIFOScheduler{}); err == nil {
+		t.Error("duplicate ids should error")
+	}
+}
+
+func TestSendToUnknownProcessDropped(t *testing.T) {
+	a := &pingProc{id: 0, peer: 99} // peer does not exist
+	sys, err := NewSystem([]Process{a}, FIFOScheduler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sys.DroppedPast != 1 {
+		t.Errorf("dropped = %d, want 1", sys.DroppedPast)
+	}
+}
+
+func TestRandomSchedulerDeliversEverything(t *testing.T) {
+	a := &pingProc{id: 0, peer: 1, relay: true}
+	b := &pingProc{id: 1, peer: 0, relay: true}
+	sys, err := NewSystem([]Process{a, b}, RandomScheduler{Rng: rand.New(rand.NewSource(7))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(1000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Inflight() != 0 {
+		t.Errorf("inflight = %d after quiescence", sys.Inflight())
+	}
+	// relay chains: rounds 0..3 per direction
+	if len(a.received) != 4 || len(b.received) != 4 {
+		t.Errorf("deliveries a=%d b=%d, want 4 each", len(a.received), len(b.received))
+	}
+}
+
+func TestPriorityScheduler(t *testing.T) {
+	// Prefer higher-value messages (key = -value).
+	a := &pingProc{id: 0, peer: 1}
+	b := &pingProc{id: 1, peer: 0}
+	sys, err := NewSystem([]Process{a, b}, PriorityScheduler{
+		Key: func(m Message) int { return -m.Value },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := sys.Step(); err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	// The message from process 1 (value 1) must have been delivered first.
+	if len(a.received) != 1 || a.received[0].Value != 1 {
+		t.Errorf("priority scheduler delivered wrong message first: a=%v b=%v", a.received, b.received)
+	}
+}
+
+func TestFuncSchedulerAndErrors(t *testing.T) {
+	a := &pingProc{id: 0, peer: 1}
+	b := &pingProc{id: 1, peer: 0}
+	sys, err := NewSystem([]Process{a, b}, FuncScheduler(func(inflight []Message, _ int) int {
+		return len(inflight) // out of range: must surface as error
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Step(); err == nil {
+		t.Error("out-of-range scheduler choice should error")
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	bv := Message{From: 1, To: 2, Round: 3, Kind: MsgBV, Value: 1}
+	if got := bv.String(); got != "BV(r3,1) 1->2" {
+		t.Errorf("String = %q", got)
+	}
+	aux := Message{From: 0, To: 1, Round: 2, Kind: MsgAux, Set: []int{0, 1}}
+	if got := aux.String(); got != "AUX(r2,{0,1}) 0->1" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// forger tries to impersonate process 0 when sending.
+type forger struct {
+	id       ProcID
+	received []Message
+}
+
+func (f *forger) ID() ProcID { return f.id }
+func (f *forger) Start(send Sender) {
+	send(Message{From: 0, To: 1, Round: 0, Kind: MsgBV, Value: 0}) // forged From
+}
+func (f *forger) Deliver(m Message, _ Sender) { f.received = append(f.received, m) }
+
+// sink receives and records without sending.
+type sink struct {
+	id       ProcID
+	received []Message
+}
+
+func (s *sink) ID() ProcID                  { return s.id }
+func (s *sink) Start(Sender)                {}
+func (s *sink) Deliver(m Message, _ Sender) { s.received = append(s.received, m) }
+
+// TestSenderAuthentication: channels are authenticated point-to-point links,
+// so the network stamps the true sender — a Byzantine process cannot forge
+// another process's identity to defeat distinct-sender thresholds.
+func TestSenderAuthentication(t *testing.T) {
+	receiver := &sink{id: 1}
+	sys, err := NewSystem([]Process{&forger{id: 3}, receiver}, FIFOScheduler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(receiver.received) != 1 {
+		t.Fatalf("deliveries = %d, want 1", len(receiver.received))
+	}
+	if got := receiver.received[0].From; got != 3 {
+		t.Errorf("From = %d, want the true sender 3 (forgery must be corrected)", got)
+	}
+}

@@ -1,0 +1,265 @@
+package rbc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/network"
+)
+
+// host wraps an RBC instance as a network.Process for the tests.
+type host struct {
+	id        network.ProcID
+	rbc       *RBC
+	proposal  string
+	delivered map[network.ProcID]string
+}
+
+func newHost(id network.ProcID, n, t int, all []network.ProcID, proposal string) *host {
+	h := &host{id: id, proposal: proposal, delivered: map[network.ProcID]string{}}
+	h.rbc = &RBC{
+		Me: id, N: n, T: t, All: all,
+		OnDeliver: func(p network.ProcID, payload string, _ network.Sender) {
+			h.delivered[p] = payload
+		},
+	}
+	return h
+}
+
+func (h *host) ID() network.ProcID { return h.id }
+func (h *host) Start(send network.Sender) {
+	if h.proposal != "" {
+		h.rbc.Propose(h.proposal, send)
+	}
+}
+func (h *host) Deliver(m network.Message, send network.Sender) {
+	_, _ = h.rbc.Handle(m, send)
+}
+
+func ids(n int) []network.ProcID {
+	out := make([]network.ProcID, n)
+	for i := range out {
+		out[i] = network.ProcID(i)
+	}
+	return out
+}
+
+// TestAllCorrectDeliverAll: with correct proposers only, every process
+// delivers every proposal (validity + totality).
+func TestAllCorrectDeliverAll(t *testing.T) {
+	const n, tt = 4, 1
+	all := ids(n)
+	hosts := make([]*host, n)
+	procs := make([]network.Process, n)
+	for i := range hosts {
+		hosts[i] = newHost(all[i], n, tt, all, string(rune('a'+i)))
+		procs[i] = hosts[i]
+	}
+	sys, err := network.NewSystem(procs, network.FIFOScheduler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(100000, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hosts {
+		if len(h.delivered) != n {
+			t.Errorf("process %d delivered %d proposals, want %d: %v", h.id, len(h.delivered), n, h.delivered)
+		}
+		for p, payload := range h.delivered {
+			if want := string(rune('a' + int(p))); payload != want {
+				t.Errorf("process %d delivered %q for proposer %d, want %q", h.id, payload, p, want)
+			}
+		}
+	}
+}
+
+// equivocator sends PROP("x") to half the processes and PROP("y") to the
+// rest, echoing nothing itself.
+type equivocator struct {
+	id  network.ProcID
+	all []network.ProcID
+}
+
+func (e *equivocator) ID() network.ProcID { return e.id }
+func (e *equivocator) Start(send network.Sender) {
+	for _, to := range e.all {
+		if to == e.id {
+			continue
+		}
+		payload := "x"
+		if to%2 == 0 {
+			payload = "y"
+		}
+		send(network.Message{From: e.id, To: to, Kind: network.MsgProp, Proposer: e.id, Payload: payload})
+	}
+}
+func (e *equivocator) Deliver(network.Message, network.Sender) {}
+
+// TestEquivocatingProposerAgreement: a Byzantine proposer sending different
+// payloads to different processes cannot make two correct processes deliver
+// different values for it (agreement), under randomized schedules.
+func TestEquivocatingProposerAgreement(t *testing.T) {
+	prop := func(seed int64) bool {
+		const n, tt = 4, 1
+		all := ids(n)
+		hosts := make([]*host, 3)
+		procs := make([]network.Process, 0, n)
+		for i := 0; i < 3; i++ {
+			hosts[i] = newHost(all[i], n, tt, all, "") // no own proposal
+			procs = append(procs, hosts[i])
+		}
+		procs = append(procs, &equivocator{id: 3, all: all})
+		rng := rand.New(rand.NewSource(seed))
+		sys, err := network.NewSystem(procs, network.RandomScheduler{Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run(100000, nil); err != nil {
+			t.Fatal(err)
+		}
+		seen := ""
+		for _, h := range hosts {
+			if v, ok := h.delivered[3]; ok {
+				if seen == "" {
+					seen = v
+				} else if v != seen {
+					return false // disagreement!
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestForgedIntroductionIgnored: a PROP message whose From differs from the
+// claimed proposer is discarded, so a Byzantine process cannot speak for a
+// correct one.
+func TestForgedIntroductionIgnored(t *testing.T) {
+	const n, tt = 4, 1
+	all := ids(n)
+	h := newHost(0, n, tt, all, "")
+	var sent []network.Message
+	send := func(m network.Message) { sent = append(sent, m) }
+	h.Deliver(network.Message{From: 3, Kind: network.MsgProp, Proposer: 1, Payload: "forged"}, send)
+	if len(sent) != 0 {
+		t.Errorf("forged introduction triggered %d messages", len(sent))
+	}
+}
+
+// TestReadyAmplification: t+1 READYs are enough to join the ready quorum,
+// 2t+1 to deliver — even without receiving the PROP at all.
+func TestReadyAmplification(t *testing.T) {
+	const n, tt = 4, 1
+	all := ids(n)
+	h := newHost(0, n, tt, all, "")
+	var sent []network.Message
+	send := func(m network.Message) { sent = append(sent, m) }
+
+	h.Deliver(network.Message{From: 1, Kind: network.MsgReady, Proposer: 2, Payload: "v"}, send)
+	if len(sent) != 0 {
+		t.Fatalf("one READY should not trigger anything, got %d messages", len(sent))
+	}
+	h.Deliver(network.Message{From: 2, Kind: network.MsgReady, Proposer: 2, Payload: "v"}, send)
+	// t+1 = 2 READYs: the host joins with its own READY broadcast (n copies).
+	if len(sent) != n {
+		t.Fatalf("after t+1 READYs: %d messages, want %d (own READY broadcast)", len(sent), n)
+	}
+	if h.rbc.Delivered(2) {
+		t.Fatal("must not deliver before 2t+1 READYs")
+	}
+	h.Deliver(network.Message{From: 3, Kind: network.MsgReady, Proposer: 2, Payload: "v"}, send)
+	if !h.rbc.Delivered(2) {
+		t.Fatal("2t+1 READYs must deliver")
+	}
+	if got := h.delivered[2]; got != "v" {
+		t.Errorf("delivered %q, want v", got)
+	}
+	// Integrity: a second quorum for a different payload cannot deliver.
+	for _, from := range []network.ProcID{0, 1, 2} {
+		h.Deliver(network.Message{From: from, Kind: network.MsgReady, Proposer: 2, Payload: "other"}, send)
+	}
+	if got := h.delivered[2]; got != "v" {
+		t.Errorf("second delivery changed payload to %q", got)
+	}
+}
+
+// splitBrainAdversary mounts the n=5 attack that a 2t+1 echo quorum would
+// fall for: it PROPoses, ECHOes and READYs payload "x" to processes {0,1}
+// and payload "y" to {2,3}. With the correct ⌈(n+t+1)/2⌉ quorum the echo
+// counts (3 of 4 needed) never reach READY and nobody delivers.
+type splitBrainAdversary struct {
+	id  network.ProcID
+	all []network.ProcID
+}
+
+func (a *splitBrainAdversary) ID() network.ProcID { return a.id }
+func (a *splitBrainAdversary) Start(send network.Sender) {
+	for _, to := range a.all {
+		if to == a.id {
+			continue
+		}
+		payload := "x"
+		if to >= 2 {
+			payload = "y"
+		}
+		for _, kind := range []network.MsgKind{network.MsgProp, network.MsgEcho, network.MsgReady} {
+			send(network.Message{From: a.id, To: to, Kind: kind, Proposer: a.id, Payload: payload})
+		}
+	}
+}
+func (a *splitBrainAdversary) Deliver(network.Message, network.Sender) {}
+
+// TestEchoQuorumPreventsSplitBrain is the regression test for the echo
+// quorum: at n=5, t=1, a fully equivocating proposer (who also echoes and
+// readies both payloads) must not make correct processes deliver different
+// values. With the buggy 2t+1 threshold processes {0,1} delivered "x" while
+// {2,3} delivered "y".
+func TestEchoQuorumPreventsSplitBrain(t *testing.T) {
+	const n, tt = 5, 1
+	all := ids(n)
+	hosts := make([]*host, 4)
+	procs := make([]network.Process, 0, n)
+	for i := 0; i < 4; i++ {
+		hosts[i] = newHost(all[i], n, tt, all, "")
+		procs = append(procs, hosts[i])
+	}
+	procs = append(procs, &splitBrainAdversary{id: 4, all: all})
+	sys, err := network.NewSystem(procs, network.FIFOScheduler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(100000, nil); err != nil {
+		t.Fatal(err)
+	}
+	seen := ""
+	for _, h := range hosts {
+		if v, ok := h.delivered[4]; ok {
+			if seen == "" {
+				seen = v
+			} else if v != seen {
+				t.Fatalf("split brain: %q and %q both delivered for proposer 4", seen, v)
+			}
+		}
+	}
+}
+
+// TestEchoQuorumValue pins the quorum formula at a few sizes.
+func TestEchoQuorumValue(t *testing.T) {
+	cases := []struct{ n, t, want int }{
+		{4, 1, 3}, // minimal n: equals 2t+1
+		{5, 1, 4}, // larger n: strictly more than 2t+1
+		{7, 2, 5},
+		{8, 2, 6},
+	}
+	for _, c := range cases {
+		r := &RBC{N: c.n, T: c.t}
+		if got := r.echoQuorum(); got != c.want {
+			t.Errorf("n=%d t=%d: quorum %d, want %d", c.n, c.t, got, c.want)
+		}
+	}
+}

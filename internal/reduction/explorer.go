@@ -1,0 +1,166 @@
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/ta"
+)
+
+// Explorer performs explicit-state search over the multi-round counter
+// system. It decides visit-style reachability queries that span rounds —
+// exactly the shape of the full Agreement and Validity properties
+// ((Agree_v) and (Valid_v) of Section 5.1, with their two independent round
+// quantifiers), which the paper reduces to the one-superround invariants
+// Inv1/Inv2. The explorer verifies that reduction's conclusion directly for
+// fixed parameters.
+type Explorer struct {
+	Sys *System
+	// MaxStates bounds the search (0 = default 4,000,000).
+	MaxStates int
+}
+
+// MultiQuery is a cross-round reachability query: a violation is a run from
+// some admissible initial configuration that, for every entry of
+// VisitAnyRound, has some process in the set in *some* round at some time.
+type MultiQuery struct {
+	// InitEmptyRound0 lists locations that must be empty in the initial
+	// (round 0) configuration.
+	InitEmptyRound0 []ta.LocID
+	// VisitAnyRound lists location sets; each must be visited in at least
+	// one round for a violation.
+	VisitAnyRound []ta.LocSet
+}
+
+// FindViolation searches all reachable configurations (over all initial
+// distributions) with per-set visited flags folded into the state. It
+// returns whether a violation exists.
+func (e *Explorer) FindViolation(q MultiQuery) (bool, int, error) {
+	maxStates := e.MaxStates
+	if maxStates <= 0 {
+		maxStates = 4_000_000
+	}
+	if len(q.VisitAnyRound) > 30 {
+		return false, 0, fmt.Errorf("reduction: too many visit sets")
+	}
+	s := e.Sys
+	allFlags := uint32(1)<<len(q.VisitAnyRound) - 1
+
+	flagsOf := func(base uint32, c Config) uint32 {
+		f := base
+		for i, set := range q.VisitAnyRound {
+			if f&(1<<i) != 0 {
+				continue
+			}
+			for r := 0; r < s.MaxRounds; r++ {
+				sum := int64(0)
+				for l := range set {
+					sum += c.K[r][l]
+				}
+				if sum > 0 {
+					f |= 1 << i
+					break
+				}
+			}
+		}
+		return f
+	}
+
+	key := func(c Config, flags uint32) string {
+		out := fmt.Sprintf("%d#", flags)
+		for r := range c.K {
+			out += fmt.Sprint(c.K[r], c.V[r])
+		}
+		return out
+	}
+
+	type state struct {
+		c     Config
+		flags uint32
+	}
+	visited := map[string]bool{}
+	var queue []state
+	push := func(st state) {
+		k := key(st.c, st.flags)
+		if !visited[k] {
+			visited[k] = true
+			queue = append(queue, st)
+		}
+	}
+
+	// Enumerate initial distributions over the initial locations.
+	inits := s.TA.InitialLocs()
+	nproc, err := s.NumCorrect()
+	if err != nil {
+		return false, 0, err
+	}
+	emptySet := map[ta.LocID]bool{}
+	for _, l := range q.InitEmptyRound0 {
+		emptySet[l] = true
+	}
+	counts := make(map[ta.LocID]int64, len(inits))
+	var rec func(i int, left int64) error
+	rec = func(i int, left int64) error {
+		if i == len(inits)-1 {
+			counts[inits[i]] = left
+			ok := true
+			for l := range emptySet {
+				if counts[l] > 0 {
+					ok = false
+				}
+			}
+			if ok {
+				cfg, err := s.InitialConfig(counts)
+				if err != nil {
+					return err
+				}
+				push(state{c: cfg, flags: flagsOf(0, cfg)})
+			}
+			counts[inits[i]] = 0
+			return nil
+		}
+		for take := int64(0); take <= left; take++ {
+			counts[inits[i]] = take
+			if err := rec(i+1, left-take); err != nil {
+				return err
+			}
+			counts[inits[i]] = 0
+		}
+		return nil
+	}
+	if err := rec(0, nproc); err != nil {
+		return false, 0, err
+	}
+
+	states := 0
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		states++
+		if states > maxStates {
+			return false, states, fmt.Errorf("reduction: state budget exhausted")
+		}
+		if st.flags == allFlags {
+			return true, states, nil
+		}
+		for r := 0; r < s.MaxRounds; r++ {
+			for ri, rule := range s.TA.Rules {
+				if rule.SelfLoop() {
+					continue
+				}
+				en, err := s.Enabled(st.c, r, ri)
+				if err != nil {
+					return false, states, err
+				}
+				if !en {
+					continue
+				}
+				next, err := s.Apply(st.c, Step{Round: r, Rule: ri, Factor: 1})
+				if err != nil {
+					return false, states, err
+				}
+				push(state{c: next, flags: flagsOf(st.flags, next)})
+			}
+		}
+	}
+	return false, states, nil
+}

@@ -1,0 +1,315 @@
+// Package reduction implements the multi-round machinery of Appendix A: the
+// counter-system semantics of multi-round threshold automata (per-round
+// location counters and shared variables, round-switch rules), the
+// communication-closure check that licenses the reduction, and the
+// round-rigid reordering itself — every asynchronous multi-round run can be
+// reordered, by swapping independent adjacent steps, into a run in which all
+// round-r steps precede all round-(r+1) steps while preserving every
+// per-round observation (and hence all LTL-X properties, [Bertrand et al.,
+// CONCUR'19, Theorem 6]).
+package reduction
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/ta"
+)
+
+// Step is one accelerated firing in a multi-round run. Round is the round
+// the rule fires in; a round-switch rule moves the processes from Round to
+// Round+1.
+type Step struct {
+	Round  int
+	Rule   int
+	Factor int64
+}
+
+// Config is a multi-round configuration: K[r][loc] processes, V[r][shared]
+// message counts, for every round r < len(K).
+type Config struct {
+	K [][]int64
+	V [][]int64
+}
+
+// Clone deep-copies the configuration.
+func (c Config) Clone() Config {
+	out := Config{K: make([][]int64, len(c.K)), V: make([][]int64, len(c.V))}
+	for i := range c.K {
+		out.K[i] = append([]int64(nil), c.K[i]...)
+	}
+	for i := range c.V {
+		out.V[i] = append([]int64(nil), c.V[i]...)
+	}
+	return out
+}
+
+// Equal reports deep equality.
+func (c Config) Equal(o Config) bool {
+	if len(c.K) != len(o.K) || len(c.V) != len(o.V) {
+		return false
+	}
+	for r := range c.K {
+		for l := range c.K[r] {
+			if c.K[r][l] != o.K[r][l] {
+				return false
+			}
+		}
+	}
+	for r := range c.V {
+		for v := range c.V[r] {
+			if c.V[r][v] != o.V[r][v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// System is the counter system of a multi-round TA under fixed parameters.
+type System struct {
+	TA        *ta.TA
+	Params    map[expr.Sym]int64
+	MaxRounds int
+
+	sharedIdx map[expr.Sym]int
+}
+
+// NewSystem validates the automaton for multi-round use and builds the
+// system. CheckCommClosed must succeed: the reduction is only sound for
+// communication-closed automata.
+func NewSystem(a *ta.TA, params map[expr.Sym]int64, maxRounds int) (*System, error) {
+	if maxRounds < 1 {
+		return nil, fmt.Errorf("reduction: need at least one round")
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if err := CheckCommClosed(a); err != nil {
+		return nil, err
+	}
+	for _, p := range a.Params {
+		if _, ok := params[p]; !ok {
+			return nil, fmt.Errorf("reduction: missing parameter %s", a.Table.Name(p))
+		}
+	}
+	val := func(s expr.Sym) int64 { return params[s] }
+	for _, rc := range a.Resilience {
+		ok, err := rc.Holds(val)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("reduction: parameters violate resilience %s", rc.String(a.Table))
+		}
+	}
+	idx := make(map[expr.Sym]int, len(a.Shared))
+	for i, s := range a.Shared {
+		idx[s] = i
+	}
+	return &System{TA: a, Params: params, MaxRounds: maxRounds, sharedIdx: idx}, nil
+}
+
+// CheckCommClosed verifies the structural conditions of Section 2 /
+// Appendix A: guards mention only shared variables (whose instances are
+// per-round) and parameters, and round-switch rules are unguarded and
+// update-free — a step in round r can then never depend on or influence a
+// different round's state, which is exactly what makes adjacent steps of
+// different rounds swappable.
+func CheckCommClosed(a *ta.TA) error {
+	hasSwitch := false
+	for _, r := range a.Rules {
+		if r.RoundSwitch {
+			hasSwitch = true
+			if len(r.Guard) != 0 {
+				return fmt.Errorf("reduction: round-switch rule %s is guarded", r.Name)
+			}
+			if len(r.Update) != 0 {
+				return fmt.Errorf("reduction: round-switch rule %s has updates", r.Name)
+			}
+		}
+	}
+	if !hasSwitch {
+		return fmt.Errorf("reduction: %s has no round-switch rules; use the one-round machinery", a.Name)
+	}
+	return nil // guard shape over shared+params is enforced by ta.Validate
+}
+
+// NumCorrect evaluates the correct-process count.
+func (s *System) NumCorrect() (int64, error) {
+	return s.TA.CorrectCount.Eval(func(sym expr.Sym) int64 { return s.Params[sym] })
+}
+
+// InitialConfig places the given distribution over initial locations in
+// round 0.
+func (s *System) InitialConfig(k map[ta.LocID]int64) (Config, error) {
+	want, err := s.NumCorrect()
+	if err != nil {
+		return Config{}, err
+	}
+	var total int64
+	cfg := Config{K: make([][]int64, s.MaxRounds), V: make([][]int64, s.MaxRounds)}
+	for r := 0; r < s.MaxRounds; r++ {
+		cfg.K[r] = make([]int64, len(s.TA.Locations))
+		cfg.V[r] = make([]int64, len(s.TA.Shared))
+	}
+	for loc, n := range k {
+		if n < 0 {
+			return Config{}, fmt.Errorf("reduction: negative count")
+		}
+		if n > 0 && !s.TA.Locations[loc].Initial {
+			return Config{}, fmt.Errorf("reduction: %s is not initial", s.TA.Locations[loc].Name)
+		}
+		cfg.K[0][loc] = n
+		total += n
+	}
+	if total != want {
+		return Config{}, fmt.Errorf("reduction: %d processes, want n-f = %d", total, want)
+	}
+	return cfg, nil
+}
+
+// guardHolds evaluates a rule's guard against round r of the configuration.
+func (s *System) guardHolds(c Config, round, ruleIdx int) (bool, error) {
+	rule := s.TA.Rules[ruleIdx]
+	val := func(sym expr.Sym) int64 {
+		if i, ok := s.sharedIdx[sym]; ok {
+			return c.V[round][i]
+		}
+		return s.Params[sym]
+	}
+	for _, g := range rule.Guard {
+		ok, err := g.Holds(val)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Enabled reports whether the rule can fire in the round.
+func (s *System) Enabled(c Config, round, ruleIdx int) (bool, error) {
+	rule := s.TA.Rules[ruleIdx]
+	if round < 0 || round >= s.MaxRounds {
+		return false, nil
+	}
+	if rule.RoundSwitch && round+1 >= s.MaxRounds {
+		return false, nil
+	}
+	if c.K[round][rule.From] < 1 {
+		return false, nil
+	}
+	return s.guardHolds(c, round, ruleIdx)
+}
+
+// Apply fires the rule in the round with the given acceleration factor.
+func (s *System) Apply(c Config, st Step) (Config, error) {
+	rule := s.TA.Rules[st.Rule]
+	if st.Factor < 0 {
+		return Config{}, fmt.Errorf("reduction: negative factor")
+	}
+	if st.Round < 0 || st.Round >= s.MaxRounds {
+		return Config{}, fmt.Errorf("reduction: round %d out of range", st.Round)
+	}
+	if rule.RoundSwitch && st.Round+1 >= s.MaxRounds {
+		return Config{}, fmt.Errorf("reduction: round switch out of the last round")
+	}
+	if c.K[st.Round][rule.From] < st.Factor {
+		return Config{}, fmt.Errorf("reduction: rule %s x%d in round %d: only %d processes at %s",
+			rule.Name, st.Factor, st.Round, c.K[st.Round][rule.From], s.TA.Locations[rule.From].Name)
+	}
+	ok, err := s.guardHolds(c, st.Round, st.Rule)
+	if err != nil {
+		return Config{}, err
+	}
+	if !ok {
+		return Config{}, fmt.Errorf("reduction: rule %s guard fails in round %d", rule.Name, st.Round)
+	}
+	out := c.Clone()
+	out.K[st.Round][rule.From] -= st.Factor
+	if rule.RoundSwitch {
+		out.K[st.Round+1][rule.To] += st.Factor
+	} else {
+		out.K[st.Round][rule.To] += st.Factor
+		for sym, d := range rule.Update {
+			out.V[st.Round][s.sharedIdx[sym]] += d * st.Factor
+		}
+	}
+	return out, nil
+}
+
+// Replay validates a run and returns every intermediate configuration.
+func (s *System) Replay(init Config, steps []Step) ([]Config, error) {
+	cur := init.Clone()
+	out := []Config{cur}
+	for i, st := range steps {
+		next, err := s.Apply(cur, st)
+		if err != nil {
+			return nil, fmt.Errorf("reduction: step %d: %w", i, err)
+		}
+		cur = next
+		out = append(out, cur)
+	}
+	return out, nil
+}
+
+// RoundRigid reorders a run into its round-rigid form: steps sorted stably
+// by round, so that all round-r steps (including the switches out of r)
+// precede every round-(r+1) step, with the original relative order preserved
+// within each round. By the reduction theorem this is again a valid run with
+// the same final configuration; Verify replays it to certify that.
+func RoundRigid(steps []Step) []Step {
+	out := append([]Step(nil), steps...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Round < out[j].Round })
+	return out
+}
+
+// IsRoundRigid reports whether the run's rounds are nondecreasing.
+func IsRoundRigid(steps []Step) bool {
+	for i := 1; i < len(steps); i++ {
+		if steps[i].Round < steps[i-1].Round {
+			return false
+		}
+	}
+	return true
+}
+
+// Verify replays both the original and the reordered run and checks they
+// reach the same final configuration. It returns the reordered run.
+func (s *System) Verify(init Config, steps []Step) ([]Step, error) {
+	orig, err := s.Replay(init, steps)
+	if err != nil {
+		return nil, fmt.Errorf("reduction: original run invalid: %w", err)
+	}
+	rigid := RoundRigid(steps)
+	re, err := s.Replay(init, rigid)
+	if err != nil {
+		return nil, fmt.Errorf("reduction: round-rigid reordering broke the run (communication-closure violated?): %w", err)
+	}
+	if !orig[len(orig)-1].Equal(re[len(re)-1]) {
+		return nil, fmt.Errorf("reduction: reordered run reaches a different final configuration")
+	}
+	return rigid, nil
+}
+
+// EnlargedInitials checks the structural side of the Appendix A reduction:
+// every location a round-switch rule targets is an initial location of the
+// one-round projection, so checking the one-round automaton with enlarged
+// initial configurations covers every round's entry states.
+func EnlargedInitials(a *ta.TA) error {
+	oneRound := a.OneRound()
+	for _, r := range a.Rules {
+		if !r.RoundSwitch {
+			continue
+		}
+		if !oneRound.Locations[r.To].Initial {
+			return fmt.Errorf("reduction: round-switch target %s is not initial in the one-round projection",
+				a.Locations[r.To].Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/counter"
+	"repro/internal/models"
+	"repro/internal/ta"
+)
+
+func simplifiedSystem(t *testing.T, rounds int) (*System, *ta.TA) {
+	t.Helper()
+	a := models.SimplifiedConsensus()
+	params := counter.ParamsFor(a, 4, 1, 1)
+	s, err := NewSystem(a, params, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, a
+}
+
+func TestCheckCommClosed(t *testing.T) {
+	for _, a := range []*ta.TA{models.SimplifiedConsensus(), models.NaiveConsensus()} {
+		if err := CheckCommClosed(a); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	if err := CheckCommClosed(models.BVBroadcast()); err == nil {
+		t.Error("bv-broadcast has no round switches; expected error")
+	}
+}
+
+func TestEnlargedInitials(t *testing.T) {
+	for _, a := range []*ta.TA{models.SimplifiedConsensus(), models.NaiveConsensus()} {
+		if err := EnlargedInitials(a); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+}
+
+func TestInitialConfigValidation(t *testing.T) {
+	s, a := simplifiedSystem(t, 2)
+	v0 := a.MustLoc("V0")
+	v1 := a.MustLoc("V1")
+	if _, err := s.InitialConfig(map[ta.LocID]int64{v0: 2, v1: 1}); err != nil {
+		t.Errorf("valid initial config rejected: %v", err)
+	}
+	if _, err := s.InitialConfig(map[ta.LocID]int64{v0: 1}); err == nil {
+		t.Error("wrong total should be rejected")
+	}
+	if _, err := s.InitialConfig(map[ta.LocID]int64{a.MustLoc("M"): 3}); err == nil {
+		t.Error("non-initial placement should be rejected")
+	}
+}
+
+// randomRun drives the multi-round system with a seeded random scheduler
+// (one process step at a time) and returns the generated steps.
+func randomRun(t *testing.T, s *System, init Config, rng *rand.Rand, maxSteps int) []Step {
+	t.Helper()
+	var steps []Step
+	cur := init.Clone()
+	for i := 0; i < maxSteps; i++ {
+		type cand struct {
+			round, rule int
+		}
+		var cands []cand
+		for r := 0; r < s.MaxRounds; r++ {
+			for ri, rule := range s.TA.Rules {
+				if rule.SelfLoop() {
+					continue
+				}
+				en, err := s.Enabled(cur, r, ri)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if en {
+					cands = append(cands, cand{r, ri})
+				}
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		pick := cands[rng.Intn(len(cands))]
+		st := Step{Round: pick.round, Rule: pick.rule, Factor: 1}
+		next, err := s.Apply(cur, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+		steps = append(steps, st)
+	}
+	return steps
+}
+
+// TestRoundRigidReduction is the empirical Appendix A theorem: every random
+// asynchronous multi-round run of the (communication-closed) consensus
+// automata reorders into a valid round-rigid run with the same final
+// configuration.
+func TestRoundRigidReduction(t *testing.T) {
+	models := []func() *ta.TA{models.SimplifiedConsensus, models.NaiveConsensus}
+	for _, mk := range models {
+		a := mk()
+		params := counter.ParamsFor(a, 4, 1, 1)
+		s, err := NewSystem(a, params, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v0, v1 := a.MustLoc("V0"), a.MustLoc("V1")
+
+		prop := func(seed int64, split uint8) bool {
+			k0 := int64(split % 4)
+			init, err := s.InitialConfig(map[ta.LocID]int64{v0: k0, v1: 3 - k0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			steps := randomRun(t, s, init, rng, 120)
+			rigid, err := s.Verify(init, steps)
+			if err != nil {
+				t.Logf("%s seed=%d: %v", a.Name, seed, err)
+				return false
+			}
+			return IsRoundRigid(rigid)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+}
+
+// TestRoundRigidPreservesPerRoundEffects: beyond final-configuration
+// equality, the per-round shared-variable totals are identical — the basis
+// for LTL-X preservation.
+func TestRoundRigidPreservesPerRoundEffects(t *testing.T) {
+	s, a := simplifiedSystem(t, 3)
+	v0, v1 := a.MustLoc("V0"), a.MustLoc("V1")
+	init, err := s.InitialConfig(map[ta.LocID]int64{v0: 2, v1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	steps := randomRun(t, s, init, rng, 200)
+
+	origTrace, err := s.Replay(init, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rigid := RoundRigid(steps)
+	rigidTrace, err := s.Replay(init, rigid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	of := origTrace[len(origTrace)-1]
+	rf := rigidTrace[len(rigidTrace)-1]
+	for r := range of.V {
+		for i := range of.V[r] {
+			if of.V[r][i] != rf.V[r][i] {
+				t.Errorf("round %d shared %d: %d vs %d", r, i, of.V[r][i], rf.V[r][i])
+			}
+		}
+	}
+}
+
+func TestIsRoundRigid(t *testing.T) {
+	if !IsRoundRigid([]Step{{Round: 0}, {Round: 0}, {Round: 1}}) {
+		t.Error("nondecreasing rounds should be rigid")
+	}
+	if IsRoundRigid([]Step{{Round: 1}, {Round: 0}}) {
+		t.Error("decreasing rounds should not be rigid")
+	}
+}
+
+func TestRoundSwitchCrossesRounds(t *testing.T) {
+	s, a := simplifiedSystem(t, 2)
+	v1 := a.MustLoc("V1")
+	init, err := s.InitialConfig(map[ta.LocID]int64{v1: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive all three processes to D1 -> V1x ... second half -> E1x, then
+	// switch into round 1. Unanimous value 1: V1 -> M -> M1 -> D1.
+	script := []string{"s2", "s4", "s8", "s14", "s2x", "s4x", "s8x", "rsE1x"}
+	cur := init
+	for _, name := range script {
+		ri := -1
+		for i, r := range a.Rules {
+			if r.Name == name {
+				ri = i
+			}
+		}
+		if ri == -1 {
+			t.Fatalf("no rule %s", name)
+		}
+		next, err := s.Apply(cur, Step{Round: 0, Rule: ri, Factor: 3})
+		if err != nil {
+			t.Fatalf("rule %s: %v", name, err)
+		}
+		cur = next
+	}
+	if cur.K[1][v1] != 3 {
+		t.Errorf("after round switch: round-1 V1 = %d, want 3", cur.K[1][v1])
+	}
+	if cur.K[0][a.MustLoc("E1x")] != 0 {
+		t.Error("round-0 E1x should have drained")
+	}
+}

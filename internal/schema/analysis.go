@@ -1,0 +1,346 @@
+package schema
+
+import (
+	"sort"
+
+	"repro/internal/counter"
+
+	"repro/internal/expr"
+	"repro/internal/smt"
+	"repro/internal/spec"
+	"repro/internal/ta"
+)
+
+// guardInfo is one entry of the guard alphabet: a deduplicated nontrivial
+// rising guard constraint appearing on the automaton's progress rules.
+type guardInfo struct {
+	key  string
+	c    expr.Constraint
+	vars []expr.Sym // shared variables with positive coefficients
+	// initiallyTrue reports whether the guard can hold with all shared
+	// variables at zero under the resilience condition.
+	initiallyTrue bool
+	// level is the unlock stage computed by the dependency fixpoint
+	// (0 = can be true initially, k = unlockable after k waves of rules).
+	level int
+}
+
+// analysis precomputes, per query, everything the enumerators need: the
+// effective rule set (progress rules minus those entering GlobalEmpty
+// locations), the guard alphabet, dependency levels and per-level location
+// reachability.
+type analysis struct {
+	q          *spec.Query
+	rules      []int   // effective progress rules, topologically ordered
+	ruleGuards [][]int // per rules index: alphabet indices of its guard conjuncts
+	guards     []*guardInfo
+	guardIdx   map[string]int
+	resilience []expr.Constraint
+	initLocs   []ta.LocID // initial locations minus Init/GlobalEmpty
+
+	// reachByLevel[k] = locations reachable using rules whose guards have
+	// level <= k. The last entry is the fixpoint.
+	reachByLevel []map[ta.LocID]bool
+	// ruleLevel[i] = max level over the rule's guard conjuncts (0 for
+	// trivially-guarded rules), or -1 if the rule can never fire.
+	ruleLevel map[int]int
+	maxLevel  int
+	// backwardGuards counts gating guards that can be unlocked by a rule at
+	// depth >= some rule they gate: only these force a pass boundary in the
+	// staged schema (see staged.go).
+	backwardGuards int
+	gatingGuards   int
+}
+
+func (e *Engine) analyze(q *spec.Query) (*analysis, error) {
+	a := e.ta
+	an := &analysis{q: q, guardIdx: make(map[string]int), ruleLevel: make(map[int]int)}
+
+	an.resilience = a.Resilience
+	if q.RelaxResilience != nil {
+		an.resilience = q.RelaxResilience
+	}
+
+	globalEmpty := make(map[ta.LocID]bool)
+	for _, l := range q.GlobalEmpty {
+		globalEmpty[l] = true
+	}
+	emptyInit := make(map[ta.LocID]bool)
+	for _, l := range q.InitEmpty {
+		emptyInit[l] = true
+	}
+	for _, l := range a.InitialLocs() {
+		if !globalEmpty[l] && !emptyInit[l] {
+			an.initLocs = append(an.initLocs, l)
+		}
+	}
+
+	sorted, err := counter.SortedRules(a)
+	if err != nil {
+		return nil, err
+	}
+	for _, ri := range sorted {
+		r := a.Rules[ri]
+		if globalEmpty[r.To] {
+			continue // firing would violate the □-emptiness premise
+		}
+		an.rules = append(an.rules, ri)
+	}
+
+	// Build the guard alphabet: rule guards plus (for liveness) the justice
+	// trigger constraints, so that contexts determine their truth.
+	intern := func(c expr.Constraint) (int, error) {
+		key := c.String(a.Table)
+		if gi, ok := an.guardIdx[key]; ok {
+			return gi, nil
+		}
+		gi := len(an.guards)
+		info := &guardInfo{key: key, c: c}
+		for s, coeff := range c.L.Coeffs {
+			if coeff > 0 && isShared(a, s) {
+				info.vars = append(info.vars, s)
+			}
+		}
+		sort.Slice(info.vars, func(i, j int) bool { return info.vars[i] < info.vars[j] })
+		it, err := e.guardInitiallyTrue(c, an.resilience)
+		if err != nil {
+			return 0, err
+		}
+		info.initiallyTrue = it
+		an.guards = append(an.guards, info)
+		an.guardIdx[key] = gi
+		return gi, nil
+	}
+
+	an.ruleGuards = make([][]int, len(an.rules))
+	for i, ri := range an.rules {
+		for _, g := range a.Rules[ri].Guard {
+			gi, err := intern(g)
+			if err != nil {
+				return nil, err
+			}
+			an.ruleGuards[i] = append(an.ruleGuards[i], gi)
+		}
+	}
+	if q.Kind == spec.Liveness {
+		for _, j := range q.Justice {
+			for _, trig := range j.Trigger {
+				if _, err := intern(trig); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	if err := an.computeLevels(a); err != nil {
+		return nil, err
+	}
+	if err := an.computeBackwardGuards(a); err != nil {
+		return nil, err
+	}
+	return an, nil
+}
+
+// computeBackwardGuards classifies every live gating guard as forward or
+// backward. A guard is *forward* when every rule that can increment one of
+// its variables sits strictly shallower in the progress DAG than every rule
+// it gates: then, within a single topological pass, the unlocking increments
+// always precede the gated firings, so the guard's unlock never requires a
+// new pass. A *backward* guard (some incrementer at depth >= some gated
+// rule) forces at most one pass boundary — it unlocks only once.
+func (an *analysis) computeBackwardGuards(a *ta.TA) error {
+	depth, err := a.Depth()
+	if err != nil {
+		return err
+	}
+	gatedMinDepth := make(map[int]int)
+	for i, ri := range an.rules {
+		if an.ruleLevel[i] < 0 {
+			continue
+		}
+		d := depth[a.Rules[ri].From]
+		for _, gi := range an.ruleGuards[i] {
+			if cur, ok := gatedMinDepth[gi]; !ok || d < cur {
+				gatedMinDepth[gi] = d
+			}
+		}
+	}
+	an.gatingGuards = len(gatedMinDepth)
+	for gi, minDepth := range gatedMinDepth {
+		// Note: initiallyTrue guards are NOT exempt — initial truth is an
+		// existential check over parameters, so for other parameter
+		// valuations the guard may still unlock backward and need its pass.
+		backward := false
+		for i, ri := range an.rules {
+			if an.ruleLevel[i] < 0 || backward {
+				continue
+			}
+			r := a.Rules[ri]
+			for _, v := range an.guards[gi].vars {
+				if d, ok := r.Update[v]; ok && d > 0 && depth[r.From] >= minDepth {
+					backward = true
+					break
+				}
+			}
+		}
+		if backward {
+			an.backwardGuards++
+		}
+	}
+	return nil
+}
+
+func isShared(a *ta.TA, s expr.Sym) bool {
+	for _, sh := range a.Shared {
+		if sh == s {
+			return true
+		}
+	}
+	return false
+}
+
+// guardInitiallyTrue checks whether the guard can hold before any rule fires
+// (all shared variables zero), under the resilience condition.
+func (e *Engine) guardInitiallyTrue(g expr.Constraint, resilience []expr.Constraint) (bool, error) {
+	zeroed := g.Clone()
+	for _, s := range e.ta.Shared {
+		if err := zeroed.L.Substitute(s, expr.NewLin(0)); err != nil {
+			return false, err
+		}
+	}
+	solver := smt.NewSolver(e.ta.Table)
+	solver.AssertAll(resilience)
+	solver.Assert(zeroed)
+	st, _, err := solver.CheckInteger(1 << 14)
+	if err != nil {
+		return false, err
+	}
+	// Unknown (budget exhausted) must be treated as "possibly true":
+	// initiallyTrue only ever ADDS unlockability and schedule slots, so the
+	// conservative answer keeps the checker sound.
+	return st != smt.Unsat, nil
+}
+
+// computeLevels runs the dependency fixpoint: wave k+1 unlocks every guard
+// whose positive shared variables can be incremented by a rule that is
+// available at wave k (guard unlocked, source reachable). It also records
+// the reachable location set per wave.
+func (an *analysis) computeLevels(a *ta.TA) error {
+	unlocked := make([]bool, len(an.guards))
+	for gi, g := range an.guards {
+		if g.initiallyTrue || len(g.vars) == 0 {
+			unlocked[gi] = true
+			g.level = 0
+		}
+	}
+
+	reach := make(map[ta.LocID]bool)
+	for _, l := range an.initLocs {
+		reach[l] = true
+	}
+
+	ruleAvailable := func(i int) bool {
+		if !reach[a.Rules[an.rules[i]].From] {
+			return false
+		}
+		for _, gi := range an.ruleGuards[i] {
+			if !unlocked[gi] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Close reachability under currently available rules.
+	closeReach := func() {
+		for changed := true; changed; {
+			changed = false
+			for i, ri := range an.rules {
+				r := a.Rules[ri]
+				if reach[r.From] && !reach[r.To] && ruleAvailable(i) {
+					reach[r.To] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	level := 0
+	closeReach()
+	an.reachByLevel = append(an.reachByLevel, copyReach(reach))
+
+	for {
+		// Which shared variables can currently be incremented?
+		incrementable := make(map[expr.Sym]bool)
+		for i, ri := range an.rules {
+			if !ruleAvailable(i) {
+				continue
+			}
+			for s, d := range a.Rules[ri].Update {
+				if d > 0 {
+					incrementable[s] = true
+				}
+			}
+		}
+		changed := false
+		for gi, g := range an.guards {
+			if unlocked[gi] {
+				continue
+			}
+			for _, v := range g.vars {
+				if incrementable[v] {
+					unlocked[gi] = true
+					g.level = level + 1
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		level++
+		closeReach()
+		an.reachByLevel = append(an.reachByLevel, copyReach(reach))
+	}
+	an.maxLevel = level
+
+	for i := range an.rules {
+		lv := 0
+		dead := false
+		for _, gi := range an.ruleGuards[i] {
+			if !unlocked[gi] {
+				dead = true
+				break
+			}
+			if an.guards[gi].level > lv {
+				lv = an.guards[gi].level
+			}
+		}
+		if dead || !reach[a.Rules[an.rules[i]].From] {
+			an.ruleLevel[i] = -1
+		} else {
+			an.ruleLevel[i] = lv
+		}
+	}
+	return nil
+}
+
+func copyReach(m map[ta.LocID]bool) map[ta.LocID]bool {
+	out := make(map[ta.LocID]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// reachAt returns the reachability set for a wave, clamped to the fixpoint.
+func (an *analysis) reachAt(level int) map[ta.LocID]bool {
+	if level >= len(an.reachByLevel) {
+		return an.reachByLevel[len(an.reachByLevel)-1]
+	}
+	if level < 0 {
+		level = 0
+	}
+	return an.reachByLevel[level]
+}

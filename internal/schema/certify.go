@@ -1,0 +1,90 @@
+package schema
+
+import (
+	"fmt"
+
+	"repro/internal/counter"
+	"repro/internal/expr"
+	"repro/internal/spec"
+)
+
+// certify re-checks every condition of the query against a concrete replayed
+// trace, independently of the SMT encoding.
+func certify(sys *counter.System, q *spec.Query, trace []counter.Config) error {
+	if len(trace) == 0 {
+		return fmt.Errorf("empty trace")
+	}
+	a := sys.TA
+	final := trace[len(trace)-1]
+
+	valAt := func(c counter.Config) func(expr.Sym) int64 {
+		return func(s expr.Sym) int64 {
+			for i, sh := range a.Shared {
+				if sh == s {
+					return c.V[i]
+				}
+			}
+			return sys.Params[s]
+		}
+	}
+
+	for _, l := range q.InitEmpty {
+		if trace[0].K[l] != 0 {
+			return fmt.Errorf("InitEmpty violated at %s", a.Locations[l].Name)
+		}
+	}
+	for _, l := range q.GlobalEmpty {
+		for i, c := range trace {
+			if c.K[l] != 0 {
+				return fmt.Errorf("GlobalEmpty violated at %s (frame %d)", a.Locations[l].Name, i)
+			}
+		}
+	}
+	for _, set := range q.VisitNonempty {
+		visited := false
+		for _, c := range trace {
+			if counter.SumLocs(c, set) > 0 {
+				visited = true
+				break
+			}
+		}
+		if !visited {
+			return fmt.Errorf("visit witness %s never satisfied", set.String(a))
+		}
+	}
+	for _, c := range q.FinalShared {
+		ok, err := c.Holds(valAt(final))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("final shared condition %s violated", c.String(a.Table))
+		}
+	}
+	for _, set := range q.FinalNonempty {
+		if counter.SumLocs(final, set) == 0 {
+			return fmt.Errorf("final nonemptiness of %s violated", set.String(a))
+		}
+	}
+	if q.Kind == spec.Liveness {
+		val := valAt(final)
+		for _, j := range q.Justice {
+			triggered := true
+			for _, t := range j.Trigger {
+				ok, err := t.Holds(val)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					triggered = false
+					break
+				}
+			}
+			if triggered && final.K[j.Loc] > 0 {
+				return fmt.Errorf("final configuration is not justice-stable: %s triggered but %s nonempty",
+					j.Name, a.Locations[j.Loc].Name)
+			}
+		}
+	}
+	return nil
+}

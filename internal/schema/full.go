@@ -1,0 +1,278 @@
+package schema
+
+import (
+	"time"
+
+	"repro/internal/smt"
+	"repro/internal/spec"
+	"repro/internal/ta"
+)
+
+// checkFull enumerates schemas as ordered subsets of the rule-gating guard
+// alphabet — the original POPL'17 scheme that ByMC runs. Every schema fixes
+// the order in which guards unlock; between unlock points all enabled rules
+// fire accelerated factors in topological order.
+//
+// Because the number of ordered subsets grows super-exponentially with the
+// alphabet, the enumeration is preceded by a structural counting pass with
+// the MaxSchemas cutoff: exceeding it reports spec.Budget, reproducing the
+// fate of the naive consensus automaton in Table 2 (>100,000 schemas,
+// >24h) without burning the time.
+func (e *Engine) checkFull(q *spec.Query, res *Result, start time.Time) error {
+	an, err := e.analyze(q)
+	if err != nil {
+		return err
+	}
+
+	// The enumeration alphabet: guards that gate at least one rule.
+	gatingSet := make(map[int]bool)
+	for i := range an.rules {
+		for _, gi := range an.ruleGuards[i] {
+			gatingSet[gi] = true
+		}
+	}
+	var alphabet []int
+	for gi := range an.guards {
+		if gatingSet[gi] {
+			alphabet = append(alphabet, gi)
+		}
+	}
+
+	// Phase 1: structural count with cutoff.
+	count := e.countSchemas(an, alphabet)
+	res.Schemas = count
+	if count > e.opts.MaxSchemas {
+		res.Outcome = spec.Budget
+		return nil
+	}
+
+	// Phase 2: enumerate, encode and solve every schema.
+	w := &fullWalk{e: e, an: an, alphabet: alphabet, start: start}
+	err = w.walk(nil, make(map[int]bool))
+	if err != nil {
+		return err
+	}
+	res.Schemas = w.solved
+	if w.solved > 0 {
+		res.AvgLen = float64(w.totalLen) / float64(w.solved)
+	}
+	res.Solver = w.stats
+	switch {
+	case w.ce != nil:
+		res.Outcome = spec.Violated
+		res.CE = w.ce
+	case w.timedOut || w.unknown:
+		res.Outcome = spec.Budget
+	default:
+		res.Outcome = spec.Holds
+	}
+	return nil
+}
+
+type fullWalk struct {
+	e        *Engine
+	an       *analysis
+	alphabet []int
+	start    time.Time
+
+	solved   int
+	totalLen int
+	ce       *Counterexample
+	timedOut bool
+	unknown  bool
+	stats    smt.Stats
+}
+
+// walk visits every ordered subset of the alphabet reachable under the
+// unlockability relation, solving the schema at each node (including the
+// empty one). It stops early on a counterexample or timeout.
+func (w *fullWalk) walk(ctx []int, unlocked map[int]bool) error {
+	if w.ce != nil || w.timedOut {
+		return nil
+	}
+	if w.e.opts.Timeout > 0 && time.Since(w.start) > w.e.opts.Timeout {
+		w.timedOut = true
+		return nil
+	}
+
+	st, ce, slots, stats, err := w.e.solveSchema(w.an, ctx)
+	if err != nil {
+		return err
+	}
+	w.solved++
+	w.totalLen += slots
+	w.stats.LPChecks += stats.LPChecks
+	w.stats.Pivots += stats.Pivots
+	w.stats.Rebuilds += stats.Rebuilds
+	w.stats.BBNodes += stats.BBNodes
+	w.stats.CaseSplit += stats.CaseSplit
+	switch st {
+	case smt.Sat:
+		w.ce = ce
+		return nil
+	case smt.Unknown:
+		w.unknown = true
+	}
+
+	for _, gi := range w.alphabet {
+		if unlocked[gi] {
+			continue
+		}
+		if !w.e.unlockable(w.an, unlocked, gi) {
+			continue
+		}
+		unlocked[gi] = true
+		err := w.walk(append(ctx, gi), unlocked)
+		delete(unlocked, gi)
+		if err != nil {
+			return err
+		}
+		if w.ce != nil || w.timedOut {
+			return nil
+		}
+	}
+	return nil
+}
+
+// countSchemas counts the nodes of the enumeration tree, stopping once the
+// count exceeds MaxSchemas.
+func (e *Engine) countSchemas(an *analysis, alphabet []int) int {
+	limit := e.opts.MaxSchemas
+	count := 0
+	var rec func(unlocked map[int]bool)
+	rec = func(unlocked map[int]bool) {
+		count++
+		if count > limit {
+			return
+		}
+		for _, gi := range alphabet {
+			if unlocked[gi] || !e.unlockable(an, unlocked, gi) {
+				continue
+			}
+			unlocked[gi] = true
+			rec(unlocked)
+			delete(unlocked, gi)
+			if count > limit {
+				return
+			}
+		}
+	}
+	rec(make(map[int]bool))
+	return count
+}
+
+// reachUnder computes the locations reachable from the initial locations via
+// rules whose guard conjuncts are all unlocked.
+func (e *Engine) reachUnder(an *analysis, unlocked map[int]bool) map[ta.LocID]bool {
+	reach := make(map[ta.LocID]bool, len(e.ta.Locations))
+	for _, l := range an.initLocs {
+		reach[l] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, ri := range an.rules {
+			r := e.ta.Rules[ri]
+			if !reach[r.From] || reach[r.To] {
+				continue
+			}
+			ok := true
+			for _, gi := range an.ruleGuards[i] {
+				if !unlocked[gi] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				reach[r.To] = true
+				changed = true
+			}
+		}
+	}
+	return reach
+}
+
+// unlockable reports whether the guard could become true next, given the
+// currently unlocked set: it is satisfiable with zero increments, or some
+// rule whose guards are unlocked increments one of its variables. Like
+// ByMC's enumeration, this prunes only by guard dependency, not by location
+// reachability — reachability pruning would shrink the naive automaton's
+// schema count below the explosion the paper reports (it is still applied
+// to the *encoding* of each schema, where it is a pure optimization).
+func (e *Engine) unlockable(an *analysis, unlocked map[int]bool, gi int) bool {
+	g := an.guards[gi]
+	if g.initiallyTrue {
+		return true
+	}
+	for i, ri := range an.rules {
+		r := e.ta.Rules[ri]
+		enabled := true
+		for _, gj := range an.ruleGuards[i] {
+			if !unlocked[gj] {
+				enabled = false
+				break
+			}
+		}
+		if !enabled {
+			continue
+		}
+		for _, v := range g.vars {
+			if d, ok := r.Update[v]; ok && d > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// solveSchema encodes and solves the schema for one ordered guard context.
+func (e *Engine) solveSchema(an *analysis, ctx []int) (smt.Status, *Counterexample, int, smt.Stats, error) {
+	enc, err := e.newEncoding(an)
+	if err != nil {
+		return 0, nil, 0, smt.Stats{}, err
+	}
+	unlocked := make(map[int]bool, len(ctx))
+
+	addSegment := func() error {
+		reach := e.reachUnder(an, unlocked)
+		for i, ri := range an.rules {
+			r := e.ta.Rules[ri]
+			if !reach[r.From] {
+				continue
+			}
+			ok := true
+			for _, gi := range an.ruleGuards[i] {
+				if !unlocked[gi] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if err := enc.addSlot(ri, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := addSegment(); err != nil {
+		return 0, nil, 0, smt.Stats{}, err
+	}
+	for _, gi := range ctx {
+		// The guard becomes true at this boundary (its increments happened
+		// in the preceding segments).
+		if err := enc.assertGuardNow(an.guards[gi].c); err != nil {
+			return 0, nil, 0, smt.Stats{}, err
+		}
+		unlocked[gi] = true
+		if err := addSegment(); err != nil {
+			return 0, nil, 0, smt.Stats{}, err
+		}
+	}
+	if err := enc.assertQueryConditions(); err != nil {
+		return 0, nil, 0, smt.Stats{}, err
+	}
+	st, ce, err := enc.solve()
+	return st, ce, len(enc.slots), enc.solver.Stats, err
+}

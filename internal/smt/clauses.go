@@ -1,0 +1,191 @@
+package smt
+
+import (
+	"math/big"
+	"time"
+
+	"repro/internal/expr"
+)
+
+// Lit is one disjunct of a Clause. Asserting the literal asserts C plus
+// every constraint in Implied: facts entailed by C that the linear
+// relaxation cannot derive by itself but that prune the search dramatically
+// (e.g. a rising guard asserted at one frame also holds at all later
+// frames).
+type Lit struct {
+	C       expr.Constraint
+	Implied []expr.Constraint
+}
+
+// Clause is a disjunction of literals: at least one must hold. Clauses
+// express the non-convex side conditions of the schema encodings:
+// per-firing guard obligations ("factor is zero OR the guard holds here")
+// and the justice preconditions of liveness queries (Appendix F's
+// "location empty OR trigger still locked").
+type Clause []Lit
+
+// ClauseOf builds a clause from plain constraints without implied facts.
+func ClauseOf(cs ...expr.Constraint) Clause {
+	out := make(Clause, len(cs))
+	for i, c := range cs {
+		out[i] = Lit{C: c}
+	}
+	return out
+}
+
+// ClauseLimits bounds the lazy case-splitting search.
+type ClauseLimits struct {
+	// MaxSplits bounds the number of branches explored (0 = default).
+	MaxSplits int
+	// MaxBBNodes bounds branch-and-bound nodes per leaf (0 = default).
+	MaxBBNodes int
+	// Deadline, when nonzero, aborts the search with Unknown once passed.
+	Deadline time.Time
+}
+
+func (l ClauseLimits) withDefaults() ClauseLimits {
+	if l.MaxSplits <= 0 {
+		l.MaxSplits = 1 << 16
+	}
+	if l.MaxBBNodes <= 0 {
+		l.MaxBBNodes = 1 << 12
+	}
+	return l
+}
+
+// CheckClauses decides integer satisfiability of the asserted constraints
+// conjoined with every clause, DPLL(T)-style: the rational relaxation prunes
+// branches, and splitting happens lazily — only on clauses the current
+// rational model violates. When the model satisfies every clause, the
+// model-chosen literals are asserted and an integer model is sought; if
+// that fails, the search falls back to systematic branching.
+//
+// On Sat the returned model satisfies the hard constraints and at least one
+// literal of every clause.
+func (s *Solver) CheckClauses(clauses []Clause, limits ClauseLimits) (Status, Model, error) {
+	limits = limits.withDefaults()
+	splits := 0
+	return s.checkClausesRec(clauses, limits, &splits)
+}
+
+func (s *Solver) assertLit(l Lit) {
+	s.Assert(l.C)
+	s.AssertAll(l.Implied)
+}
+
+func (s *Solver) checkClausesRec(clauses []Clause, limits ClauseLimits, splits *int) (Status, Model, error) {
+	if *splits >= limits.MaxSplits {
+		return Unknown, nil, nil
+	}
+	if !limits.Deadline.IsZero() && time.Now().After(limits.Deadline) {
+		return Unknown, nil, nil
+	}
+	*splits++
+	s.Stats.CaseSplit++
+
+	st, rm, err := s.CheckRational()
+	if err != nil {
+		return 0, nil, err
+	}
+	if st == Unsat {
+		return Unsat, nil, nil
+	}
+
+	// Find a clause the rational model violates.
+	violated := -1
+	for ci, clause := range clauses {
+		sat := false
+		for _, l := range clause {
+			ok, herr := holdsRational(l.C, rm)
+			if herr != nil {
+				return 0, nil, herr
+			}
+			if ok {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			violated = ci
+			break
+		}
+	}
+
+	if violated == -1 {
+		// Every clause is rationally satisfied. Pin the model-chosen
+		// literals and look for an integer model.
+		s.Push()
+		for _, clause := range clauses {
+			for _, l := range clause {
+				ok, herr := holdsRational(l.C, rm)
+				if herr != nil {
+					s.Pop()
+					return 0, nil, herr
+				}
+				if ok {
+					s.assertLit(l)
+					break
+				}
+			}
+		}
+		st, m, err := s.CheckInteger(limits.MaxBBNodes)
+		s.Pop()
+		if err != nil {
+			return 0, nil, err
+		}
+		if st == Sat {
+			return Sat, m, nil
+		}
+		if len(clauses) == 0 {
+			return st, nil, nil
+		}
+		// The pinned literal combination has no integer model; fall back to
+		// systematic branching on the first clause.
+		violated = 0
+	}
+
+	clause := clauses[violated]
+	rest := make([]Clause, 0, len(clauses)-1)
+	rest = append(rest, clauses[:violated]...)
+	rest = append(rest, clauses[violated+1:]...)
+
+	sawUnknown := false
+	for _, l := range clause {
+		s.Push()
+		s.assertLit(l)
+		st, m, err := s.checkClausesRec(rest, limits, splits)
+		s.Pop()
+		if err != nil {
+			return 0, nil, err
+		}
+		switch st {
+		case Sat:
+			return Sat, m, nil
+		case Unknown:
+			sawUnknown = true
+		}
+	}
+	if sawUnknown {
+		return Unknown, nil, nil
+	}
+	return Unsat, nil, nil
+}
+
+// holdsRational evaluates a constraint under a rational model.
+func holdsRational(c expr.Constraint, m RatModel) (bool, error) {
+	acc := new(big.Rat).SetInt64(c.L.Const)
+	term := new(big.Rat)
+	for s, coeff := range c.L.Coeffs {
+		term.SetInt64(coeff)
+		term.Mul(term, m.Value(s))
+		acc.Add(acc, term)
+	}
+	switch c.Op {
+	case expr.GE:
+		return acc.Sign() >= 0, nil
+	case expr.EQ:
+		return acc.Sign() == 0, nil
+	default:
+		return false, nil
+	}
+}

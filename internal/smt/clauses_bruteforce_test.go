@@ -1,0 +1,103 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// TestCheckClausesAgainstBruteForce cross-validates the lazy DPLL(T) search
+// against explicit enumeration of all disjunct combinations on random small
+// instances: for each combination, integer feasibility is decided
+// independently; CheckClauses must say Sat iff some combination is Sat.
+func TestCheckClausesAgainstBruteForce(t *testing.T) {
+	tab := expr.NewTable()
+	syms := []expr.Sym{tab.Intern("ca"), tab.Intern("cb"), tab.Intern("cc")}
+
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(5000 + trial)))
+
+		var hard []expr.Constraint
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			hard = append(hard, randConstraint(rng, syms))
+		}
+		// Bound the domain so brute-force integer checks stay small.
+		for _, s := range syms {
+			b, err := expr.Le(expr.Var(s), expr.NewLin(6))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hard = append(hard, b)
+		}
+		var clauses []Clause
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			var cl Clause
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				cl = append(cl, Lit{C: randConstraint(rng, syms)})
+			}
+			clauses = append(clauses, cl)
+		}
+
+		// Lazy search.
+		s := NewSolver(tab)
+		s.AssertAll(hard)
+		got, model, err := s.CheckClauses(clauses, ClauseLimits{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// Brute force over disjunct choices.
+		want := Unsat
+		var rec func(i int, chosen []expr.Constraint) bool
+		rec = func(i int, chosen []expr.Constraint) bool {
+			if i == len(clauses) {
+				fresh := NewSolver(tab)
+				fresh.AssertAll(hard)
+				fresh.AssertAll(chosen)
+				st, _, err := fresh.CheckInteger(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st == Sat
+			}
+			for _, lit := range clauses[i] {
+				if rec(i+1, append(chosen, lit.C)) {
+					return true
+				}
+			}
+			return false
+		}
+		if rec(0, nil) {
+			want = Sat
+		}
+
+		if got != want {
+			t.Fatalf("trial %d: CheckClauses=%v brute-force=%v (hard=%d clauses=%d)",
+				trial, got, want, len(hard), len(clauses))
+		}
+		if got == Sat {
+			// The model must satisfy hard constraints and one lit per clause.
+			if err := s.Verify(model); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			val := func(sym expr.Sym) int64 { return model.Value(sym) }
+			for ci, cl := range clauses {
+				ok := false
+				for _, lit := range cl {
+					h, err := lit.C.Holds(val)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if h {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("trial %d: model violates clause %d", trial, ci)
+				}
+			}
+		}
+	}
+}

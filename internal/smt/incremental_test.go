@@ -1,0 +1,215 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// randConstraint builds a random small linear constraint over the symbols.
+func randConstraint(rng *rand.Rand, syms []expr.Sym) expr.Constraint {
+	l := expr.NewLin(int64(rng.Intn(13) - 6))
+	for _, s := range syms {
+		_ = l.AddTerm(s, int64(rng.Intn(5)-2))
+	}
+	op := expr.GE
+	if rng.Intn(5) == 0 {
+		op = expr.EQ
+	}
+	return expr.Constraint{L: l, Op: op}
+}
+
+// TestIncrementalMatchesFresh drives a solver through a random sequence of
+// Assert/Push/Pop/Check operations and, after every check, compares the
+// warm-started (dual-simplex) verdict against a fresh solver over the same
+// assertion set. This is the regression net for the incremental LP core.
+func TestIncrementalMatchesFresh(t *testing.T) {
+	tab := expr.NewTable()
+	syms := []expr.Sym{tab.Intern("a"), tab.Intern("b"), tab.Intern("c"), tab.Intern("d")}
+
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		s := NewSolver(tab)
+		var stack [][]expr.Constraint // mirror of the assertion scopes
+		stack = append(stack, nil)
+
+		current := func() []expr.Constraint {
+			var all []expr.Constraint
+			for _, frame := range stack {
+				all = append(all, frame...)
+			}
+			return all
+		}
+
+		for step := 0; step < 60; step++ {
+			switch op := rng.Intn(10); {
+			case op < 4: // assert
+				c := randConstraint(rng, syms)
+				s.Assert(c)
+				stack[len(stack)-1] = append(stack[len(stack)-1], c)
+			case op < 6: // push
+				s.Push()
+				stack = append(stack, nil)
+			case op < 8: // pop
+				if len(stack) > 1 {
+					s.Pop()
+					stack = stack[:len(stack)-1]
+				}
+			default: // check and compare against a fresh solver
+				st, m, err := s.CheckRational()
+				if err != nil {
+					t.Fatalf("trial %d step %d: %v", trial, step, err)
+				}
+				fresh := NewSolver(tab)
+				fresh.AssertAll(current())
+				fst, _, err := fresh.CheckRational()
+				if err != nil {
+					t.Fatalf("trial %d step %d: fresh: %v", trial, step, err)
+				}
+				if st != fst {
+					t.Fatalf("trial %d step %d: incremental=%v fresh=%v over %d constraints",
+						trial, step, st, fst, len(current()))
+				}
+				if st == Sat {
+					// The rational model must satisfy every constraint.
+					for i, c := range current() {
+						ok, herr := holdsRational(c, m)
+						if herr != nil {
+							t.Fatal(herr)
+						}
+						if !ok {
+							t.Fatalf("trial %d step %d: model violates constraint %d: %s",
+								trial, step, i, c.String(tab))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalIntegerMatchesFresh repeats the comparison for the integer
+// decision (branch-and-bound runs many warm-started LPs internally).
+func TestIncrementalIntegerMatchesFresh(t *testing.T) {
+	tab := expr.NewTable()
+	syms := []expr.Sym{tab.Intern("x"), tab.Intern("y"), tab.Intern("z")}
+
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		s := NewSolver(tab)
+		var cons []expr.Constraint
+		n := 2 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			c := randConstraint(rng, syms)
+			cons = append(cons, c)
+			s.Assert(c)
+		}
+		// Bound the domain to keep B&B small.
+		for _, sym := range syms {
+			b, err := expr.Le(expr.Var(sym), expr.NewLin(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cons = append(cons, b)
+			s.Assert(b)
+		}
+
+		// First a rational check to warm the basis, then the integer check.
+		if _, _, err := s.CheckRational(); err != nil {
+			t.Fatal(err)
+		}
+		st, m, err := s.CheckInteger(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		fresh := NewSolver(tab)
+		fresh.AssertAll(cons)
+		fst, _, err := fresh.CheckInteger(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != fst {
+			t.Fatalf("trial %d: incremental=%v fresh=%v", trial, st, fst)
+		}
+		if st == Sat {
+			if err := s.Verify(m); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+	}
+}
+
+// TestWarmStartActuallyWarm asserts the machinery is engaged: a second check
+// after one extra assertion must not rebuild from scratch.
+func TestWarmStartActuallyWarm(t *testing.T) {
+	tab := expr.NewTable()
+	x := tab.Intern("wx")
+	y := tab.Intern("wy")
+	s := NewSolver(tab)
+	ge, err := expr.Ge(expr.Var(x), expr.NewLin(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Assert(ge)
+	if st, _, err := s.CheckRational(); err != nil || st != Sat {
+		t.Fatalf("first check: %v %v", st, err)
+	}
+	rebuilds := s.Stats.Rebuilds
+
+	s.Push()
+	ge2, err := expr.Ge(expr.Var(y), expr.Var(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Assert(ge2)
+	if st, _, err := s.CheckRational(); err != nil || st != Sat {
+		t.Fatalf("second check: %v %v", st, err)
+	}
+	if s.Stats.Rebuilds != rebuilds {
+		t.Errorf("second check rebuilt the tableau (rebuilds %d -> %d)", rebuilds, s.Stats.Rebuilds)
+	}
+	s.Pop()
+
+	// After Pop the snapshot basis serves the next check too.
+	if st, _, err := s.CheckRational(); err != nil || st != Sat {
+		t.Fatalf("post-pop check: %v %v", st, err)
+	}
+	if s.Stats.Rebuilds != rebuilds {
+		t.Errorf("post-pop check rebuilt the tableau")
+	}
+}
+
+// TestUnsatThenRecover: after an Unsat verdict invalidates the warm basis,
+// the solver recovers by rebuilding on demand.
+func TestUnsatThenRecover(t *testing.T) {
+	tab := expr.NewTable()
+	x := tab.Intern("rx")
+	s := NewSolver(tab)
+	ge, err := expr.Ge(expr.Var(x), expr.NewLin(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Assert(ge)
+	if st, _, _ := s.CheckRational(); st != Sat {
+		t.Fatal("expected sat")
+	}
+	s.Push()
+	le, err := expr.Le(expr.Var(x), expr.NewLin(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Assert(le)
+	if st, _, _ := s.CheckRational(); st != Unsat {
+		t.Fatal("expected unsat")
+	}
+	// Re-check at the same level: still unsat (forces a rebuild path).
+	if st, _, _ := s.CheckRational(); st != Unsat {
+		t.Fatal("expected unsat on re-check")
+	}
+	s.Pop()
+	if st, _, _ := s.CheckRational(); st != Sat {
+		t.Fatal("expected sat after pop")
+	}
+}

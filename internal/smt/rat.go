@@ -1,0 +1,217 @@
+package smt
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// rat is an exact rational number optimized for the small values that
+// dominate simplex tableaus: it stores an int64 numerator/denominator pair
+// and transparently promotes to big.Rat when an operation would overflow.
+// The zero value is 0.
+//
+// Invariant: when b == nil, d > 0 and gcd(|n|, d) == 1 (or n == 0 and d == 1).
+type rat struct {
+	n, d int64
+	b    *big.Rat
+}
+
+func ratInt(v int64) rat { return rat{n: v, d: 1} }
+
+var ratZero = rat{n: 0, d: 1}
+
+func (r rat) norm() rat {
+	if r.b != nil {
+		return r
+	}
+	if r.d == 0 {
+		// Only reachable via the zero value; treat as 0.
+		return ratZero
+	}
+	// MinInt64 cannot be negated or safely abs'd in int64; promote.
+	if r.n == math.MinInt64 || r.d == math.MinInt64 {
+		return rat{b: big.NewRat(r.n, r.d)}
+	}
+	if r.d < 0 {
+		r.n, r.d = -r.n, -r.d
+	}
+	g := gcd64(abs64(r.n), r.d)
+	if g > 1 {
+		r.n /= g
+		r.d /= g
+	}
+	return r
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+func (r rat) toBig() *big.Rat {
+	if r.b != nil {
+		return r.b
+	}
+	d := r.d
+	if d == 0 {
+		d = 1
+	}
+	return big.NewRat(r.n, d)
+}
+
+func fromBig(b *big.Rat) rat {
+	if b.Num().IsInt64() && b.Denom().IsInt64() {
+		return rat{n: b.Num().Int64(), d: b.Denom().Int64()}.norm()
+	}
+	return rat{b: new(big.Rat).Set(b)}
+}
+
+func mulOverflows(a, b int64) bool {
+	if a == 0 || b == 0 {
+		return false
+	}
+	// MinInt64 * -1 wraps to MinInt64 and passes the division check.
+	if (a == math.MinInt64 && b == -1) || (b == math.MinInt64 && a == -1) {
+		return true
+	}
+	p := a * b
+	return p/b != a
+}
+
+func addOverflows(a, b int64) bool {
+	s := a + b
+	return (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0)
+}
+
+// fastOK reports whether both operands can go through the int64 fast path:
+// MinInt64 components break abs/gcd/negation and must take the big path.
+func fastOK(r, o rat) bool {
+	return r.b == nil && o.b == nil &&
+		r.n != math.MinInt64 && r.d != math.MinInt64 &&
+		o.n != math.MinInt64 && o.d != math.MinInt64
+}
+
+func (r rat) add(o rat) rat {
+	if fastOK(r, o) {
+		rd, od := r.d, o.d
+		if rd == 0 {
+			rd = 1
+		}
+		if od == 0 {
+			od = 1
+		}
+		// n = r.n*od + o.n*rd ; d = rd*od
+		if !mulOverflows(r.n, od) && !mulOverflows(o.n, rd) && !mulOverflows(rd, od) {
+			x, y := r.n*od, o.n*rd
+			if !addOverflows(x, y) {
+				return rat{n: x + y, d: rd * od}.norm()
+			}
+		}
+	}
+	return fromBig(new(big.Rat).Add(r.toBig(), o.toBig()))
+}
+
+func (r rat) sub(o rat) rat { return r.add(o.neg()) }
+
+func (r rat) neg() rat {
+	if r.b == nil {
+		if r.n == -9223372036854775808 { // -MinInt64 overflows
+			return fromBig(new(big.Rat).Neg(r.toBig()))
+		}
+		out := r
+		out.n = -out.n
+		return out.norm()
+	}
+	return fromBig(new(big.Rat).Neg(r.b))
+}
+
+func (r rat) mul(o rat) rat {
+	if fastOK(r, o) {
+		rd, od := r.d, o.d
+		if rd == 0 {
+			rd = 1
+		}
+		if od == 0 {
+			od = 1
+		}
+		// Cross-reduce before multiplying to keep magnitudes small.
+		g1 := gcd64(abs64(r.n), od)
+		g2 := gcd64(abs64(o.n), rd)
+		rn, rod := r.n/g1, od/g1
+		on, rrd := o.n/g2, rd/g2
+		if !mulOverflows(rn, on) && !mulOverflows(rod, rrd) {
+			return rat{n: rn * on, d: rod * rrd}.norm()
+		}
+	}
+	return fromBig(new(big.Rat).Mul(r.toBig(), o.toBig()))
+}
+
+func (r rat) div(o rat) rat {
+	if o.sign() == 0 {
+		// Division by zero is a programming error in the simplex core.
+		panic("smt: rational division by zero")
+	}
+	inv := o
+	if o.b == nil && o.n != math.MinInt64 && o.d != math.MinInt64 {
+		od := o.d
+		if od == 0 {
+			od = 1
+		}
+		inv = rat{n: od, d: o.n}.norm()
+	} else {
+		inv = fromBig(new(big.Rat).Inv(o.toBig()))
+	}
+	return r.mul(inv)
+}
+
+func (r rat) sign() int {
+	if r.b != nil {
+		return r.b.Sign()
+	}
+	switch {
+	case r.n > 0:
+		return 1
+	case r.n < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+func (r rat) cmp(o rat) int {
+	return r.sub(o).sign()
+}
+
+func (r rat) isInt() bool {
+	if r.b != nil {
+		return r.b.IsInt()
+	}
+	return r.d == 1 || r.n == 0
+}
+
+func (r rat) String() string {
+	if r.b != nil {
+		return r.b.RatString()
+	}
+	d := r.d
+	if d == 0 {
+		d = 1
+	}
+	if d == 1 {
+		return fmt.Sprintf("%d", r.n)
+	}
+	return fmt.Sprintf("%d/%d", r.n, d)
+}

@@ -1,0 +1,177 @@
+package smt
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestRatBasics(t *testing.T) {
+	a := ratInt(3)
+	b := rat{n: 1, d: 2}
+	sum := a.add(b)
+	if sum.String() != "7/2" {
+		t.Errorf("3 + 1/2 = %s, want 7/2", sum)
+	}
+	if got := a.mul(b).String(); got != "3/2" {
+		t.Errorf("3 * 1/2 = %s, want 3/2", got)
+	}
+	if got := a.div(b).String(); got != "6" {
+		t.Errorf("3 / (1/2) = %s, want 6", got)
+	}
+	if got := a.sub(b).String(); got != "5/2" {
+		t.Errorf("3 - 1/2 = %s, want 5/2", got)
+	}
+	if a.cmp(b) <= 0 {
+		t.Error("3 should compare greater than 1/2")
+	}
+	if !a.isInt() || b.isInt() {
+		t.Error("isInt misclassified")
+	}
+}
+
+func TestRatZeroValue(t *testing.T) {
+	var z rat
+	if z.sign() != 0 {
+		t.Error("zero value should have sign 0")
+	}
+	if got := z.add(ratInt(5)); got.cmp(ratInt(5)) != 0 {
+		t.Errorf("0 + 5 = %s", got)
+	}
+	if got := z.mul(ratInt(5)); got.sign() != 0 {
+		t.Errorf("0 * 5 = %s", got)
+	}
+	if !z.isInt() {
+		t.Error("zero should be integral")
+	}
+}
+
+func TestRatNormalization(t *testing.T) {
+	r := rat{n: 4, d: -8}.norm()
+	if r.n != -1 || r.d != 2 {
+		t.Errorf("4/-8 normalized to %d/%d, want -1/2", r.n, r.d)
+	}
+}
+
+func TestRatOverflowPromotion(t *testing.T) {
+	huge := ratInt(math.MaxInt64)
+	sum := huge.add(huge)
+	want := new(big.Rat).SetInt64(math.MaxInt64)
+	want.Add(want, want)
+	if sum.toBig().Cmp(want) != 0 {
+		t.Errorf("MaxInt64 + MaxInt64 = %s, want %s", sum, want.RatString())
+	}
+	prod := huge.mul(huge)
+	wantP := new(big.Rat).SetInt64(math.MaxInt64)
+	wantP.Mul(wantP, wantP)
+	if prod.toBig().Cmp(wantP) != 0 {
+		t.Errorf("MaxInt64^2 = %s, want %s", prod, wantP.RatString())
+	}
+	// Arithmetic continues to work in the promoted representation.
+	back := prod.div(huge)
+	if back.toBig().Cmp(new(big.Rat).SetInt64(math.MaxInt64)) != 0 {
+		t.Errorf("MaxInt64^2 / MaxInt64 = %s", back)
+	}
+}
+
+func TestRatNegMinInt64(t *testing.T) {
+	r := ratInt(math.MinInt64)
+	n := r.neg()
+	want := new(big.Rat).SetInt64(math.MinInt64)
+	want.Neg(want)
+	if n.toBig().Cmp(want) != 0 {
+		t.Errorf("neg(MinInt64) = %s, want %s", n, want.RatString())
+	}
+}
+
+func TestRatDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("division by zero should panic")
+		}
+	}()
+	_ = ratInt(1).div(ratZero)
+}
+
+// Property: rat arithmetic agrees with big.Rat on random small fractions.
+func TestQuickRatMatchesBigRat(t *testing.T) {
+	mk := func(n int16, d uint8) (rat, *big.Rat) {
+		den := int64(d%31) + 1
+		return rat{n: int64(n), d: den}.norm(), big.NewRat(int64(n), den)
+	}
+	prop := func(n1 int16, d1 uint8, n2 int16, d2 uint8, op uint8) bool {
+		a, ba := mk(n1, d1)
+		b, bb := mk(n2, d2)
+		var got rat
+		want := new(big.Rat)
+		switch op % 4 {
+		case 0:
+			got = a.add(b)
+			want.Add(ba, bb)
+		case 1:
+			got = a.sub(b)
+			want.Sub(ba, bb)
+		case 2:
+			got = a.mul(b)
+			want.Mul(ba, bb)
+		case 3:
+			if bb.Sign() == 0 {
+				return true
+			}
+			got = a.div(b)
+			want.Quo(ba, bb)
+		}
+		return got.toBig().Cmp(want) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRatMinInt64EdgeCases pins the MinInt64 hazards found in review: the
+// fast int64 path cannot represent -MinInt64, so these inputs must promote
+// to big.Rat with correct values and signs.
+func TestRatMinInt64EdgeCases(t *testing.T) {
+	minI := int64(math.MinInt64)
+
+	// MinInt64 * -1 must be +2^63, not MinInt64.
+	got := ratInt(minI).mul(ratInt(-1))
+	want := new(big.Rat).SetInt64(minI)
+	want.Neg(want)
+	if got.toBig().Cmp(want) != 0 {
+		t.Errorf("MinInt64 * -1 = %s, want %s", got, want.RatString())
+	}
+
+	// 1 / MinInt64 is a small NEGATIVE number; sign must say so.
+	inv := ratInt(1).div(ratInt(minI))
+	if inv.sign() != -1 {
+		t.Errorf("sign(1/MinInt64) = %d, want -1 (value %s)", inv.sign(), inv)
+	}
+	wantInv := big.NewRat(1, 1)
+	wantInv.Quo(wantInv, new(big.Rat).SetInt64(minI))
+	if inv.toBig().Cmp(wantInv) != 0 {
+		t.Errorf("1/MinInt64 = %s, want %s", inv, wantInv.RatString())
+	}
+
+	// Normalizing n/MinInt64 must not leave a negative denominator behind.
+	r := rat{n: 3, d: minI}.norm()
+	if r.sign() != -1 {
+		t.Errorf("sign(3/MinInt64) = %d, want -1", r.sign())
+	}
+	if r.cmp(ratZero) != -1 {
+		t.Errorf("3/MinInt64 should compare below zero")
+	}
+
+	// Addition landing exactly on MinInt64 is representable and must be exact.
+	half := ratInt(math.MinInt64 / 2)
+	sum := half.add(half)
+	if sum.toBig().Cmp(new(big.Rat).SetInt64(minI)) != 0 {
+		t.Errorf("-2^62 + -2^62 = %s, want MinInt64", sum)
+	}
+	// ... and further arithmetic on it stays correct.
+	neg := sum.neg()
+	if neg.toBig().Cmp(want) != 0 {
+		t.Errorf("neg(MinInt64) = %s, want %s", neg, want.RatString())
+	}
+}

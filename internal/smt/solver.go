@@ -1,0 +1,332 @@
+// Package smt implements a small decision procedure for quantifier-free
+// linear integer arithmetic over nonnegative variables: the fragment that the
+// schema encoder (internal/schema) emits. It is the stand-in for the SMT
+// backend (Z3) that ByMC uses in the paper.
+//
+// The core is an exact-arithmetic two-phase simplex over big.Rat for rational
+// feasibility, with branch-and-bound on top for integer feasibility, and a
+// model-guided lazy case-splitting loop for disjunctions (used for the
+// justice/fairness side conditions of liveness queries).
+//
+// Every variable is implicitly constrained to be >= 0; all quantities in the
+// threshold-automata encodings (parameters, location counters, acceleration
+// factors) are naturally nonnegative.
+package smt
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/expr"
+)
+
+// Status is the outcome of a satisfiability check.
+type Status int
+
+const (
+	// Unsat means the asserted constraints are unsatisfiable.
+	Unsat Status = iota + 1
+	// Sat means a model was found.
+	Sat
+	// Unknown means the search budget was exhausted before a decision.
+	Unknown
+)
+
+func (s Status) String() string {
+	switch s {
+	case Unsat:
+		return "unsat"
+	case Sat:
+		return "sat"
+	case Unknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// ErrBudget is returned (wrapped) when a search exceeds its node budget.
+var ErrBudget = errors.New("smt: search budget exhausted")
+
+// Solver accumulates constraints over a symbol table and answers
+// satisfiability queries. Assertions are scoped with Push/Pop. The zero value
+// is not usable; create with NewSolver.
+type Solver struct {
+	tab         *expr.Table
+	constraints []expr.Constraint
+	marks       []int
+
+	// Incremental LP state: the feasible tableau for the first lp.count
+	// asserted constraints, snapshotted across Push/Pop so that sibling
+	// branches restore their parent's basis instead of re-solving phase one.
+	lp      lpState
+	lpStack []lpState
+
+	// Stats accumulates counters across checks; callers may read or reset.
+	Stats Stats
+}
+
+type lpState struct {
+	tab   *tableau // nil = must rebuild from scratch
+	count int      // constraints already incorporated
+}
+
+// Stats records solver effort.
+type Stats struct {
+	LPChecks  int // simplex runs
+	Pivots    int // total simplex pivots
+	Rebuilds  int // full phase-one solves (vs warm-started dual restores)
+	BBNodes   int // branch-and-bound nodes
+	CaseSplit int // lazy disjunction branches explored
+}
+
+// NewSolver returns an empty solver over tab.
+func NewSolver(tab *expr.Table) *Solver {
+	return &Solver{tab: tab}
+}
+
+// Assert adds a constraint at the current scope level.
+func (s *Solver) Assert(c expr.Constraint) {
+	s.constraints = append(s.constraints, c)
+}
+
+// AssertAll adds each constraint at the current scope level.
+func (s *Solver) AssertAll(cs []expr.Constraint) {
+	s.constraints = append(s.constraints, cs...)
+}
+
+// Push opens a new assertion scope, snapshotting the warm LP basis so that
+// Pop can restore it without re-solving.
+func (s *Solver) Push() {
+	s.marks = append(s.marks, len(s.constraints))
+	snap := s.lp
+	if snap.tab != nil {
+		snap.tab = snap.tab.clone()
+	}
+	s.lpStack = append(s.lpStack, snap)
+}
+
+// Pop discards all assertions made since the matching Push. Popping an empty
+// stack is a no-op.
+func (s *Solver) Pop() {
+	if len(s.marks) == 0 {
+		return
+	}
+	n := s.marks[len(s.marks)-1]
+	s.marks = s.marks[:len(s.marks)-1]
+	s.constraints = s.constraints[:n]
+	s.lp = s.lpStack[len(s.lpStack)-1]
+	s.lpStack = s.lpStack[:len(s.lpStack)-1]
+}
+
+// NumAssertions reports the number of currently asserted constraints.
+func (s *Solver) NumAssertions() int { return len(s.constraints) }
+
+// Model maps symbols to values. Symbols not mentioned by any constraint are
+// absent and should be read as zero.
+type Model map[expr.Sym]int64
+
+// Value returns the model value of s (0 when absent).
+func (m Model) Value(s expr.Sym) int64 { return m[s] }
+
+// RatModel is a rational model as produced by the LP core.
+type RatModel map[expr.Sym]*big.Rat
+
+// Value returns the value of s (0 when absent).
+func (m RatModel) Value(s expr.Sym) *big.Rat {
+	if v, ok := m[s]; ok {
+		return v
+	}
+	return new(big.Rat)
+}
+
+// IsIntegral reports whether every value in the model is an integer.
+func (m RatModel) IsIntegral() bool {
+	for _, v := range m {
+		if !v.IsInt() {
+			return false
+		}
+	}
+	return true
+}
+
+// ToInt converts an integral rational model to an integer model. It returns
+// an error if any value is fractional or does not fit in int64.
+func (m RatModel) ToInt() (Model, error) {
+	out := make(Model, len(m))
+	for s, v := range m {
+		if !v.IsInt() {
+			return nil, fmt.Errorf("smt: value of symbol %d is fractional: %s", s, v)
+		}
+		n := v.Num()
+		if !n.IsInt64() {
+			return nil, fmt.Errorf("smt: value of symbol %d exceeds int64: %s", s, v)
+		}
+		out[s] = n.Int64()
+	}
+	return out, nil
+}
+
+// CheckRational decides satisfiability over the nonnegative rationals.
+// On Sat it returns a rational model. Re-checks after new assertions are
+// warm-started from the previous feasible basis with dual-simplex pivots.
+func (s *Solver) CheckRational() (Status, RatModel, error) {
+	s.Stats.LPChecks++
+
+	if s.lp.tab != nil && s.lp.count <= len(s.constraints) {
+		t := s.lp.tab
+		for _, c := range s.constraints[s.lp.count:] {
+			if err := t.addConstraint(c); err != nil {
+				return 0, nil, err
+			}
+		}
+		s.lp.count = len(s.constraints)
+		feasible, pivots, err := t.dualRestore()
+		s.Stats.Pivots += pivots
+		if err == nil {
+			if !feasible {
+				// Leave the state invalid; the caller Pops back to the
+				// parent snapshot (or the next check rebuilds).
+				s.lp.tab = nil
+				return Unsat, nil, nil
+			}
+			return Sat, t.model(), nil
+		}
+		if !errors.Is(err, errPivotLimit) {
+			return 0, nil, err
+		}
+		// Degenerate cycling guard tripped: fall through to a fresh solve.
+	}
+
+	s.Stats.Rebuilds++
+	t := newTableau()
+	for _, c := range s.constraints {
+		if err := t.addConstraint(c); err != nil {
+			return 0, nil, err
+		}
+	}
+	feasible, pivots, err := t.solveFresh()
+	s.Stats.Pivots += pivots
+	if err != nil {
+		return 0, nil, err
+	}
+	if !feasible {
+		s.lp.tab = nil
+		return Unsat, nil, nil
+	}
+	s.lp = lpState{tab: t, count: len(s.constraints)}
+	return Sat, t.model(), nil
+}
+
+// CheckInteger decides satisfiability over the nonnegative integers using
+// branch-and-bound with at most maxNodes LP relaxations. If the budget is
+// exhausted it returns Unknown.
+func (s *Solver) CheckInteger(maxNodes int) (Status, Model, error) {
+	if maxNodes <= 0 {
+		maxNodes = 1 << 20
+	}
+	nodes := 0
+	st, m, err := s.branchAndBound(maxNodes, &nodes)
+	return st, m, err
+}
+
+func (s *Solver) branchAndBound(maxNodes int, nodes *int) (Status, Model, error) {
+	if *nodes >= maxNodes {
+		return Unknown, nil, nil
+	}
+	*nodes++
+	s.Stats.BBNodes++
+
+	st, rm, err := s.CheckRational()
+	if err != nil {
+		return 0, nil, err
+	}
+	if st == Unsat {
+		return Unsat, nil, nil
+	}
+	// Find a fractional variable to branch on.
+	var frac expr.Sym = expr.NoSym
+	var fracVal *big.Rat
+	for sym, v := range rm {
+		if !v.IsInt() {
+			if frac == expr.NoSym || sym < frac {
+				frac = sym
+				fracVal = v
+			}
+		}
+	}
+	if frac == expr.NoSym {
+		m, err := rm.ToInt()
+		if err != nil {
+			return 0, nil, err
+		}
+		return Sat, m, nil
+	}
+
+	floor := ratFloor(fracVal)
+
+	// Branch x <= floor.
+	s.Push()
+	le, err := expr.Le(expr.Var(frac), expr.NewLin(floor))
+	if err != nil {
+		s.Pop()
+		return 0, nil, err
+	}
+	s.Assert(le)
+	st, m, err := s.branchAndBound(maxNodes, nodes)
+	s.Pop()
+	if err != nil || st == Sat {
+		return st, m, err
+	}
+	sawUnknown := st == Unknown
+
+	// Branch x >= floor+1.
+	s.Push()
+	ge, err := expr.Ge(expr.Var(frac), expr.NewLin(floor+1))
+	if err != nil {
+		s.Pop()
+		return 0, nil, err
+	}
+	s.Assert(ge)
+	st, m, err = s.branchAndBound(maxNodes, nodes)
+	s.Pop()
+	if err != nil || st == Sat {
+		return st, m, err
+	}
+	if sawUnknown || st == Unknown {
+		return Unknown, nil, nil
+	}
+	return Unsat, nil, nil
+}
+
+func ratFloor(r *big.Rat) int64 {
+	q := new(big.Int).Quo(r.Num(), r.Denom())
+	// big.Int.Quo truncates toward zero; adjust for negatives. All our
+	// variables are nonnegative so this is defensive only.
+	if r.Sign() < 0 && !r.IsInt() {
+		q.Sub(q, big.NewInt(1))
+	}
+	return q.Int64()
+}
+
+// Verify checks that model satisfies every asserted constraint; it is used by
+// tests and by counterexample replay to guard against solver bugs.
+func (s *Solver) Verify(m Model) error {
+	val := func(sym expr.Sym) int64 { return m.Value(sym) }
+	for i, c := range s.constraints {
+		ok, err := c.Holds(val)
+		if err != nil {
+			return fmt.Errorf("smt: evaluating constraint %d: %w", i, err)
+		}
+		if !ok {
+			return fmt.Errorf("smt: model violates constraint %d: %s", i, c.String(s.tab))
+		}
+		for sym := range c.L.Coeffs {
+			if m.Value(sym) < 0 {
+				return fmt.Errorf("smt: model assigns negative value to %s", s.tab.Name(sym))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,402 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+func ge(t *testing.T, a, b expr.Lin) expr.Constraint {
+	t.Helper()
+	c, err := expr.Ge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func le(t *testing.T, a, b expr.Lin) expr.Constraint {
+	t.Helper()
+	c, err := expr.Le(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func eq(t *testing.T, a, b expr.Lin) expr.Constraint {
+	t.Helper()
+	c, err := expr.Eq(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func lin(terms map[expr.Sym]int64, c int64) expr.Lin {
+	l := expr.NewLin(c)
+	for s, v := range terms {
+		_ = l.AddTerm(s, v)
+	}
+	return l
+}
+
+func TestTrivialFeasibility(t *testing.T) {
+	tab := expr.NewTable()
+	s := NewSolver(tab)
+	x := tab.Intern("x")
+
+	s.Assert(ge(t, expr.Var(x), expr.NewLin(0)))
+	st, m, err := s.CheckInteger(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Sat {
+		t.Fatalf("status = %v, want Sat", st)
+	}
+	if err := s.Verify(m); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstantInfeasible(t *testing.T) {
+	tab := expr.NewTable()
+	s := NewSolver(tab)
+	// -1 >= 0 is unsatisfiable without any variables.
+	s.Assert(expr.GEZero(expr.NewLin(-1)))
+	st, _, err := s.CheckRational()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unsat {
+		t.Errorf("status = %v, want Unsat", st)
+	}
+}
+
+func TestNonnegativityImplicit(t *testing.T) {
+	tab := expr.NewTable()
+	s := NewSolver(tab)
+	x := tab.Intern("x")
+	// x <= -1 contradicts the implicit x >= 0.
+	s.Assert(le(t, expr.Var(x), expr.NewLin(-1)))
+	st, _, err := s.CheckRational()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unsat {
+		t.Errorf("status = %v, want Unsat", st)
+	}
+}
+
+func TestPhaseOneNeeded(t *testing.T) {
+	tab := expr.NewTable()
+	s := NewSolver(tab)
+	x := tab.Intern("x")
+	y := tab.Intern("y")
+
+	s.Assert(ge(t, expr.Var(x), expr.NewLin(3)))
+	s.Assert(ge(t, expr.Var(y), expr.NewLin(2)))
+	s.Assert(le(t, lin(map[expr.Sym]int64{x: 1, y: 1}, 0), expr.NewLin(6)))
+	st, m, err := s.CheckInteger(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Sat {
+		t.Fatalf("x>=3,y>=2,x+y<=6: status %v, want Sat", st)
+	}
+	if err := s.Verify(m); err != nil {
+		t.Error(err)
+	}
+
+	s.Push()
+	s.Assert(le(t, lin(map[expr.Sym]int64{x: 1, y: 1}, 0), expr.NewLin(4)))
+	st, _, err = s.CheckRational()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unsat {
+		t.Errorf("x>=3,y>=2,x+y<=4: status %v, want Unsat", st)
+	}
+	s.Pop()
+
+	// After Pop the relaxed system is satisfiable again.
+	st, _, err = s.CheckRational()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Sat {
+		t.Errorf("after Pop: status %v, want Sat", st)
+	}
+}
+
+func TestEqualities(t *testing.T) {
+	tab := expr.NewTable()
+	s := NewSolver(tab)
+	x := tab.Intern("x")
+	y := tab.Intern("y")
+
+	// x == 2y, x + y == 9  ->  x=6, y=3.
+	s.Assert(eq(t, expr.Var(x), expr.Term(y, 2)))
+	s.Assert(eq(t, lin(map[expr.Sym]int64{x: 1, y: 1}, 0), expr.NewLin(9)))
+	st, m, err := s.CheckInteger(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Sat {
+		t.Fatalf("status = %v, want Sat", st)
+	}
+	if m.Value(x) != 6 || m.Value(y) != 3 {
+		t.Errorf("model x=%d y=%d, want 6,3", m.Value(x), m.Value(y))
+	}
+}
+
+func TestIntegerCutsOffFractionalLP(t *testing.T) {
+	tab := expr.NewTable()
+	s := NewSolver(tab)
+	x := tab.Intern("x")
+
+	// 2x == 1 is rationally satisfiable (x=1/2) but has no integer solution.
+	s.Assert(eq(t, expr.Term(x, 2), expr.NewLin(1)))
+	st, _, err := s.CheckRational()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Sat {
+		t.Fatalf("rational status = %v, want Sat", st)
+	}
+	st, _, err = s.CheckInteger(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unsat {
+		t.Errorf("integer status = %v, want Unsat", st)
+	}
+}
+
+func TestBranchAndBoundFindsIntegerPoint(t *testing.T) {
+	tab := expr.NewTable()
+	s := NewSolver(tab)
+	x := tab.Intern("x")
+	y := tab.Intern("y")
+
+	// 2x + 3y == 7 has integer solutions (x=2,y=1) but fractional vertices.
+	s.Assert(eq(t, lin(map[expr.Sym]int64{x: 2, y: 3}, 0), expr.NewLin(7)))
+	st, m, err := s.CheckInteger(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Sat {
+		t.Fatalf("status = %v, want Sat", st)
+	}
+	if err := s.Verify(m); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResilienceStyleConstraints(t *testing.T) {
+	tab := expr.NewTable()
+	s := NewSolver(tab)
+	n := tab.Intern("n")
+	tt := tab.Intern("t")
+	f := tab.Intern("f")
+
+	// n > 3t, t >= f: satisfiable, e.g. n=4, t=1, f=1.
+	s.Assert(ge(t, expr.Var(n), lin(map[expr.Sym]int64{tt: 3}, 1)))
+	s.Assert(ge(t, expr.Var(tt), expr.Var(f)))
+	s.Assert(ge(t, expr.Var(tt), expr.NewLin(1)))
+	st, m, err := s.CheckInteger(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Sat {
+		t.Fatalf("resilience: status %v, want Sat", st)
+	}
+	if err := s.Verify(m); err != nil {
+		t.Error(err)
+	}
+
+	// Additionally requiring n <= 3t flips it to Unsat.
+	s.Push()
+	s.Assert(le(t, expr.Var(n), expr.Term(tt, 3)))
+	st, _, err = s.CheckRational()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unsat {
+		t.Errorf("n>3t and n<=3t: status %v, want Unsat", st)
+	}
+	s.Pop()
+}
+
+func TestCheckClauses(t *testing.T) {
+	tab := expr.NewTable()
+	s := NewSolver(tab)
+	x := tab.Intern("x")
+	y := tab.Intern("y")
+
+	s.Assert(le(t, expr.Var(x), expr.NewLin(5)))
+	clauses := []Clause{
+		ClauseOf(ge(t, expr.Var(x), expr.NewLin(10)), ge(t, expr.Var(y), expr.NewLin(3))),
+	}
+	st, m, err := s.CheckClauses(clauses, ClauseLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Sat {
+		t.Fatalf("status = %v, want Sat", st)
+	}
+	if m.Value(y) < 3 {
+		t.Errorf("y = %d, want >= 3 (x >= 10 branch is blocked)", m.Value(y))
+	}
+
+	// Make both disjuncts impossible.
+	s.Push()
+	s.Assert(le(t, expr.Var(y), expr.NewLin(2)))
+	st, _, err = s.CheckClauses(clauses, ClauseLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unsat {
+		t.Errorf("status = %v, want Unsat", st)
+	}
+	s.Pop()
+}
+
+func TestCheckClausesMultiple(t *testing.T) {
+	tab := expr.NewTable()
+	s := NewSolver(tab)
+	x := tab.Intern("x")
+	y := tab.Intern("y")
+	z := tab.Intern("z")
+
+	// x + y + z == 4 with clauses forcing x>=2 or y>=2, and y==0 or z==0.
+	s.Assert(eq(t, lin(map[expr.Sym]int64{x: 1, y: 1, z: 1}, 0), expr.NewLin(4)))
+	clauses := []Clause{
+		ClauseOf(ge(t, expr.Var(x), expr.NewLin(2)), ge(t, expr.Var(y), expr.NewLin(2))),
+		ClauseOf(expr.EQZero(expr.Var(y)), expr.EQZero(expr.Var(z))),
+	}
+	st, m, err := s.CheckClauses(clauses, ClauseLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Sat {
+		t.Fatalf("status = %v, want Sat", st)
+	}
+	sum := m.Value(x) + m.Value(y) + m.Value(z)
+	if sum != 4 {
+		t.Errorf("x+y+z = %d, want 4", sum)
+	}
+	if !(m.Value(x) >= 2 || m.Value(y) >= 2) {
+		t.Errorf("clause 1 violated in model %v", m)
+	}
+	if !(m.Value(y) == 0 || m.Value(z) == 0) {
+		t.Errorf("clause 2 violated in model %v", m)
+	}
+}
+
+// TestRandomAgainstBruteForce cross-validates the solver against exhaustive
+// enumeration on random small integer systems.
+func TestRandomAgainstBruteForce(t *testing.T) {
+	tab := expr.NewTable()
+	syms := []expr.Sym{tab.Intern("a"), tab.Intern("b"), tab.Intern("c")}
+	rng := rand.New(rand.NewSource(42))
+	const bound = 5 // brute-force domain [0,bound]^3
+
+	for trial := 0; trial < 200; trial++ {
+		s := NewSolver(tab)
+		ncons := 2 + rng.Intn(4)
+		var cons []expr.Constraint
+		for i := 0; i < ncons; i++ {
+			l := expr.NewLin(int64(rng.Intn(11) - 5))
+			for _, sym := range syms {
+				_ = l.AddTerm(sym, int64(rng.Intn(5)-2))
+			}
+			op := expr.GE
+			if rng.Intn(4) == 0 {
+				op = expr.EQ
+			}
+			cons = append(cons, expr.Constraint{L: l, Op: op})
+		}
+		// Keep the brute-force domain sound: bound each variable.
+		for _, sym := range syms {
+			cons = append(cons, le(t, expr.Var(sym), expr.NewLin(bound)))
+		}
+		s.AssertAll(cons)
+
+		bruteSat := false
+	brute:
+		for a := int64(0); a <= bound; a++ {
+			for b := int64(0); b <= bound; b++ {
+				for c := int64(0); c <= bound; c++ {
+					vals := map[expr.Sym]int64{syms[0]: a, syms[1]: b, syms[2]: c}
+					ok := true
+					for _, con := range cons {
+						h, err := con.Holds(func(s expr.Sym) int64 { return vals[s] })
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !h {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						bruteSat = true
+						break brute
+					}
+				}
+			}
+		}
+
+		st, m, err := s.CheckInteger(0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if bruteSat && st != Sat {
+			t.Fatalf("trial %d: brute force found a model but solver says %v\nconstraints: %v", trial, st, render(cons, tab))
+		}
+		if !bruteSat && st == Sat {
+			t.Fatalf("trial %d: solver found %v but brute force says unsat\nconstraints: %v", trial, m, render(cons, tab))
+		}
+		if st == Sat {
+			if err := s.Verify(m); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+	}
+}
+
+func render(cons []expr.Constraint, tab *expr.Table) []string {
+	out := make([]string, len(cons))
+	for i, c := range cons {
+		out[i] = c.String(tab)
+	}
+	return out
+}
+
+func TestPushPopBalance(t *testing.T) {
+	tab := expr.NewTable()
+	s := NewSolver(tab)
+	x := tab.Intern("x")
+	s.Assert(ge(t, expr.Var(x), expr.NewLin(1)))
+	if n := s.NumAssertions(); n != 1 {
+		t.Fatalf("assertions = %d, want 1", n)
+	}
+	s.Push()
+	s.Assert(ge(t, expr.Var(x), expr.NewLin(5)))
+	s.Push()
+	s.Assert(le(t, expr.Var(x), expr.NewLin(2)))
+	if n := s.NumAssertions(); n != 3 {
+		t.Fatalf("assertions = %d, want 3", n)
+	}
+	s.Pop()
+	s.Pop()
+	if n := s.NumAssertions(); n != 1 {
+		t.Fatalf("assertions after pops = %d, want 1", n)
+	}
+	s.Pop() // extra pop is a no-op
+	if n := s.NumAssertions(); n != 1 {
+		t.Fatalf("assertions after extra pop = %d, want 1", n)
+	}
+}

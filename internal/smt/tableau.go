@@ -1,0 +1,399 @@
+package smt
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/expr"
+)
+
+// tableau is a dictionary-form simplex tableau for the feasibility problem
+//
+//	find x >= 0 subject to each constraint  L_i(x) >= 0
+//
+// Each constraint becomes a slack row  w_i = const_i + Σ a_ij·x_j  with
+// w_i >= 0. Initial feasibility is decided with the textbook phase-one
+// auxiliary variable x0 (maximize -x0) and Bland's rule, in exact
+// arithmetic.
+//
+// After a feasible solve the tableau supports *incremental* use: new
+// constraints are appended as rows (rewritten through the current basis) and
+// feasibility is restored with dual-simplex pivots. This is what makes the
+// DPLL(T)-style clause search and branch-and-bound affordable: a child node
+// differs from its parent by one or two rows and typically needs only a few
+// pivots instead of a full phase-one solve.
+type tableau struct {
+	colOf   map[expr.Sym]int // symbol -> variable id
+	symOf   map[int]expr.Sym // variable id -> symbol (original variables only)
+	nextVar int
+
+	nonbasic []int   // variable ids of nonbasic columns
+	basic    []int   // variable ids of basic rows
+	consts   []rat   // row constants
+	coef     [][]rat // row coefficients, parallel to nonbasic
+
+	// phase-one objective (nil outside the initial solve)
+	objA []rat
+	objC rat
+	x0   int // variable id of the auxiliary variable, -1 if absent
+}
+
+// maxPivots bounds a single simplex phase; Bland's rule guarantees
+// termination so this is purely defensive.
+const maxPivots = 200000
+
+var errPivotLimit = errors.New("smt: simplex pivot limit exceeded")
+
+func newTableau() *tableau {
+	return &tableau{
+		colOf: make(map[expr.Sym]int),
+		symOf: make(map[int]expr.Sym),
+		x0:    -1,
+	}
+}
+
+// clone deep-copies the tableau. rat values are immutable (operations always
+// allocate fresh big.Rats), so copying the slices suffices.
+func (t *tableau) clone() *tableau {
+	out := &tableau{
+		colOf:   make(map[expr.Sym]int, len(t.colOf)),
+		symOf:   make(map[int]expr.Sym, len(t.symOf)),
+		nextVar: t.nextVar,
+		x0:      t.x0,
+		objC:    t.objC,
+	}
+	for k, v := range t.colOf {
+		out.colOf[k] = v
+	}
+	for k, v := range t.symOf {
+		out.symOf[k] = v
+	}
+	out.nonbasic = append([]int(nil), t.nonbasic...)
+	out.basic = append([]int(nil), t.basic...)
+	out.consts = append([]rat(nil), t.consts...)
+	out.coef = make([][]rat, len(t.coef))
+	for i, row := range t.coef {
+		out.coef[i] = append([]rat(nil), row...)
+	}
+	if t.objA != nil {
+		out.objA = append([]rat(nil), t.objA...)
+	}
+	return out
+}
+
+// colFor returns the variable id for a symbol, creating a fresh nonbasic
+// column when the symbol is new.
+func (t *tableau) colFor(s expr.Sym) int {
+	if id, ok := t.colOf[s]; ok {
+		return id
+	}
+	id := t.nextVar
+	t.nextVar++
+	t.colOf[s] = id
+	t.symOf[id] = s
+	t.nonbasic = append(t.nonbasic, id)
+	for i := range t.coef {
+		t.coef[i] = append(t.coef[i], ratZero)
+	}
+	if t.objA != nil {
+		t.objA = append(t.objA, ratZero)
+	}
+	return id
+}
+
+func (t *tableau) nonbasicColOf(id int) int {
+	for j, v := range t.nonbasic {
+		if v == id {
+			return j
+		}
+	}
+	return -1
+}
+
+func (t *tableau) basicRowOf(id int) int {
+	for i, v := range t.basic {
+		if v == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// addGE appends the row for L >= 0, rewriting basic variables through their
+// current dictionary rows.
+func (t *tableau) addGE(l expr.Lin) {
+	// Intern all symbols first so the column layout is stable.
+	for s := range l.Coeffs {
+		t.colFor(s)
+	}
+	rowConst := ratInt(l.Const)
+	row := make([]rat, len(t.nonbasic))
+	for s, a := range l.Coeffs {
+		id := t.colOf[s]
+		ar := ratInt(a)
+		if j := t.nonbasicColOf(id); j >= 0 {
+			row[j] = row[j].add(ar)
+			continue
+		}
+		r := t.basicRowOf(id)
+		rowConst = rowConst.add(ar.mul(t.consts[r]))
+		for j := range t.coef[r] {
+			row[j] = row[j].add(ar.mul(t.coef[r][j]))
+		}
+	}
+	slack := t.nextVar
+	t.nextVar++
+	t.basic = append(t.basic, slack)
+	t.consts = append(t.consts, rowConst)
+	t.coef = append(t.coef, row)
+}
+
+// addConstraint appends rows for a constraint (two for an equality).
+func (t *tableau) addConstraint(c expr.Constraint) error {
+	switch c.Op {
+	case expr.GE:
+		t.addGE(c.L)
+	case expr.EQ:
+		t.addGE(c.L)
+		t.addGE(c.L.Neg())
+	default:
+		return fmt.Errorf("smt: unsupported constraint operator %v", c.Op)
+	}
+	return nil
+}
+
+// solveFresh runs phase one from scratch. It returns feasibility and the
+// pivot count.
+func (t *tableau) solveFresh() (bool, int, error) {
+	worst, worstRow := ratZero, -1
+	for i, c := range t.consts {
+		if c.cmp(worst) < 0 {
+			worst = c
+			worstRow = i
+		}
+	}
+	if worstRow == -1 {
+		return true, 0, nil
+	}
+	// A row with a negative constant and no variables at all can never be
+	// repaired (it encodes a violated variable-free constraint).
+	for i, c := range t.consts {
+		if c.sign() < 0 && len(t.coef[i]) == 0 {
+			return false, 0, nil
+		}
+	}
+
+	// Introduce x0 with coefficient +1 in every row; objective is -x0.
+	t.x0 = t.nextVar
+	t.nextVar++
+	x0col := len(t.nonbasic)
+	t.nonbasic = append(t.nonbasic, t.x0)
+	for i := range t.coef {
+		t.coef[i] = append(t.coef[i], ratInt(1))
+	}
+	t.objA = make([]rat, len(t.nonbasic))
+	t.objA[x0col] = ratInt(-1)
+	t.objC = ratZero
+
+	// Special first pivot: enter x0, leave the most-negative row.
+	t.pivot(x0col, worstRow)
+	pivots := 1
+
+	for {
+		if pivots > maxPivots {
+			return false, pivots, errPivotLimit
+		}
+		// Bland entering rule: smallest variable id with positive objective
+		// coefficient.
+		enter := -1
+		for j, a := range t.objA {
+			if a.sign() > 0 && (enter == -1 || t.nonbasic[j] < t.nonbasic[enter]) {
+				enter = j
+			}
+		}
+		if enter == -1 {
+			feasible := t.objC.sign() == 0
+			if feasible {
+				if err := t.dropX0(); err != nil {
+					return false, pivots, err
+				}
+			}
+			t.objA = nil
+			return feasible, pivots, nil
+		}
+		// Ratio test over rows where the entering coefficient is negative.
+		leave := -1
+		var best rat
+		for i, row := range t.coef {
+			if row[enter].sign() >= 0 {
+				continue
+			}
+			ratio := t.consts[i].div(row[enter].neg())
+			if leave == -1 || ratio.cmp(best) < 0 ||
+				(ratio.cmp(best) == 0 && t.basic[i] < t.basic[leave]) {
+				leave = i
+				best = ratio
+			}
+		}
+		if leave == -1 {
+			// -x0 is bounded above by 0, so phase one cannot be unbounded.
+			return false, pivots, errors.New("smt: phase-one simplex unbounded")
+		}
+		t.pivot(enter, leave)
+		pivots++
+	}
+}
+
+// dropX0 removes the auxiliary variable after a successful phase one. If x0
+// is basic (necessarily at value 0), it is pivoted out first.
+func (t *tableau) dropX0() error {
+	if t.x0 == -1 {
+		return nil
+	}
+	if r := t.basicRowOf(t.x0); r >= 0 {
+		// Degenerate: pivot x0 out on any nonzero column.
+		col := -1
+		for j, a := range t.coef[r] {
+			if a.sign() != 0 {
+				col = j
+				break
+			}
+		}
+		if col == -1 {
+			// The row reads x0 = 0: delete it outright.
+			t.basic = append(t.basic[:r], t.basic[r+1:]...)
+			t.consts = append(t.consts[:r], t.consts[r+1:]...)
+			t.coef = append(t.coef[:r], t.coef[r+1:]...)
+		} else {
+			t.pivot(col, r)
+		}
+	}
+	col := t.nonbasicColOf(t.x0)
+	if col == -1 {
+		if t.basicRowOf(t.x0) >= 0 {
+			return errors.New("smt: failed to eliminate auxiliary variable")
+		}
+		t.x0 = -1
+		return nil
+	}
+	t.nonbasic = append(t.nonbasic[:col], t.nonbasic[col+1:]...)
+	for i := range t.coef {
+		t.coef[i] = append(t.coef[i][:col], t.coef[i][col+1:]...)
+	}
+	if t.objA != nil {
+		t.objA = append(t.objA[:col], t.objA[col+1:]...)
+	}
+	t.x0 = -1
+	return nil
+}
+
+// dualRestore re-establishes primal feasibility after rows were appended,
+// using dual-simplex pivots with Bland-style anti-cycling (the objective is
+// identically zero, so any basis is dual-feasible). It returns false when
+// some row is irreparable, i.e. the system became infeasible.
+func (t *tableau) dualRestore() (bool, int, error) {
+	pivots := 0
+	for {
+		if pivots > maxPivots {
+			return false, pivots, errPivotLimit
+		}
+		// Leaving row: smallest basic variable id among negative constants.
+		leave := -1
+		for i, c := range t.consts {
+			if c.sign() < 0 && (leave == -1 || t.basic[i] < t.basic[leave]) {
+				leave = i
+			}
+		}
+		if leave == -1 {
+			return true, pivots, nil
+		}
+		// Entering column: the row reads w = C + Σ A_j·x_j with C < 0, so
+		// only columns with A_j > 0 can repair it. Bland: smallest id.
+		enter := -1
+		for j, a := range t.coef[leave] {
+			if a.sign() > 0 && (enter == -1 || t.nonbasic[j] < t.nonbasic[enter]) {
+				enter = j
+			}
+		}
+		if enter == -1 {
+			return false, pivots, nil // row is irreparable: infeasible
+		}
+		t.pivot(enter, leave)
+		pivots++
+	}
+}
+
+// pivot makes nonbasic column e basic and the basic variable of row r
+// nonbasic, rewriting every row and the objective.
+func (t *tableau) pivot(e, r int) {
+	row := t.coef[r]
+	p := row[e]
+	invNeg := ratInt(-1).div(p)
+
+	leavingVar := t.basic[r]
+	enteringVar := t.nonbasic[e]
+
+	// Solve row r for the entering variable:
+	//   x_e = (-C/p) + (1/p)·x_leaving + Σ_{j≠e} (-A_j/p)·x_j
+	newConst := t.consts[r].mul(invNeg)
+	newRow := make([]rat, len(row))
+	for j := range row {
+		if j == e {
+			newRow[j] = ratInt(1).div(p)
+		} else {
+			newRow[j] = row[j].mul(invNeg)
+		}
+	}
+	t.basic[r] = enteringVar
+	t.nonbasic[e] = leavingVar
+	t.consts[r] = newConst
+	t.coef[r] = newRow
+
+	for i := range t.coef {
+		if i == r {
+			continue
+		}
+		d := t.coef[i][e]
+		if d.sign() == 0 {
+			continue
+		}
+		t.consts[i] = t.consts[i].add(d.mul(newConst))
+		ri := t.coef[i]
+		for j := range ri {
+			if j == e {
+				ri[j] = d.mul(newRow[j])
+			} else {
+				ri[j] = ri[j].add(d.mul(newRow[j]))
+			}
+		}
+	}
+	if t.objA != nil {
+		d := t.objA[e]
+		if d.sign() != 0 {
+			t.objC = t.objC.add(d.mul(newConst))
+			for j := range t.objA {
+				if j == e {
+					t.objA[j] = d.mul(newRow[j])
+				} else {
+					t.objA[j] = t.objA[j].add(d.mul(newRow[j]))
+				}
+			}
+		}
+	}
+}
+
+// model extracts the current basic solution for the original variables.
+// Nonbasic variables are 0; basic variables take their row constants.
+func (t *tableau) model() RatModel {
+	m := make(RatModel, len(t.symOf))
+	for _, s := range t.symOf {
+		m[s] = new(big.Rat)
+	}
+	for i, b := range t.basic {
+		if s, ok := t.symOf[b]; ok {
+			m[s] = t.consts[i].toBig()
+		}
+	}
+	return m
+}

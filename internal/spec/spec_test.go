@@ -1,0 +1,109 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/ta"
+)
+
+// fixture builds the automaton A --r1[true]/x++--> B --r2[x>=t+1]--> C with
+// an extra initial location I (no outgoing rules).
+func fixture(t *testing.T) *ta.TA {
+	t.Helper()
+	b := ta.NewBuilder("fixture")
+	x := b.Shared("x")
+	locA := b.Loc("A", ta.Initial())
+	b.Loc("I", ta.Initial())
+	locB := b.Loc("B")
+	locC := b.Loc("C")
+	b.Rule("r1", locA, locB, ta.Inc(x))
+	b.Rule("r2", locB, locC,
+		ta.Guarded(b.GeThreshold(x, b.Lin(1, ta.LinTerm{Coeff: 1, Sym: b.T()}))))
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestKindAndOutcomeStrings(t *testing.T) {
+	if Safety.String() != "safety" || Liveness.String() != "liveness" {
+		t.Error("kind strings wrong")
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Error("unknown kind should embed the number")
+	}
+	if Holds.String() != "holds" || Violated.String() != "violated" || Budget.String() != "budget-exceeded" {
+		t.Error("outcome strings wrong")
+	}
+	if !strings.Contains(Outcome(42).String(), "42") {
+		t.Error("unknown outcome should embed the number")
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	a := fixture(t)
+	q := Query{
+		Name:          "ok",
+		Kind:          Safety,
+		InitEmpty:     []ta.LocID{a.MustLoc("I")},
+		GlobalEmpty:   []ta.LocID{a.MustLoc("B")},
+		VisitNonempty: []ta.LocSet{ta.NewLocSet(a.MustLoc("C"))},
+	}
+	if err := q.Validate(a); err != nil {
+		t.Errorf("well-formed query rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	a := fixture(t)
+	x, err := a.SharedByName("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A symbol in the automaton's table that is neither shared nor a
+	// parameter must be rejected in FinalShared constraints.
+	foreign := a.Table.Intern("alien")
+
+	falling := expr.Term(x, -1) // -x >= 0 is not rising
+	cases := []struct {
+		name string
+		q    Query
+	}{
+		{"no name", Query{Kind: Safety}},
+		{"bad kind", Query{Name: "q", Kind: Kind(9)}},
+		{"out of range loc", Query{Name: "q", Kind: Safety, InitEmpty: []ta.LocID{99}}},
+		{"init-empty with incoming", Query{Name: "q", Kind: Safety, InitEmpty: []ta.LocID{a.MustLoc("B")}}},
+		{"visit out of range", Query{Name: "q", Kind: Safety, VisitNonempty: []ta.LocSet{ta.NewLocSet(42)}}},
+		{"final not pred-closed", Query{Name: "q", Kind: Liveness,
+			FinalNonempty: []ta.LocSet{ta.NewLocSet(a.MustLoc("B"))}}},
+		{"final shared equality", Query{Name: "q", Kind: Safety,
+			FinalShared: []expr.Constraint{expr.EQZero(expr.Var(x))}}},
+		{"final shared falling", Query{Name: "q", Kind: Safety,
+			FinalShared: []expr.Constraint{expr.GEZero(falling)}}},
+		{"final shared foreign symbol", Query{Name: "q", Kind: Safety,
+			FinalShared: []expr.Constraint{expr.GEZero(expr.Var(foreign))}}},
+		{"safety with justice", Query{Name: "q", Kind: Safety,
+			Justice: []ta.Justice{{Name: "j", Loc: a.MustLoc("A")}}}},
+		{"justice loc out of range", Query{Name: "q", Kind: Liveness,
+			Justice: []ta.Justice{{Name: "j", Loc: 99}}}},
+	}
+	for _, c := range cases {
+		if err := c.q.Validate(a); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestValidatePredClosedGoal(t *testing.T) {
+	a := fixture(t)
+	// {C} is predecessor-closed? r2 enters C from B — no. {B, C} — r1
+	// enters B from A — no. {A, B, C} — nothing enters from outside — yes.
+	q := Query{Name: "q", Kind: Liveness,
+		FinalNonempty: []ta.LocSet{ta.NewLocSet(a.MustLoc("A"), a.MustLoc("B"), a.MustLoc("C"))}}
+	if err := q.Validate(a); err != nil {
+		t.Errorf("pred-closed goal rejected: %v", err)
+	}
+}

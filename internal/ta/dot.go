@@ -1,0 +1,50 @@
+package ta
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the automaton in Graphviz DOT format, reproducing the
+// visual conventions of the paper's figures: initial locations are drawn with
+// a double border, round-switch rules are dotted, self-loops are omitted for
+// readability (the paper draws them only implicitly).
+func (a *TA) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", a.Name)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle, fontsize=11];\n")
+	for i, l := range a.Locations {
+		shape := "circle"
+		if l.Initial {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  L%d [label=%q, shape=%s];\n", i, l.Name, shape)
+	}
+	for _, r := range a.Rules {
+		if r.SelfLoop() {
+			continue
+		}
+		label := r.Name
+		if g := a.GuardString(r); g != "true" {
+			label += ": " + g
+		}
+		if len(r.Update) > 0 {
+			for s, d := range r.Update {
+				if d == 1 {
+					label += fmt.Sprintf(" / %s++", a.Table.Name(s))
+				} else {
+					label += fmt.Sprintf(" / %s+=%d", a.Table.Name(s), d)
+				}
+			}
+		}
+		style := ""
+		if r.RoundSwitch {
+			style = ", style=dotted"
+		}
+		fmt.Fprintf(&b, "  L%d -> L%d [label=%q, fontsize=9%s];\n", r.From, r.To, label, style)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

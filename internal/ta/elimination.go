@@ -1,0 +1,57 @@
+package ta
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// This file implements the receive-variable elimination of Section 3.1:
+// pseudocode guards count *received* messages, but the threshold automaton
+// must be guarded over the *shared send* variables only. Because the
+// network is reliable and up to f of the received messages may come from
+// Byzantine senders, a receive count recv for a message type with send
+// counter `sent` satisfies
+//
+//	0 <= recv <= sent + f,
+//
+// and every value in that interval is realizable at some point of the
+// execution. The pseudocode guard "received >= θ" therefore becomes the
+// Presburger-eliminated
+//
+//	∃recv: recv >= θ ∧ recv <= sent + f   ⟺   sent >= θ - f,
+//
+// which is how Fig. 1's "from t+1 (resp. 2t+1) distinct processes" turns
+// into Fig. 2's guards b_v >= t+1-f (resp. 2t+1-f). (The paper points to
+// quantifier elimination for Presburger arithmetic and its automation with
+// Z3 by Stoilkovska et al.; for the one-sided intervals used here the
+// eliminated form is closed-form.)
+
+// ExistsBetween eliminates ∃x: lower <= x <= upper over the integers:
+// the interval is nonempty iff upper - lower >= 0.
+func ExistsBetween(lower, upper expr.Lin) (expr.Constraint, error) {
+	diff := upper.Clone()
+	if err := diff.Sub(lower); err != nil {
+		return expr.Constraint{}, err
+	}
+	return expr.GEZero(diff), nil
+}
+
+// EliminateReceive turns the pseudocode guard "received >= threshold
+// messages counted by the shared send variable sent, up to f of them
+// Byzantine" into the send-side guard `sent >= threshold - f`.
+func (b *Builder) EliminateReceive(sent expr.Sym, threshold expr.Lin) (expr.Constraint, error) {
+	upper := expr.Var(sent)
+	if err := upper.AddTerm(b.F(), 1); err != nil {
+		return expr.Constraint{}, err
+	}
+	c, err := ExistsBetween(threshold, upper)
+	if err != nil {
+		return expr.Constraint{}, err
+	}
+	// Sanity: the result must be rising in the send variable.
+	if c.L.Coeff(sent) <= 0 {
+		return expr.Constraint{}, fmt.Errorf("ta: eliminated guard is not rising in %s", b.ta.Table.Name(sent))
+	}
+	return c, nil
+}

@@ -1,0 +1,75 @@
+package ta
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// TestEliminationReproducesFig2Guards: eliminating the receive variables of
+// the Fig. 1 pseudocode thresholds (t+1 and 2t+1 received messages) yields
+// exactly the Fig. 2 guards b_v >= t+1-f and b_v >= 2t+1-f.
+func TestEliminationReproducesFig2Guards(t *testing.T) {
+	b := NewBuilder("qe")
+	b0 := b.Shared("b0")
+
+	// θ = t + 1
+	theta1 := b.Lin(1, LinTerm{Coeff: 1, Sym: b.T()})
+	g1, err := b.EliminateReceive(b0, theta1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected: b0 - (t+1) + f >= 0
+	want1 := b.GeThreshold(b0, b.Lin(1, LinTerm{Coeff: 1, Sym: b.T()}, LinTerm{Coeff: -1, Sym: b.F()}))
+	if g1.String(b.ta.Table) != want1.String(b.ta.Table) {
+		t.Errorf("t+1 guard: %s, want %s", g1.String(b.ta.Table), want1.String(b.ta.Table))
+	}
+
+	// θ = 2t + 1
+	theta2 := b.Lin(1, LinTerm{Coeff: 2, Sym: b.T()})
+	g2, err := b.EliminateReceive(b0, theta2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := b.GeThreshold(b0, b.Lin(1, LinTerm{Coeff: 2, Sym: b.T()}, LinTerm{Coeff: -1, Sym: b.F()}))
+	if g2.String(b.ta.Table) != want2.String(b.ta.Table) {
+		t.Errorf("2t+1 guard: %s, want %s", g2.String(b.ta.Table), want2.String(b.ta.Table))
+	}
+}
+
+// TestExistsBetweenSemantics: the eliminated formula is satisfied exactly
+// when the interval contains an integer.
+func TestExistsBetweenSemantics(t *testing.T) {
+	tab := expr.NewTable()
+	lo := tab.Intern("lo")
+	hi := tab.Intern("hi")
+	c, err := ExistsBetween(expr.Var(lo), expr.Var(hi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := int64(0); l <= 4; l++ {
+		for h := int64(0); h <= 4; h++ {
+			vals := map[expr.Sym]int64{lo: l, hi: h}
+			got, err := c.Holds(func(s expr.Sym) int64 { return vals[s] })
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := l <= h
+			if got != want {
+				t.Errorf("lo=%d hi=%d: eliminated=%v, want %v", l, h, got, want)
+			}
+		}
+	}
+}
+
+// TestEliminateReceiveRejectsDegenerate: a guard whose eliminated form does
+// not depend positively on the send variable is a modeling error.
+func TestEliminateReceiveRejectsDegenerate(t *testing.T) {
+	b := NewBuilder("qe-bad")
+	x := b.Shared("x")
+	// θ containing -x would cancel the send variable.
+	theta := expr.Term(x, 1)
+	if _, err := b.EliminateReceive(x, theta); err == nil {
+		t.Error("expected error for guard not rising in the send variable")
+	}
+}

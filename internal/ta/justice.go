@@ -1,0 +1,36 @@
+package ta
+
+import "repro/internal/expr"
+
+// Justice is a fairness requirement of the form
+//
+//	□◇ Trigger  ⇒  ◇□ (location Loc is empty)
+//
+// restricted, as in the paper, to rising triggers: once Trigger holds it
+// holds forever, so on every fair execution Loc must eventually drain.
+//
+// The reliable-communication assumption of Section 2 is the special case
+// where Trigger is a rule's guard and Loc its source ("if the guard of a
+// rule is true infinitely often, then the origin location of that rule will
+// eventually be empty"). The gadget preconditions of Appendix F
+// (BV-Termination, BV-Obligation, BV-Uniformity baked into the simplified
+// automaton) are Justice values with custom trigger thresholds.
+type Justice struct {
+	Name    string
+	Trigger []expr.Constraint // conjunction; empty = always triggered
+	Loc     LocID
+}
+
+// DefaultJustice derives the reliable-communication justice requirements
+// from the automaton's progress rules: each non-self-loop rule contributes
+// "guard true forever ⇒ source eventually empty".
+func (a *TA) DefaultJustice() []Justice {
+	var out []Justice
+	for _, r := range a.Rules {
+		if r.SelfLoop() || r.RoundSwitch {
+			continue
+		}
+		out = append(out, Justice{Name: "rc_" + r.Name, Trigger: r.Guard, Loc: r.From})
+	}
+	return out
+}

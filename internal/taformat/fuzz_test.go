@@ -1,0 +1,38 @@
+package taformat
+
+import (
+	"testing"
+
+	"repro/internal/models"
+)
+
+// FuzzParse checks that the automaton parser never panics and that accepted
+// automata survive a render/parse round trip.
+func FuzzParse(f *testing.F) {
+	for _, mk := range []func() string{
+		func() string { s, _ := Format(models.BVBroadcast()); return s },
+		func() string { s, _ := Format(models.SimplifiedConsensus()); return s },
+	} {
+		f.Add(mk())
+	}
+	f.Add("automaton x { parameters n,t,f; correct n - f; initial A; }")
+	f.Add("automaton x { }")
+	f.Add("{}{}{}")
+	f.Fuzz(func(t *testing.T, src string) {
+		a, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text, err := Format(a)
+		if err != nil {
+			t.Fatalf("accepted automaton fails to render: %v", err)
+		}
+		b, err := Parse(text)
+		if err != nil {
+			t.Fatalf("rendering does not reparse: %v\n%s", err, text)
+		}
+		if err := equivalent(a, b); err != nil {
+			t.Fatalf("round trip not equivalent: %v", err)
+		}
+	})
+}

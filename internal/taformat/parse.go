@@ -1,0 +1,387 @@
+package taformat
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/expr"
+	lexer "repro/internal/lex"
+	"repro/internal/ta"
+)
+
+// Parse reads an automaton description and validates the result.
+func Parse(src string) (*ta.TA, error) {
+	toks, err := lexer.Tokens(src, lexer.Config{
+		MultiOps:  []string{"->", "~>", ">=", "<=", "==", "+="},
+		SingleOps: "{}(),;*+-:",
+	})
+	if err != nil {
+		return nil, fmt.Errorf("taformat: %w", err)
+	}
+	p := &parser{toks: toks, a: &ta.TA{Table: expr.NewTable()}, locs: map[string]ta.LocID{}}
+	if err := p.parseAutomaton(); err != nil {
+		return nil, err
+	}
+	if err := p.a.Validate(); err != nil {
+		return nil, err
+	}
+	return p.a, nil
+}
+
+type parser struct {
+	toks []lexer.Token
+	pos  int
+	a    *ta.TA
+	locs map[string]ta.LocID
+}
+
+func (p *parser) peek() lexer.Token { return p.toks[p.pos] }
+
+// next consumes a token; the trailing EOF token is sticky so that error
+// paths deep in expression parsing cannot run past the token slice.
+func (p *parser) next() lexer.Token {
+	t := p.toks[p.pos]
+	if t.Kind != lexer.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("taformat: line %d: %s", p.peek().Line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) accept(text string) bool {
+	t := p.peek()
+	if t.Kind == lexer.Op && t.Text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, found %q", text, p.peek().Text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.Kind != lexer.Ident {
+		return "", p.errf("expected identifier, found %q", t.Text)
+	}
+	p.pos++
+	return t.Text, nil
+}
+
+// identList parses "a, b, c".
+func (p *parser) identList() ([]string, error) {
+	var out []string
+	for {
+		id, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+		if !p.accept(",") {
+			return out, nil
+		}
+	}
+}
+
+func (p *parser) parseAutomaton() error {
+	name, err := p.ident()
+	if err != nil || name != "automaton" {
+		return p.errf("expected 'automaton'")
+	}
+	p.a.Name, err = p.ident()
+	if err != nil {
+		return err
+	}
+	// Automaton names may be hyphenated (e.g. "bv-broadcast").
+	for p.accept("-") {
+		part, err := p.ident()
+		if err != nil {
+			return err
+		}
+		p.a.Name += "-" + part
+	}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for {
+		if p.accept("}") {
+			if p.peek().Kind != lexer.EOF {
+				return p.errf("trailing input after closing brace")
+			}
+			return nil
+		}
+		kw, err := p.ident()
+		if err != nil {
+			return err
+		}
+		switch kw {
+		case "parameters":
+			names, err := p.identList()
+			if err != nil {
+				return err
+			}
+			for _, n := range names {
+				p.a.Params = append(p.a.Params, p.a.Table.Intern(n))
+			}
+		case "shared":
+			names, err := p.identList()
+			if err != nil {
+				return err
+			}
+			for _, n := range names {
+				p.a.Shared = append(p.a.Shared, p.a.Table.Intern(n))
+			}
+		case "resilience":
+			for {
+				c, err := p.parseConstraint()
+				if err != nil {
+					return err
+				}
+				p.a.Resilience = append(p.a.Resilience, c)
+				if !p.accept(",") {
+					break
+				}
+			}
+		case "correct":
+			l, err := p.parseLin()
+			if err != nil {
+				return err
+			}
+			p.a.CorrectCount = l
+		case "initial", "locations":
+			names, err := p.identList()
+			if err != nil {
+				return err
+			}
+			for _, n := range names {
+				if _, dup := p.locs[n]; dup {
+					return p.errf("duplicate location %q", n)
+				}
+				p.locs[n] = ta.LocID(len(p.a.Locations))
+				p.a.Locations = append(p.a.Locations, ta.Location{Name: n, Initial: kw == "initial"})
+			}
+		case "rule":
+			if err := p.parseRule(false); err != nil {
+				return err
+			}
+		case "switch":
+			if err := p.parseRule(true); err != nil {
+				return err
+			}
+		case "self":
+			loc, err := p.location()
+			if err != nil {
+				return err
+			}
+			p.a.Rules = append(p.a.Rules, ta.Rule{
+				Name: "self_" + p.a.Locations[loc].Name, From: loc, To: loc,
+			})
+		default:
+			return p.errf("unknown statement %q", kw)
+		}
+		if err := p.expect(";"); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *parser) location() (ta.LocID, error) {
+	name, err := p.ident()
+	if err != nil {
+		return 0, err
+	}
+	id, ok := p.locs[name]
+	if !ok {
+		return 0, p.errf("unknown location %q (declare with initial/locations first)", name)
+	}
+	return id, nil
+}
+
+func (p *parser) parseRule(roundSwitch bool) error {
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect(":"); err != nil {
+		return err
+	}
+	from, err := p.location()
+	if err != nil {
+		return err
+	}
+	arrow := "->"
+	if roundSwitch {
+		arrow = "~>"
+	}
+	if err := p.expect(arrow); err != nil {
+		return err
+	}
+	to, err := p.location()
+	if err != nil {
+		return err
+	}
+	rule := ta.Rule{Name: name, From: from, To: to, RoundSwitch: roundSwitch}
+
+	for p.peek().Kind == lexer.Ident {
+		switch p.peek().Text {
+		case "when":
+			if roundSwitch {
+				return p.errf("round-switch rules cannot be guarded")
+			}
+			p.pos++
+			for {
+				c, err := p.parseConstraint()
+				if err != nil {
+					return err
+				}
+				rule.Guard = append(rule.Guard, c)
+				if !p.accept(",") {
+					break
+				}
+			}
+		case "do":
+			if roundSwitch {
+				return p.errf("round-switch rules cannot have updates")
+			}
+			p.pos++
+			rule.Update = map[expr.Sym]int64{}
+			for {
+				v, err := p.ident()
+				if err != nil {
+					return err
+				}
+				sym := p.a.Table.Lookup(v)
+				if sym == expr.NoSym || !isIn(p.a.Shared, sym) {
+					return p.errf("update of undeclared shared variable %q", v)
+				}
+				if err := p.expect("+="); err != nil {
+					return err
+				}
+				num := p.next()
+				if num.Kind != lexer.Number {
+					return p.errf("expected increment amount")
+				}
+				k, err := strconv.ParseInt(num.Text, 10, 64)
+				if err != nil {
+					return p.errf("%v", err)
+				}
+				rule.Update[sym] += k
+				if !p.accept(",") {
+					break
+				}
+			}
+		default:
+			return p.errf("unexpected %q in rule", p.peek().Text)
+		}
+	}
+	p.a.Rules = append(p.a.Rules, rule)
+	return nil
+}
+
+func isIn(syms []expr.Sym, s expr.Sym) bool {
+	for _, x := range syms {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// parseConstraint parses `lin (>=|<=|==) lin` into canonical L-op-0 form.
+func (p *parser) parseConstraint() (expr.Constraint, error) {
+	l, err := p.parseLin()
+	if err != nil {
+		return expr.Constraint{}, err
+	}
+	var op string
+	switch {
+	case p.accept(">="):
+		op = ">="
+	case p.accept("<="):
+		op = "<="
+	case p.accept("=="):
+		op = "=="
+	default:
+		return expr.Constraint{}, p.errf("expected >=, <= or ==")
+	}
+	r, err := p.parseLin()
+	if err != nil {
+		return expr.Constraint{}, err
+	}
+	switch op {
+	case ">=":
+		return expr.Ge(l, r)
+	case "<=":
+		return expr.Le(l, r)
+	default:
+		return expr.Eq(l, r)
+	}
+}
+
+// parseLin parses a linear expression: [-] term { (+|-) term } with terms
+// NUMBER, IDENT, NUMBER*IDENT or IDENT*NUMBER. Identifiers are interned
+// into the automaton's table (they must be declared parameters or shared
+// variables; ta.Validate enforces this for guards).
+func (p *parser) parseLin() (expr.Lin, error) {
+	out := expr.Lin{}
+	sign := int64(1)
+	if p.accept("-") {
+		sign = -1
+	}
+	for {
+		if err := p.parseTermInto(&out, sign); err != nil {
+			return expr.Lin{}, err
+		}
+		switch {
+		case p.accept("+"):
+			sign = 1
+		case p.accept("-"):
+			sign = -1
+		default:
+			return out, nil
+		}
+	}
+}
+
+func (p *parser) parseTermInto(out *expr.Lin, sign int64) error {
+	t := p.next()
+	switch t.Kind {
+	case lexer.Number:
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		if p.accept("*") {
+			id, err := p.ident()
+			if err != nil {
+				return err
+			}
+			return out.AddTerm(p.a.Table.Intern(id), sign*v)
+		}
+		return out.AddConst(sign * v)
+	case lexer.Ident:
+		sym := p.a.Table.Intern(t.Text)
+		if p.accept("*") {
+			num := p.next()
+			if num.Kind != lexer.Number {
+				return p.errf("expected number after *")
+			}
+			v, err := strconv.ParseInt(num.Text, 10, 64)
+			if err != nil {
+				return p.errf("%v", err)
+			}
+			return out.AddTerm(sym, sign*v)
+		}
+		return out.AddTerm(sym, sign)
+	default:
+		return p.errf("expected term, found %q", t.Text)
+	}
+}

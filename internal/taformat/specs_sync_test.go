@@ -1,0 +1,75 @@
+package taformat
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ltl"
+	"repro/internal/models"
+	"repro/internal/ta"
+)
+
+// TestShippedSpecsInSync verifies that the .ta and .ltl files shipped under
+// specs/ stay equivalent to the bundled models and property texts (they are
+// the user-facing artifacts for the file-based CLI workflow).
+func TestShippedSpecsInSync(t *testing.T) {
+	cases := []struct {
+		file string
+		mk   func() *ta.TA
+	}{
+		{"bvbroadcast.ta", models.BVBroadcast},
+		{"naive.ta", models.NaiveConsensus},
+		{"simplified.ta", models.SimplifiedConsensus},
+		{"strb.ta", models.STReliableBroadcast},
+		{"bosco.ta", models.Bosco},
+	}
+	for _, c := range cases {
+		data, err := os.ReadFile(filepath.Join("..", "..", "specs", c.file))
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with `holistic export`)", c.file, err)
+		}
+		parsed, err := Parse(string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", c.file, err)
+		}
+		if err := equivalent(c.mk(), parsed); err != nil {
+			t.Errorf("%s drifted from the bundled model: %v", c.file, err)
+		}
+	}
+}
+
+func TestShippedLTLInSync(t *testing.T) {
+	cases := []struct {
+		file    string
+		bundled string
+	}{
+		{"bvbroadcast.ltl", ltl.BVBroadcastSpec},
+		{"simplified.ltl", ltl.SimplifiedConsensusSpec},
+		{"strb.ltl", ltl.STRBSpec},
+	}
+	for _, c := range cases {
+		data, err := os.ReadFile(filepath.Join("..", "..", "specs", c.file))
+		if err != nil {
+			t.Fatalf("%s: %v", c.file, err)
+		}
+		shipped, err := ltl.ParseFile(string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", c.file, err)
+		}
+		bundled, err := ltl.ParseFile(c.bundled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(shipped.Names, ",") != strings.Join(bundled.Names, ",") {
+			t.Errorf("%s: property names differ: %v vs %v", c.file, shipped.Names, bundled.Names)
+			continue
+		}
+		for _, name := range shipped.Names {
+			if shipped.Formulas[name].String() != bundled.Formulas[name].String() {
+				t.Errorf("%s: property %s drifted", c.file, name)
+			}
+		}
+	}
+}
