@@ -1,0 +1,14 @@
+# Tier-1 gate (ROADMAP.md): build + tests.
+.PHONY: test
+test:
+	go build ./...
+	go test ./...
+
+# Tier-1+ gate: vet + race detector + fixed-seed chaos smoke.
+.PHONY: verify
+verify:
+	sh scripts/verify.sh
+
+.PHONY: bench
+bench:
+	go test -bench=. -benchmem

@@ -1,13 +1,17 @@
 // Command dbftsim runs the executable DBFT binary consensus (Algorithm 1
 // over the Fig. 1 bv-broadcast) on the simulated asynchronous network, with
 // configurable Byzantine strategies and schedulers. It also replays the
-// Appendix B non-termination execution (-lemma7).
+// Appendix B non-termination execution (-lemma7), runs randomized
+// fault-injection campaigns (-chaos) and replays single chaos scenarios
+// (-plan).
 //
 // Usage examples:
 //
 //	dbftsim -n 4 -t 1 -inputs 0,1,1 -byz liar -sched fair
 //	dbftsim -n 7 -t 2 -inputs 0,1,0,1,1 -byz equivocator,silent -sched random -seed 7
 //	dbftsim -lemma7 -rounds 12
+//	dbftsim -chaos -chaos-seeds 200 -n 4 -t 1 -seed 1
+//	dbftsim -plan '{"n":4,"t":1,...}'   (or -plan @scenario.json)
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 
 	"repro/internal/dbft"
 	"repro/internal/fairness"
+	"repro/internal/faults"
 	"repro/internal/network"
 )
 
@@ -42,12 +47,23 @@ func run(args []string) error {
 	maxSteps := fs.Int("steps", 500000, "delivery budget")
 	lemma7 := fs.Bool("lemma7", false, "replay the Appendix B non-termination execution")
 	trace := fs.Int("trace", 0, "print the first N message deliveries and a delivery summary")
+	chaos := fs.Bool("chaos", false, "run a randomized fault-injection campaign (uses -n, -t, -seed, -rounds, -steps, -tick)")
+	chaosSeeds := fs.Int("chaos-seeds", 200, "number of seeds in the -chaos campaign")
+	tick := fs.Int("tick", 25, "retransmission tick interval in steps (-chaos and -plan)")
+	chaosV := fs.Bool("chaos-v", false, "print one line per -chaos run")
+	plan := fs.String("plan", "", "replay one chaos scenario: inline JSON or @file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *lemma7 {
 		return runLemma7(*maxRounds)
+	}
+	if *plan != "" {
+		return runPlan(*plan)
+	}
+	if *chaos {
+		return runChaos(*chaosSeeds, *seed, *n, *t, *maxRounds, *maxSteps, *tick, *chaosV)
 	}
 
 	ins, err := parseInputs(*inputs)
@@ -145,6 +161,79 @@ func parseInputs(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// runChaos executes a randomized fault-injection campaign and exits non-zero
+// on any safety/termination violation, printing each violation's seed and
+// replayable scenario JSON.
+func runChaos(runs int, baseSeed int64, n, t, maxRounds, maxSteps, tick int, verbose bool) error {
+	c := faults.Campaign{
+		Runs:     runs,
+		BaseSeed: baseSeed,
+		N:        n,
+		T:        t,
+
+		MaxRounds: maxRounds,
+		MaxSteps:  maxSteps,
+		Tick:      tick,
+	}
+	if verbose {
+		c.Verbose = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	res := c.Run()
+	fmt.Println(res.String())
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			fmt.Println(v.String())
+		}
+		return fmt.Errorf("%d violations in %d runs", len(res.Violations), res.Runs)
+	}
+	return nil
+}
+
+// runPlan replays a single chaos scenario (inline JSON or @file) and prints
+// the outcome, the per-process states and the fault log.
+func runPlan(spec string) error {
+	if strings.HasPrefix(spec, "@") {
+		b, err := os.ReadFile(spec[1:])
+		if err != nil {
+			return err
+		}
+		spec = string(b)
+	}
+	sc, err := faults.ParseScenario(spec)
+	if err != nil {
+		return err
+	}
+	out := sc.Run()
+	if out.Err != nil {
+		return out.Err
+	}
+	fair := "unfair"
+	if sc.Plan.FairDelivery() {
+		fair = "fair"
+	}
+	fmt.Printf("scenario: n=%d t=%d seed=%d plan=%s steps=%d decided=%v\n",
+		sc.N, sc.T, sc.Plan.Seed, fair, out.Steps, out.Decided)
+	fmt.Print(dbft.Describe(out.Procs))
+	if out.AgreementErr != nil {
+		fmt.Println("AGREEMENT VIOLATED:", out.AgreementErr)
+	} else {
+		fmt.Println("agreement: ok")
+	}
+	if out.ValidityErr != nil {
+		fmt.Println("VALIDITY VIOLATED:", out.ValidityErr)
+	} else {
+		fmt.Println("validity: ok")
+	}
+	counts := faults.CountEvents(out.Events)
+	fmt.Printf("faults: %d drops, %d dups, %d delays, %d lost, %d crashes, %d recoveries\n",
+		counts[faults.EvDrop], counts[faults.EvDuplicate], counts[faults.EvDelay],
+		counts[faults.EvLost], counts[faults.EvCrash], counts[faults.EvRecover])
+	fmt.Print(faults.FormatEvents(out.Events, 20))
+	return nil
 }
 
 func runLemma7(rounds int) error {

@@ -19,6 +19,9 @@ func TestRunScenarios(t *testing.T) {
 		{"-n", "4", "-t", "1", "-inputs", "1,1,1", "-byz", "liar", "-sched", "random", "-seed", "7"},
 		{"-n", "4", "-t", "1", "-inputs", "0,0,1", "-byz", "equivocator", "-sched", "fifo", "-trace", "3"},
 		{"-lemma7", "-rounds", "6"},
+		{"-chaos", "-chaos-seeds", "10", "-seed", "1", "-n", "4", "-t", "1"},
+		{"-plan", `{"n":4,"t":1,"max_rounds":12,"max_steps":120000,"tick":25,` +
+			`"inputs":[0,1,1],"byz":["silent"],"plan":{"seed":9,"drops":[{"prob":0.3,"budget":1}]}}`},
 	}
 	for _, args := range good {
 		if err := run(args); err != nil {
@@ -31,6 +34,8 @@ func TestRunScenarios(t *testing.T) {
 		{"-n", "4", "-inputs", "0,1", "-byz", "silent"}, // count mismatch
 		{"-byz", "teleport"},                            // unknown strategy
 		{"-sched", "sorcery"},                           // unknown scheduler
+		{"-plan", "{not json"},                          // malformed scenario
+		{"-plan", "@/nonexistent/scenario.json"},        // missing replay file
 	}
 	for _, args := range bad {
 		if err := run(args); err == nil {

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/dbft"
 	"repro/internal/fairness"
+	"repro/internal/faults"
 	"repro/internal/network"
 )
 
@@ -39,18 +40,68 @@ func (b Block) String() string {
 	return fmt.Sprintf("block %d (%d proposals): [%s]", b.Height, b.Proposals, strings.Join(parts, " "))
 }
 
+// Health is a replica's availability state as seen by the ledger
+// orchestrator.
+type Health int
+
+// Replica health states.
+const (
+	// Healthy replicas propose and vote.
+	Healthy Health = iota
+	// Crashed replicas are down: they neither propose nor vote, and their
+	// chains lag until Recover catches them up.
+	Crashed
+	// Partitioned replicas are unreachable: operationally identical to
+	// Crashed for a height, but they keep their mempool and state.
+	Partitioned
+)
+
+func (h Health) String() string {
+	switch h {
+	case Crashed:
+		return "crashed"
+	case Partitioned:
+		return "partitioned"
+	default:
+		return "healthy"
+	}
+}
+
+// ReplicaStatus is one row of the per-replica health report.
+type ReplicaStatus struct {
+	ID        network.ProcID
+	Byzantine bool
+	Health    Health
+	Height    int // committed chain length (0 for Byzantine slots)
+}
+
 // Ledger orchestrates a fleet of replicas committing superblocks height by
 // height. Correct replicas hold a mempool and a chain; Byzantine replica
 // slots are silent (they simply never propose or vote — the worst a
 // Byzantine process can do to liveness once safety is guaranteed by the
 // consensus layer).
+//
+// The ledger degrades gracefully: replicas marked Crashed or Partitioned
+// sit out a height (they are silent for that consensus instance) and the
+// rest keep committing, provided Byzantine + unavailable replicas stay
+// within the tolerance t. Recover catches a replica back up by state
+// transfer — safe because superblocks are the deterministic output of the
+// agreed vector, so any up-to-date peer's chain is the chain.
 type Ledger struct {
 	cfg      dbft.Config
 	byz      map[network.ProcID]bool
+	health   map[network.ProcID]Health
 	mempools map[network.ProcID][]Tx
 	chains   map[network.ProcID][]Block
 	// MaxSteps bounds each height's consensus (0 = default 5,000,000).
 	MaxSteps int
+
+	// Faults, when set, injects the fault plan into every height's
+	// consensus instance (lossy links, duplicates, delays, partitions —
+	// the ledger-level entry point to internal/faults). TickInterval sets
+	// the retransmission clock for those runs (0 = default 25).
+	Faults       *faults.Plan
+	TickInterval int
 }
 
 // NewLedger creates a ledger with n replicas tolerating t Byzantine ones;
@@ -66,6 +117,7 @@ func NewLedger(n, t int, byz []network.ProcID) (*Ledger, error) {
 	l := &Ledger{
 		cfg:      cfg,
 		byz:      map[network.ProcID]bool{},
+		health:   map[network.ProcID]Health{},
 		mempools: map[network.ProcID][]Tx{},
 		chains:   map[network.ProcID][]Block{},
 	}
@@ -96,13 +148,89 @@ func (l *Ledger) Submit(replica network.ProcID, txs ...Tx) {
 	l.mempools[replica] = append(l.mempools[replica], txs...)
 }
 
-// Height reports the number of committed superblocks.
+// Height reports the number of committed superblocks (the longest correct
+// chain — lagging crashed replicas are behind it until they recover).
 func (l *Ledger) Height() int {
-	for id, chain := range l.chains {
-		_ = id
-		return len(chain)
+	h := 0
+	for _, chain := range l.chains {
+		if len(chain) > h {
+			h = len(chain)
+		}
 	}
-	return 0
+	return h
+}
+
+// SetHealth marks a correct replica's availability. Crashed/Partitioned
+// replicas sit out subsequent heights; committing remains possible while
+// Byzantine + unavailable replicas stay within t.
+func (l *Ledger) SetHealth(id network.ProcID, h Health) error {
+	if int(id) < 0 || int(id) >= l.cfg.N {
+		return fmt.Errorf("blockchain: replica %d out of range", id)
+	}
+	if l.byz[id] {
+		return fmt.Errorf("blockchain: replica %d is Byzantine, not health-managed", id)
+	}
+	if h == Healthy {
+		return l.Recover(id)
+	}
+	l.health[id] = h
+	return nil
+}
+
+// Recover marks a replica healthy again and catches it up by state
+// transfer: missing superblocks are copied from the longest chain (any
+// up-to-date peer is authoritative — superblocks are the deterministic
+// output of the agreed vector) and its mempool is pruned of transactions
+// those blocks committed.
+func (l *Ledger) Recover(id network.ProcID) error {
+	if l.byz[id] {
+		return fmt.Errorf("blockchain: replica %d is Byzantine, not health-managed", id)
+	}
+	delete(l.health, id)
+	var ref []Block
+	for _, chain := range l.chains {
+		if len(chain) > len(ref) {
+			ref = chain
+		}
+	}
+	mine := l.chains[id]
+	for h := len(mine); h < len(ref); h++ {
+		block := ref[h]
+		mine = append(mine, block)
+		committed := map[Tx]bool{}
+		for _, tx := range block.Txs {
+			committed[tx] = true
+		}
+		var rest []Tx
+		for _, tx := range l.mempools[id] {
+			if !committed[tx] {
+				rest = append(rest, tx)
+			}
+		}
+		l.mempools[id] = rest
+	}
+	l.chains[id] = mine
+	return nil
+}
+
+// Status reports per-replica health, sorted by id.
+func (l *Ledger) Status() []ReplicaStatus {
+	out := make([]ReplicaStatus, 0, l.cfg.N)
+	for i := 0; i < l.cfg.N; i++ {
+		id := network.ProcID(i)
+		st := ReplicaStatus{ID: id, Byzantine: l.byz[id]}
+		if !st.Byzantine {
+			st.Health = l.health[id]
+			st.Height = len(l.chains[id])
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// available reports whether a correct replica participates in consensus.
+func (l *Ledger) available(id network.ProcID) bool {
+	return !l.byz[id] && l.health[id] == Healthy
 }
 
 // Chain returns a replica's chain.
@@ -133,15 +261,30 @@ func decodeProposal(s string) []Tx {
 }
 
 // CommitHeight runs one vector consensus over the current mempools and
-// appends the resulting superblock to every correct replica's chain.
-// Committed transactions leave the mempools.
+// appends the resulting superblock to every available replica's chain.
+// Committed transactions leave those replicas' mempools. Crashed or
+// partitioned replicas sit the height out (their slots run silent, like
+// Byzantine ones); the height still commits as long as faulty + unavailable
+// replicas stay within the tolerance t — the graceful-degradation envelope
+// the resilience condition n > 3t buys.
 func (l *Ledger) CommitHeight() (Block, error) {
+	unavailable := 0
+	for id := range l.health {
+		if l.health[id] != Healthy {
+			unavailable++
+		}
+	}
+	if len(l.byz)+unavailable > l.cfg.T {
+		return Block{}, fmt.Errorf("blockchain: %d byzantine + %d unavailable replicas exceed t=%d; cannot commit",
+			len(l.byz), unavailable, l.cfg.T)
+	}
+
 	all := dbft.AllIDs(l.cfg.N)
-	var correct []*dbft.VectorProcess
+	var participating []*dbft.VectorProcess
 	procs := make([]network.Process, 0, l.cfg.N)
 	for i := 0; i < l.cfg.N; i++ {
 		id := network.ProcID(i)
-		if l.byz[id] {
+		if !l.available(id) {
 			procs = append(procs, &dbft.Silent{Id: id})
 			continue
 		}
@@ -149,30 +292,56 @@ func (l *Ledger) CommitHeight() (Block, error) {
 		if err != nil {
 			return Block{}, err
 		}
-		correct = append(correct, p)
+		participating = append(participating, p)
 		procs = append(procs, p)
 	}
-	sys, err := network.NewSystem(procs, fairness.Scheduler{Byzantine: l.byz})
+
+	// Unavailable replicas are scheduled like Byzantine ones: their (empty)
+	// traffic never blocks the fair schedule.
+	silent := map[network.ProcID]bool{}
+	for id := range l.byz {
+		silent[id] = true
+	}
+	for id, h := range l.health {
+		if h != Healthy {
+			silent[id] = true
+		}
+	}
+	var sched network.Scheduler = fairness.Scheduler{Byzantine: silent}
+	var inj *faults.Injector
+	if l.Faults != nil {
+		inj = faults.NewInjector(*l.Faults, sched)
+		sched = inj
+		procs = inj.Wrap(procs)
+	}
+	sys, err := network.NewSystem(procs, sched)
 	if err != nil {
 		return Block{}, err
+	}
+	if inj != nil {
+		inj.Install(sys)
+		sys.TickInterval = l.TickInterval
+		if sys.TickInterval <= 0 {
+			sys.TickInterval = 25
+		}
 	}
 	maxSteps := l.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = 5_000_000
 	}
-	if _, err := sys.Run(maxSteps, func() bool { return dbft.AllVectorDecided(correct) }); err != nil {
+	if _, err := sys.Run(maxSteps, func() bool { return dbft.AllVectorDecided(participating) }); err != nil {
 		return Block{}, err
 	}
-	if !dbft.AllVectorDecided(correct) {
+	if !dbft.AllVectorDecided(participating) {
 		return Block{}, fmt.Errorf("blockchain: height %d did not commit within the step budget", l.Height())
 	}
-	if err := dbft.VectorAgreement(correct); err != nil {
+	if err := dbft.VectorAgreement(participating); err != nil {
 		return Block{}, err
 	}
 
 	// Build the superblock from the agreed vector: the union of committed
 	// proposals, deduplicated, in deterministic order.
-	vector, _ := correct[0].Decided()
+	vector, _ := participating[0].Decided()
 	seen := map[Tx]bool{}
 	var txs []Tx
 	for _, proposal := range vector {
@@ -187,6 +356,9 @@ func (l *Ledger) CommitHeight() (Block, error) {
 	block := Block{Height: l.Height(), Proposals: len(vector), Txs: txs}
 
 	for id := range l.chains {
+		if !l.available(id) {
+			continue // lagging replicas catch up via Recover
+		}
 		l.chains[id] = append(l.chains[id], block)
 		// Remove committed transactions from the mempool.
 		var rest []Tx
@@ -200,25 +372,28 @@ func (l *Ledger) CommitHeight() (Block, error) {
 	return block, nil
 }
 
-// VerifyChains checks that every correct replica holds the identical chain
-// (no fork).
+// VerifyChains checks that no two correct replicas fork: every chain must
+// be a prefix of the longest one. Replicas that sat out heights while
+// crashed or partitioned legitimately lag — lag is degradation, not a fork
+// — so only a content mismatch at a shared height is an error. Use Status
+// for the per-replica health and lag report.
 func (l *Ledger) VerifyChains() error {
 	var ref []Block
 	var refID network.ProcID
-	first := true
 	for id, chain := range l.chains {
-		if first {
-			ref, refID, first = chain, id, false
-			continue
+		if len(chain) > len(ref) {
+			ref, refID = chain, id
 		}
-		if len(chain) != len(ref) {
-			return fmt.Errorf("blockchain: fork: replica %d at height %d, replica %d at height %d",
-				refID, len(ref), id, len(chain))
-		}
+	}
+	for id, chain := range l.chains {
 		for h := range chain {
 			if !sameBlock(chain[h], ref[h]) {
 				return fmt.Errorf("blockchain: fork at height %d between replicas %d and %d", h, refID, id)
 			}
+		}
+		if len(chain) < len(ref) && l.health[id] == Healthy {
+			return fmt.Errorf("blockchain: healthy replica %d lags at height %d (longest %d) — missed recovery",
+				id, len(chain), len(ref))
 		}
 	}
 	return nil

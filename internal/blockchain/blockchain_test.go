@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/network"
 )
 
@@ -121,5 +122,172 @@ func TestDuplicateSubmissionsDeduplicated(t *testing.T) {
 	}
 	if count != 1 {
 		t.Errorf("shared-tx appears %d times in %v", count, block)
+	}
+}
+
+func TestCommitWithCrashedReplicaDegradesGracefully(t *testing.T) {
+	l, err := NewLedger(4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		l.Submit(network.ProcID(i), Tx(fmt.Sprintf("h0-p%d", i)))
+	}
+	if _, err := l.CommitHeight(); err != nil {
+		t.Fatalf("baseline height: %v", err)
+	}
+
+	// Replica 3 crashes. The ledger must keep committing with the other
+	// three (n=4, t=1: one unavailable replica is within tolerance).
+	if err := l.SetHealth(3, Crashed); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		l.Submit(network.ProcID(i), Tx(fmt.Sprintf("h1-p%d", i)))
+	}
+	block, err := l.CommitHeight()
+	if err != nil {
+		t.Fatalf("commit with crashed replica: %v", err)
+	}
+	if len(block.Txs) == 0 {
+		t.Error("degraded height committed an empty block")
+	}
+	if got := len(l.Chain(3)); got != 1 {
+		t.Errorf("crashed replica chain length %d, want 1 (lagging)", got)
+	}
+	if err := l.VerifyChains(); err != nil {
+		t.Errorf("lagging crashed replica flagged as fork: %v", err)
+	}
+
+	// Status must report the degradation.
+	var crashed int
+	for _, st := range l.Status() {
+		if st.Health == Crashed {
+			crashed++
+			if st.ID != 3 {
+				t.Errorf("replica %d reported crashed", st.ID)
+			}
+			if st.Height != 1 {
+				t.Errorf("crashed replica height %d, want 1", st.Height)
+			}
+		}
+	}
+	if crashed != 1 {
+		t.Errorf("%d replicas reported crashed, want 1", crashed)
+	}
+}
+
+func TestRecoverCatchesUpByStateTransfer(t *testing.T) {
+	l, err := NewLedger(4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SetHealth(2, Partitioned); err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 3; h++ {
+		l.Submit(0, Tx(fmt.Sprintf("tx-%d", h)))
+		if _, err := l.CommitHeight(); err != nil {
+			t.Fatalf("height %d: %v", h, err)
+		}
+	}
+	if got := len(l.Chain(2)); got != 0 {
+		t.Fatalf("partitioned replica advanced to height %d", got)
+	}
+
+	if err := l.SetHealth(2, Healthy); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(l.Chain(2)); got != 3 {
+		t.Errorf("recovered replica at height %d, want 3 after state transfer", got)
+	}
+	if err := l.VerifyChains(); err != nil {
+		t.Fatal(err)
+	}
+	// And it participates in the next height again.
+	l.Submit(2, "post-recovery-tx")
+	block, err := l.CommitHeight()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tx := range block.Txs {
+		if tx == "post-recovery-tx" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("recovered replica's proposal missing from %v", block)
+	}
+}
+
+func TestCommitRefusesWhenFaultsExceedTolerance(t *testing.T) {
+	// One Byzantine + one crashed = 2 > t=1: committing would hand the
+	// adversary a quorum, so the ledger must refuse, not stall or fork.
+	l, err := NewLedger(4, 1, []network.ProcID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SetHealth(1, Crashed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.CommitHeight(); err == nil {
+		t.Fatal("commit succeeded with byzantine+crashed > t")
+	}
+	// Healing the crash restores service.
+	if err := l.SetHealth(1, Healthy); err != nil {
+		t.Fatal(err)
+	}
+	l.Submit(1, "tx")
+	if _, err := l.CommitHeight(); err != nil {
+		t.Fatalf("commit after recovery: %v", err)
+	}
+}
+
+func TestSetHealthValidation(t *testing.T) {
+	l, err := NewLedger(4, 1, []network.ProcID{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SetHealth(9, Crashed); err == nil {
+		t.Error("out-of-range replica accepted")
+	}
+	if err := l.SetHealth(2, Crashed); err == nil {
+		t.Error("health change on byzantine replica accepted")
+	}
+}
+
+func TestCommitHeightUnderFaultPlan(t *testing.T) {
+	// Wire a lossy-but-fair fault plan into the ledger's consensus runs:
+	// bounded drops and duplicates on every link. Retransmission must push
+	// every height through and the chains must stay fork-free.
+	l, err := NewLedger(4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Faults = &faults.Plan{
+		Seed:      7,
+		Drops:     []faults.DropRule{{Prob: 0.25, Budget: 1}},
+		DupProb:   0.2,
+		DupBudget: 1,
+	}
+	l.TickInterval = 25
+	for h := 0; h < 3; h++ {
+		for i := 0; i < 4; i++ {
+			l.Submit(network.ProcID(i), Tx(fmt.Sprintf("h%d-p%d", h, i)))
+		}
+		block, err := l.CommitHeight()
+		if err != nil {
+			t.Fatalf("height %d under fault plan (seed %d): %v", h, l.Faults.Seed, err)
+		}
+		if len(block.Txs) == 0 {
+			t.Errorf("height %d committed empty block under fault plan", h)
+		}
+	}
+	if err := l.VerifyChains(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Height() != 3 {
+		t.Errorf("height = %d, want 3", l.Height())
 	}
 }

@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
@@ -79,6 +80,24 @@ func (r Report) Result(name string) (schema.Result, bool) {
 	return schema.Result{}, false
 }
 
+// checker abstracts the schema engine for the worker pool (and for testing
+// its panic containment).
+type checker interface {
+	Check(q *spec.Query) (schema.Result, error)
+}
+
+// safeCheck runs one property check, converting a panic in the engine into
+// an error: a misbehaving check must fail its own query, not kill the whole
+// verification run — the remaining workers' results are still reported.
+func safeCheck(c checker, q *spec.Query) (res schema.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic in query %s: %v\n%s", q.Name, r, debug.Stack())
+		}
+	}()
+	return c.Check(q)
+}
+
 func runQueries(a *ta.TA, queries []spec.Query, opts Options) (Report, error) {
 	start := time.Now()
 	engine, err := opts.engine(a)
@@ -101,7 +120,7 @@ func runQueries(a *ta.TA, queries []spec.Query, opts Options) (Report, error) {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i], errs[i] = engine.Check(&queries[i])
+			results[i], errs[i] = safeCheck(engine, &queries[i])
 		}(i)
 	}
 	wg.Wait()

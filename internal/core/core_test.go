@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/schema"
 	"repro/internal/spec"
 )
 
@@ -104,5 +105,25 @@ func TestTable2NaiveBudget(t *testing.T) {
 	out := FormatTable2(rows)
 	if !strings.Contains(out, ">100000") || !strings.Contains(out, "timeout") {
 		t.Errorf("naive rows not rendered as timeouts:\n%s", out)
+	}
+}
+
+// panicChecker stands in for a schema engine whose Check blows up.
+type panicChecker struct{}
+
+func (panicChecker) Check(q *spec.Query) (schema.Result, error) {
+	panic("engine exploded on " + q.Name)
+}
+
+// TestSafeCheckContainsPanics: a panicking engine fails its own query with a
+// descriptive error instead of killing the verification run.
+func TestSafeCheckContainsPanics(t *testing.T) {
+	q := spec.Query{Name: "inv1"}
+	_, err := safeCheck(panicChecker{}, &q)
+	if err == nil {
+		t.Fatal("panic was not converted into an error")
+	}
+	if !strings.Contains(err.Error(), "inv1") || !strings.Contains(err.Error(), "engine exploded") {
+		t.Errorf("error %q does not identify the query and the panic", err)
 	}
 }

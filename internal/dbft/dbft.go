@@ -80,6 +80,26 @@ type Process struct {
 	decision     int
 	decidedRound int
 
+	// outbox records every logical broadcast this process has made (one
+	// template per bv-echo and per aux, all rounds). The retransmission
+	// layer re-broadcasts it verbatim: handlers are idempotent, and
+	// re-sending the *recorded* content (rather than recomputing it) is what
+	// keeps a crash-recovered replica from equivocating against its
+	// pre-crash messages.
+	outbox []network.Message
+	// Retransmission backoff, counted in ticks: retxWait doubles up to
+	// retxBackoffCap after each firing and resets when the round advances.
+	// Retransmission is activity-gated: a tick period in which this process
+	// delivered at least one message skips the countdown entirely, so the
+	// timer only fires once the process has gone quiet — i.e. once the
+	// in-flight traffic that should have driven it forward has drained. This
+	// keeps retransmission from flooding a healthy network (and from starving
+	// lower-priority traffic under deterministic schedulers) while still
+	// guaranteeing a re-send whenever a needed message was lost.
+	retxWait   int
+	retxLeft   int
+	sawTraffic bool
+
 	// EstimateHistory[r] is the estimate held at the START of round r
 	// (diagnostics for the Lemma 7 reproduction).
 	EstimateHistory []int
@@ -89,6 +109,7 @@ type Process struct {
 }
 
 var _ network.Process = (*Process)(nil)
+var _ network.Ticker = (*Process)(nil)
 
 // NewProcess builds a correct process with the given input value.
 func NewProcess(id network.ProcID, input int, cfg Config, all []network.ProcID) (*Process, error) {
@@ -157,13 +178,20 @@ func (p *Process) bvBroadcast(round, v int, send network.Sender) {
 		return
 	}
 	st.echoed[v] = true
-	network.Broadcast(send, p.all, network.Message{
+	p.broadcast(send, network.Message{
 		From: p.id, Round: round, Kind: network.MsgBV, Value: v, Instance: p.instance,
 	})
 }
 
+// broadcast sends m to all and records it in the outbox for retransmission.
+func (p *Process) broadcast(send network.Sender, m network.Message) {
+	p.outbox = append(p.outbox, m)
+	network.Broadcast(send, p.all, m)
+}
+
 // Deliver implements network.Process.
 func (p *Process) Deliver(m network.Message, send network.Sender) {
+	p.sawTraffic = true
 	if m.Instance != p.instance {
 		return
 	}
@@ -241,7 +269,7 @@ func (p *Process) progress(round int, send network.Sender) {
 	// Alg. 1 lines 7-8: once contestants is nonempty, broadcast it (once).
 	if !st.auxSent && (st.contestants[0] || st.contestants[1]) {
 		st.auxSent = true
-		network.Broadcast(send, p.all, network.Message{
+		p.broadcast(send, network.Message{
 			From: p.id, Round: round, Kind: network.MsgAux, Value: -1,
 			Set: contestantSlice(st), Instance: p.instance,
 		})
@@ -321,9 +349,46 @@ func (p *Process) advance(send network.Sender) {
 	}
 	p.round++
 	p.EstimateHistory = append(p.EstimateHistory, p.est)
+	p.retxWait, p.retxLeft = 0, 0 // entering a round resets the backoff
 	p.bvBroadcast(p.round, p.est, send)
 	// Guards over already-buffered messages of the new round re-fire.
 	p.progress(p.round, send)
+}
+
+// retxBackoffCap bounds the retransmission backoff (in ticks).
+const retxBackoffCap = 8
+
+// OnTick implements network.Ticker: periodic retransmission with capped
+// exponential backoff. The whole outbox — not just the current round — is
+// re-broadcast, matching the help-the-laggards loop of Alg. 1: a replica
+// recovering from a crash (or emerging from a partition) may be many rounds
+// behind and needs the old-round BV/AUX quorums replayed. Safe because every
+// handler is idempotent (distinct-sender sets, first-aux-wins).
+func (p *Process) OnTick(step int, send network.Sender) {
+	if p.sawTraffic {
+		p.sawTraffic = false // traffic flowed this period: no need to re-send
+		return
+	}
+	if p.retxLeft > 0 {
+		p.retxLeft--
+		return
+	}
+	p.Retransmit(send)
+	if p.retxWait < retxBackoffCap {
+		if p.retxWait == 0 {
+			p.retxWait = 1
+		} else {
+			p.retxWait *= 2
+		}
+	}
+	p.retxLeft = p.retxWait
+}
+
+// Retransmit immediately re-broadcasts every recorded logical broadcast.
+func (p *Process) Retransmit(send network.Sender) {
+	for _, m := range p.outbox {
+		network.Broadcast(send, p.all, m)
+	}
 }
 
 // Processes builds n-f correct processes with the given inputs and ids

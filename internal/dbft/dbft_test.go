@@ -105,7 +105,11 @@ func TestSplitInputsSafetyUnderRandomSchedules(t *testing.T) {
 		if _, err := sys.Run(200000, func() bool { return AllDecided(correct) }); err != nil {
 			t.Fatal(err)
 		}
-		return Agreement(correct) == nil && Validity(correct, inputs) == nil
+		ok := Agreement(correct) == nil && Validity(correct, inputs) == nil
+		if !ok {
+			t.Logf("replay with: seed=%d inputBits=%d strategy=%d", seed, inputBits, strategy)
+		}
+		return ok
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
@@ -141,7 +145,11 @@ func TestLargerSystemSafety(t *testing.T) {
 		if _, err := sys.Run(400000, func() bool { return AllDecided(correct) }); err != nil {
 			t.Fatal(err)
 		}
-		return Agreement(correct) == nil && Validity(correct, inputs) == nil
+		ok := Agreement(correct) == nil && Validity(correct, inputs) == nil
+		if !ok {
+			t.Logf("replay with: seed=%d inputBits=%d", seed, inputBits)
+		}
+		return ok
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
@@ -247,9 +255,13 @@ func TestSanitizeSet(t *testing.T) {
 	}{
 		{[]int{0}, []int{0}},
 		{[]int{1, 0, 1}, []int{0, 1}},
+		{[]int{0, 0, 1}, []int{0, 1}}, // duplicates collapse
 		{[]int{2}, nil},
+		{[]int{-1}, nil}, // negative values are malformed, not an index panic
 		{[]int{}, nil},
+		{nil, nil},
 		{[]int{1, 7}, nil},
+		{[]int{0, 1, 2}, nil}, // one bad value poisons the whole set
 	}
 	for _, c := range cases {
 		got := sanitizeSet(c.in)
@@ -280,5 +292,53 @@ func TestDuplicateAuxIgnored(t *testing.T) {
 	st := p.state(0)
 	if len(st.favorites) != 1 || len(st.favorites[3]) != 1 || st.favorites[3][0] != 0 {
 		t.Errorf("favorites = %v, want only the first aux from 3", st.favorites)
+	}
+}
+
+// TestHandlersIdempotentUnderDuplication proves the retransmission layer's
+// core assumption: delivering every message twice changes nothing. A system
+// whose send path duplicates every copy must reach exactly the decisions of
+// the unmodified system.
+func TestHandlersIdempotentUnderDuplication(t *testing.T) {
+	run := func(duplicate bool) []*Process {
+		cfg := Config{N: 4, T: 1, MaxRounds: 8}
+		all := AllIDs(cfg.N)
+		inputs := []int{0, 1, 1}
+		correct, err := Processes(cfg, inputs, all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs := []network.Process{correct[0], correct[1], correct[2], &Silent{Id: 3}}
+		sys, err := network.NewSystem(procs, network.FIFOScheduler{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if duplicate {
+			sys.SendTap = func(m network.Message) []network.Message {
+				return []network.Message{m, m}
+			}
+		}
+		if _, err := sys.Run(500_000, func() bool { return AllDecided(correct) }); err != nil {
+			t.Fatal(err)
+		}
+		if !AllDecided(correct) {
+			t.Fatalf("duplicate=%v: not all decided", duplicate)
+		}
+		return correct
+	}
+	base := run(false)
+	doubled := run(true)
+	for i := range base {
+		bv, br, _ := base[i].Decided()
+		dv, dr, _ := doubled[i].Decided()
+		if bv != dv {
+			t.Errorf("p%d: decision %d with duplication, %d without", i, dv, bv)
+		}
+		if br != dr {
+			t.Errorf("p%d: decision round %d with duplication, %d without", i, dr, br)
+		}
+	}
+	if err := Agreement(doubled); err != nil {
+		t.Error(err)
 	}
 }

@@ -1,0 +1,92 @@
+package dbft
+
+import "repro/internal/network"
+
+// Snapshot is a deep copy of a Process's durable state, the unit of
+// persistence for crash-recovery. The fault plane (internal/faults) persists
+// a snapshot after every delivery — the synchronous write-ahead model — and
+// hands it back via Restore when the replica reboots.
+//
+// Synchronous persistence is not an implementation shortcut but a safety
+// requirement: if a replica persisted less often (say at round boundaries),
+// a crash after broadcasting AUX but before persisting would let the
+// recovered replica recompute a *different* contestant set and broadcast a
+// conflicting AUX for the same round — equivocation, which only Byzantine
+// processes are budgeted for. Persisting before the effects of a delivery
+// become visible keeps a crash-recovery replica inside the "correct process"
+// envelope of the proofs.
+type Snapshot struct {
+	est      int
+	round    int
+	rounds   map[int]*roundState
+	decided  bool
+	decision int
+	decRound int
+
+	estimateHistory []int
+	deliveryOrder   map[int][]int
+	outbox          []network.Message
+}
+
+func cloneRoundState(st *roundState) *roundState {
+	c := newRoundState()
+	for v := 0; v <= 1; v++ {
+		for id := range st.bvSenders[v] {
+			c.bvSenders[v][id] = true
+		}
+		c.echoed[v] = st.echoed[v]
+		c.contestants[v] = st.contestants[v]
+	}
+	c.auxSent = st.auxSent
+	for id, set := range st.favorites {
+		c.favorites[id] = append([]int(nil), set...)
+	}
+	c.favOrder = append([]network.ProcID(nil), st.favOrder...)
+	return c
+}
+
+func cloneDeliveryOrder(d map[int][]int) map[int][]int {
+	out := make(map[int][]int, len(d))
+	for r, vs := range d {
+		out[r] = append([]int(nil), vs...)
+	}
+	return out
+}
+
+// Snapshot captures the process's state.
+func (p *Process) Snapshot() *Snapshot {
+	s := &Snapshot{
+		est:             p.est,
+		round:           p.round,
+		rounds:          make(map[int]*roundState, len(p.rounds)),
+		decided:         p.decided,
+		decision:        p.decision,
+		decRound:        p.decidedRound,
+		estimateHistory: append([]int(nil), p.EstimateHistory...),
+		deliveryOrder:   cloneDeliveryOrder(p.DeliveryOrder),
+		outbox:          append([]network.Message(nil), p.outbox...),
+	}
+	for r, st := range p.rounds {
+		s.rounds[r] = cloneRoundState(st)
+	}
+	return s
+}
+
+// Restore replaces the process's in-memory state with the snapshot,
+// simulating a reboot from stable storage. Volatile retransmission backoff
+// resets, so a recovered replica re-announces its outbox promptly.
+func (p *Process) Restore(s *Snapshot) {
+	p.est = s.est
+	p.round = s.round
+	p.rounds = make(map[int]*roundState, len(s.rounds))
+	for r, st := range s.rounds {
+		p.rounds[r] = cloneRoundState(st)
+	}
+	p.decided = s.decided
+	p.decision = s.decision
+	p.decidedRound = s.decRound
+	p.EstimateHistory = append([]int(nil), s.estimateHistory...)
+	p.DeliveryOrder = cloneDeliveryOrder(s.deliveryOrder)
+	p.outbox = append([]network.Message(nil), s.outbox...)
+	p.retxWait, p.retxLeft, p.sawTraffic = 0, 0, false
+}

@@ -43,9 +43,16 @@ type VectorProcess struct {
 
 	output  []string
 	decided bool
+
+	// Retransmission backoff, in ticks; activity-gated like Process (see the
+	// field comments there).
+	retxWait   int
+	retxLeft   int
+	sawTraffic bool
 }
 
 var _ network.Process = (*VectorProcess)(nil)
+var _ network.Ticker = (*VectorProcess)(nil)
 
 // NewVectorProcess builds a correct vector-consensus participant proposing
 // the given payload.
@@ -86,8 +93,42 @@ func (v *VectorProcess) Start(send network.Sender) {
 	v.rbc.Propose(v.proposalValue, send)
 }
 
+// OnTick implements network.Ticker: one capped-backoff timer drives
+// retransmission of the RBC dissemination layer and of every started binary
+// instance, so the whole vector consensus tolerates lossy links.
+func (v *VectorProcess) OnTick(step int, send network.Sender) {
+	if v.sawTraffic {
+		v.sawTraffic = false // traffic flowed this period: no need to re-send
+		return
+	}
+	if v.retxLeft > 0 {
+		v.retxLeft--
+		return
+	}
+	v.rbc.Retransmit(send)
+	// Deterministic instance order: map iteration would scramble the enqueue
+	// order and break replayability.
+	keys := make([]int, 0, len(v.instances))
+	for k := range v.instances {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		v.instances[k].Retransmit(send)
+	}
+	if v.retxWait < retxBackoffCap {
+		if v.retxWait == 0 {
+			v.retxWait = 1
+		} else {
+			v.retxWait *= 2
+		}
+	}
+	v.retxLeft = v.retxWait
+}
+
 // Deliver implements network.Process.
 func (v *VectorProcess) Deliver(m network.Message, send network.Sender) {
+	v.sawTraffic = true
 	handled, err := v.rbc.Handle(m, send)
 	if err != nil {
 		// A delivery with no handler is a programming error; surface it by

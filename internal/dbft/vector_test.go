@@ -100,8 +100,12 @@ func TestVectorAgreementUnderRandomSchedules(t *testing.T) {
 		if _, err := sys.Run(400_000, func() bool { return dbft.AllVectorDecided(correct) }); err != nil {
 			t.Fatal(err)
 		}
-		return dbft.VectorAgreement(correct) == nil &&
+		ok := dbft.VectorAgreement(correct) == nil &&
 			dbft.VectorValidity(correct, proposals, nil) == nil
+		if !ok {
+			t.Logf("replay with: seed=%d", seed)
+		}
+		return ok
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)

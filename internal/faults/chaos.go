@@ -1,0 +1,375 @@
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+
+	"repro/internal/dbft"
+	"repro/internal/fairness"
+	"repro/internal/network"
+)
+
+// Scenario is one fully replayable chaos run: the consensus parameters, the
+// correct inputs, the Byzantine strategies, the scheduler, and the fault
+// plan. Everything an execution depends on is in here (all randomness is
+// derived from Plan.Seed), so the JSON form printed on a violation replays
+// the exact failing execution.
+type Scenario struct {
+	N         int      `json:"n"`
+	T         int      `json:"t"`
+	MaxRounds int      `json:"max_rounds"`
+	MaxSteps  int      `json:"max_steps"`
+	Tick      int      `json:"tick"`            // network tick interval (retransmission clock)
+	Inputs    []int    `json:"inputs"`          // correct-process inputs, ids 0..len-1
+	Byz       []string `json:"byz,omitempty"`   // strategies for ids len(Inputs)..n-1
+	Sched     string   `json:"sched,omitempty"` // random (default), fifo, fair
+	Plan      Plan     `json:"plan"`
+}
+
+// Encode renders the scenario as compact JSON.
+func (sc Scenario) Encode() string {
+	b, err := json.Marshal(sc)
+	if err != nil {
+		return fmt.Sprintf("faults: unencodable scenario: %v", err)
+	}
+	return string(b)
+}
+
+// ParseScenario decodes a scenario from its JSON form.
+func ParseScenario(s string) (Scenario, error) {
+	var sc Scenario
+	if err := json.Unmarshal([]byte(s), &sc); err != nil {
+		return Scenario{}, fmt.Errorf("faults: bad scenario: %w", err)
+	}
+	return sc, nil
+}
+
+// Outcome is the result of one scenario execution.
+type Outcome struct {
+	Steps   int
+	Decided bool // every participating correct process decided
+	// Participating excludes crash-stopped processes (they count as faults);
+	// Procs holds every correct process for invariant checks.
+	Procs         []*dbft.Process
+	Participating []*dbft.Process
+	AgreementErr  error
+	ValidityErr   error
+	Err           error // run/panic error, already annotated with the scenario
+	Events        []Event
+}
+
+// Run executes the scenario. Any panic in the protocol stack or harness is
+// converted into an error carrying the replayable scenario JSON — a chaos
+// campaign must survive a misbehaving run, not die with it.
+func (sc Scenario) Run() (out Outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			out.Err = fmt.Errorf("faults: panic in scenario %s: %v\n%s", sc.Encode(), r, debug.Stack())
+		}
+	}()
+
+	cfg := dbft.Config{N: sc.N, T: sc.T, MaxRounds: sc.MaxRounds}
+	all := dbft.AllIDs(sc.N)
+	correct, err := dbft.Processes(cfg, sc.Inputs, all)
+	if err != nil {
+		out.Err = fmt.Errorf("faults: scenario %s: %w", sc.Encode(), err)
+		return out
+	}
+	byzSet := map[network.ProcID]bool{}
+	procs := make([]network.Process, 0, sc.N)
+	for _, p := range correct {
+		procs = append(procs, p)
+	}
+	// Byzantine randomness is decoupled from the injector's coins so the
+	// fault stream is stable across strategy changes.
+	byzRng := rand.New(rand.NewSource(sc.Plan.Seed + 1))
+	for i, strat := range sc.Byz {
+		id := network.ProcID(len(sc.Inputs) + i)
+		byzSet[id] = true
+		switch strat {
+		case "silent":
+			procs = append(procs, &dbft.Silent{Id: id})
+		case "equivocator":
+			procs = append(procs, &dbft.Equivocator{Id: id, All: all,
+				ZeroSide: func(p network.ProcID) bool { return int(p) < sc.N/2 }})
+		case "liar":
+			procs = append(procs, &dbft.RandomLiar{Id: id, All: all, Rng: byzRng})
+		default:
+			out.Err = fmt.Errorf("faults: scenario %s: unknown byzantine strategy %q", sc.Encode(), strat)
+			return out
+		}
+	}
+	if len(sc.Inputs)+len(sc.Byz) != sc.N {
+		out.Err = fmt.Errorf("faults: scenario %s: %d inputs + %d byzantine != n=%d",
+			sc.Encode(), len(sc.Inputs), len(sc.Byz), sc.N)
+		return out
+	}
+
+	var inner network.Scheduler
+	switch sc.Sched {
+	case "", "random":
+		inner = network.RandomScheduler{Rng: rand.New(rand.NewSource(sc.Plan.Seed + 2))}
+	case "fifo":
+		inner = network.FIFOScheduler{}
+	case "fair":
+		inner = fairness.Scheduler{Byzantine: byzSet}
+	default:
+		out.Err = fmt.Errorf("faults: scenario %s: unknown scheduler %q", sc.Encode(), sc.Sched)
+		return out
+	}
+
+	inj := NewInjector(sc.Plan, inner)
+	sys, err := network.NewSystem(inj.Wrap(procs), inj)
+	if err != nil {
+		out.Err = fmt.Errorf("faults: scenario %s: %w", sc.Encode(), err)
+		return out
+	}
+	inj.Install(sys)
+	sys.TickInterval = sc.Tick
+
+	// Crash-stopped processes are faults: termination is owed only to the
+	// others.
+	stopped := map[network.ProcID]bool{}
+	for _, id := range sc.Plan.CrashStops() {
+		stopped[id] = true
+	}
+	participating := make([]*dbft.Process, 0, len(correct))
+	for _, p := range correct {
+		if !stopped[p.ID()] {
+			participating = append(participating, p)
+		}
+	}
+
+	steps, err := sys.Run(sc.MaxSteps, func() bool { return dbft.AllDecided(participating) })
+	out.Steps = steps
+	out.Procs = correct
+	out.Participating = participating
+	out.Events = inj.Log
+	if err != nil {
+		out.Err = fmt.Errorf("faults: scenario %s: %w", sc.Encode(), err)
+		return out
+	}
+	out.Decided = dbft.AllDecided(participating)
+	// Safety invariants are checked over every correct process, including
+	// crash-stopped ones: whatever they decided before dying must agree.
+	out.AgreementErr = dbft.Agreement(correct)
+	out.ValidityErr = dbft.Validity(correct, sc.Inputs)
+	return out
+}
+
+// Campaign drives randomized fault mixes across many seeds, asserting the
+// paper's trichotomy executably: Agreement and Validity must hold under
+// *every* fault mix with f <= t; Termination must hold whenever the plan
+// guarantees eventual delivery (fair plans, with retransmission enabled);
+// unfair plans are exempt from the termination obligation.
+type Campaign struct {
+	Runs     int
+	BaseSeed int64
+	N        int
+	T        int
+
+	MaxRounds int // default 12
+	MaxSteps  int // default 120_000
+	Tick      int // default 25
+
+	// Verbose, when set, receives one line per run.
+	Verbose func(format string, args ...any)
+}
+
+// Violation is one failed assertion, carrying everything needed to replay
+// it.
+type Violation struct {
+	Seed     int64
+	Scenario Scenario
+	Reason   string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("seed %d: %s\n  replay: %s", v.Seed, v.Reason, v.Scenario.Encode())
+}
+
+// CampaignResult aggregates a campaign.
+type CampaignResult struct {
+	Runs       int
+	FairRuns   int
+	UnfairRuns int
+	Decided    int
+	Events     map[EventKind]int
+	Violations []Violation
+}
+
+func (r CampaignResult) String() string {
+	return fmt.Sprintf("chaos: %d runs (%d fair, %d unfair), %d decided, %d violations; faults: %d drops, %d dups, %d delays, %d lost, %d crashes, %d recoveries",
+		r.Runs, r.FairRuns, r.UnfairRuns, r.Decided, len(r.Violations),
+		r.Events[EvDrop], r.Events[EvDuplicate], r.Events[EvDelay],
+		r.Events[EvLost], r.Events[EvCrash], r.Events[EvRecover])
+}
+
+// RandomScenario derives a random-but-replayable scenario for one seed: a
+// random fault mix (drops, duplicates, delays, a healing partition,
+// crash-recovery and crash-stop windows) with the fault budget f <= t
+// respected by construction.
+func (c Campaign) RandomScenario(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	sc := Scenario{
+		N:         c.N,
+		T:         c.T,
+		MaxRounds: c.maxRounds(),
+		MaxSteps:  c.maxSteps(),
+		Tick:      c.tick(),
+		Sched:     "random",
+		Plan:      Plan{Seed: seed},
+	}
+
+	// Fault budget: Byzantine processes and crash-stops together stay <= t.
+	budget := c.T
+	nByz := 0
+	if budget > 0 && rng.Intn(2) == 0 {
+		nByz = 1 + rng.Intn(budget)
+		budget -= nByz
+	}
+	strategies := []string{"silent", "equivocator", "liar"}
+	for i := 0; i < nByz; i++ {
+		sc.Byz = append(sc.Byz, strategies[rng.Intn(len(strategies))])
+	}
+	nCorrect := c.N - nByz
+	sc.Inputs = make([]int, nCorrect)
+	for i := range sc.Inputs {
+		sc.Inputs[i] = rng.Intn(2)
+	}
+
+	// Lossy-but-fair links: bounded per-message drop budget, so eventual
+	// delivery survives by construction given retransmission.
+	if rng.Intn(4) > 0 {
+		sc.Plan.Drops = []DropRule{{
+			Prob:   0.1 + 0.3*rng.Float64(),
+			Budget: 1 + rng.Intn(2),
+		}}
+	}
+	if rng.Intn(2) == 0 {
+		sc.Plan.DupProb = 0.1 + 0.2*rng.Float64()
+		sc.Plan.DupBudget = 1 + rng.Intn(2)
+	}
+	if rng.Intn(2) == 0 {
+		sc.Plan.DelayProb = 0.1 + 0.3*rng.Float64()
+		sc.Plan.DelaySteps = 20 + rng.Intn(150)
+	}
+	// Windowed faults must land where the consensus actually executes:
+	// decisions for the sizes we campaign over arrive within a couple of
+	// thousand steps, so windows scheduled beyond that would never fire.
+	const horizon = 2000
+	if rng.Intn(2) == 0 {
+		start := 1 + rng.Intn(horizon/2)
+		size := 1 + rng.Intn(c.N-1)
+		group := make([]network.ProcID, 0, size)
+		for _, id := range rng.Perm(c.N)[:size] {
+			group = append(group, network.ProcID(id))
+		}
+		sc.Plan.Partitions = []Partition{{
+			Start:  start,
+			Heal:   start + 100 + rng.Intn(horizon/2),
+			GroupA: group,
+		}}
+	}
+	// Crash-recovery window on a random correct replica (does not consume
+	// fault budget: it is correct, just amnesiac-but-persistent).
+	if rng.Intn(2) == 0 {
+		at := 1 + rng.Intn(horizon/2)
+		sc.Plan.Crashes = append(sc.Plan.Crashes, Crash{
+			Proc:    network.ProcID(rng.Intn(nCorrect)),
+			At:      at,
+			Recover: at + 100 + rng.Intn(horizon/4),
+		})
+	}
+	// Crash-stop within the remaining fault budget, on a correct replica
+	// not already crash-recovering.
+	if budget > 0 && rng.Intn(3) == 0 {
+		used := map[network.ProcID]bool{}
+		for _, cr := range sc.Plan.Crashes {
+			used[cr.Proc] = true
+		}
+		var candidates []network.ProcID
+		for i := 0; i < nCorrect; i++ {
+			if !used[network.ProcID(i)] {
+				candidates = append(candidates, network.ProcID(i))
+			}
+		}
+		if len(candidates) > 0 {
+			sc.Plan.Crashes = append(sc.Plan.Crashes, Crash{
+				Proc:    candidates[rng.Intn(len(candidates))],
+				At:      1 + rng.Intn(horizon),
+				Recover: -1,
+			})
+		}
+	}
+	return sc
+}
+
+func (c Campaign) maxRounds() int {
+	if c.MaxRounds > 0 {
+		return c.MaxRounds
+	}
+	return 12
+}
+
+func (c Campaign) maxSteps() int {
+	if c.MaxSteps > 0 {
+		return c.MaxSteps
+	}
+	return 120_000
+}
+
+func (c Campaign) tick() int {
+	if c.Tick > 0 {
+		return c.Tick
+	}
+	return 25
+}
+
+// Run executes the campaign. It never panics and never aborts early: every
+// seed runs, every violation is collected with its replayable scenario.
+func (c Campaign) Run() CampaignResult {
+	res := CampaignResult{Events: map[EventKind]int{}}
+	for i := 0; i < c.Runs; i++ {
+		seed := c.BaseSeed + int64(i)
+		sc := c.RandomScenario(seed)
+		out := sc.Run()
+		res.Runs++
+		fair := sc.Plan.FairDelivery()
+		if fair {
+			res.FairRuns++
+		} else {
+			res.UnfairRuns++
+		}
+		if out.Decided {
+			res.Decided++
+		}
+		for k, n := range CountEvents(out.Events) {
+			res.Events[k] += n
+		}
+		fail := func(reason string) {
+			res.Violations = append(res.Violations, Violation{Seed: seed, Scenario: sc, Reason: reason})
+		}
+		switch {
+		case out.Err != nil:
+			fail(fmt.Sprintf("run error: %v", out.Err))
+		default:
+			if out.AgreementErr != nil {
+				fail(fmt.Sprintf("agreement: %v", out.AgreementErr))
+			}
+			if out.ValidityErr != nil {
+				fail(fmt.Sprintf("validity: %v", out.ValidityErr))
+			}
+			if fair && !out.Decided {
+				fail(fmt.Sprintf("termination: fair plan undecided after %d steps", out.Steps))
+			}
+		}
+		if c.Verbose != nil {
+			c.Verbose("seed %d: steps=%d decided=%v fair=%v faults=%v",
+				seed, out.Steps, out.Decided, fair, CountEvents(out.Events))
+		}
+	}
+	return res
+}

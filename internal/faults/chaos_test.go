@@ -1,0 +1,45 @@
+package faults
+
+import "testing"
+
+// TestChaosCampaign200Seeds is the acceptance campaign: 200 seeded random
+// fault mixes (drops, duplicates, delays, partitions, crash-recovery,
+// crash-stop, Byzantine strategies) over n=4, t=1. Agreement and Validity
+// must hold in every run; Termination must hold in every run whose plan
+// guarantees eventual delivery. Any violation fails with the seed and the
+// replayable scenario JSON.
+func TestChaosCampaign200Seeds(t *testing.T) {
+	c := Campaign{Runs: 200, BaseSeed: 1, N: 4, T: 1}
+	res := c.Run()
+	t.Log(res.String())
+	for _, v := range res.Violations {
+		t.Errorf("%s", v)
+	}
+	if res.Runs != 200 {
+		t.Fatalf("campaign ran %d of 200 seeds", res.Runs)
+	}
+	// The campaign must actually have exercised the fault plane: every
+	// major fault class should appear across 200 runs.
+	for _, kind := range []EventKind{EvDrop, EvDuplicate, EvDelay, EvCrash, EvRecover, EvLost} {
+		if res.Events[kind] == 0 {
+			t.Errorf("200-seed campaign never produced a %q event", kind)
+		}
+	}
+	if res.FairRuns == 0 {
+		t.Error("campaign generated no fair plans — termination was never tested")
+	}
+}
+
+// TestChaosCampaignLargerSystem spot-checks n=7, t=2 with a smaller seed
+// count (each run is bigger).
+func TestChaosCampaignLargerSystem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	c := Campaign{Runs: 15, BaseSeed: 900, N: 7, T: 2}
+	res := c.Run()
+	t.Log(res.String())
+	for _, v := range res.Violations {
+		t.Errorf("%s", v)
+	}
+}

@@ -1,0 +1,508 @@
+// Package faults is the fault-injection plane for the DBFT simulator. The
+// paper (Section 2) assumes an asynchronous but *reliable* network: every
+// sent message is eventually delivered, processes never crash, links never
+// partition. This package relaxes each of those assumptions executably —
+// message drops, duplication, reordering delays, link partitions with
+// scheduled healing, crash-stop and crash-recovery — so that the safety
+// results (schedule- and fault-independent) and the liveness results
+// (requiring eventual delivery, the fairness precondition of Theorem 6) can
+// be stress-tested under exactly the fault mixes the proofs distinguish.
+//
+// A FaultPlan is a deterministic, seeded, serializable description of the
+// faults; an Injector interposes the plan on a network.System via the two
+// hooks the simulator exposes: the send tap (drop/duplicate/delay outgoing
+// copies) and the scheduler (hold partitioned or delayed copies, advancing
+// simulated time with network.Tick when everything is held). Crash faults
+// wrap processes: deliveries into a crash window are consumed and lost, and
+// on recovery a snapshot-capable process reboots from its synchronously
+// persisted state (see dbft.Snapshot for why persistence must be
+// synchronous).
+//
+// Per-fault budgets make unfairness a choice rather than an accident: a
+// drop rule with a nonnegative budget drops at most that many copies of any
+// one logical message, so with retransmission enabled eventual delivery
+// holds *by construction* and Termination remains provable; a negative
+// budget (or a never-healing partition) is deliberately unfair and is the
+// fault-plane analogue of the Lemma 7 adversary.
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/dbft"
+	"repro/internal/network"
+)
+
+// DropRule describes one class of message loss.
+type DropRule struct {
+	// Kind restricts the rule to one message kind ("" = any).
+	Kind network.MsgKind `json:"kind,omitempty"`
+	// ParityBV restricts the rule to BV messages carrying their round's
+	// parity value — the messages whose timely delivery makes a round good
+	// (Definition 2). Dropping them unboundedly starves fairness exactly the
+	// way the Lemma 7 schedule does.
+	ParityBV bool `json:"parity_bv,omitempty"`
+	// Prob is the per-copy drop probability (1 = always).
+	Prob float64 `json:"prob"`
+	// Budget caps how many copies of any one logical message the rule may
+	// drop; a negative budget is unbounded (unfair).
+	Budget int `json:"budget"`
+}
+
+func (r DropRule) matches(m network.Message) bool {
+	if r.Kind != "" && m.Kind != r.Kind {
+		return false
+	}
+	if r.ParityBV && (m.Kind != network.MsgBV || m.Value != m.Round%2) {
+		return false
+	}
+	return true
+}
+
+// Partition is a scheduled link cut between GroupA and its complement.
+// Crossing messages are held in flight (not lost) and become deliverable
+// again once the cut heals — reliable links, temporarily severed.
+type Partition struct {
+	Start int `json:"start"`
+	// Heal is the first step at which the cut is gone; negative = never
+	// (unfair).
+	Heal   int              `json:"heal"`
+	GroupA []network.ProcID `json:"group_a"`
+}
+
+func (p Partition) activeAt(step int) bool {
+	return step >= p.Start && (p.Heal < 0 || step < p.Heal)
+}
+
+func (p Partition) cuts(from, to network.ProcID) bool {
+	inA := func(id network.ProcID) bool {
+		for _, a := range p.GroupA {
+			if a == id {
+				return true
+			}
+		}
+		return false
+	}
+	return inA(from) != inA(to)
+}
+
+// Crash takes a process down at step At. A nonnegative Recover step brings
+// it back (crash-recovery: state reboots from the synchronously persisted
+// snapshot, deliveries during the window are lost); a negative Recover is
+// crash-stop, which counts against the fault budget t.
+type Crash struct {
+	Proc    network.ProcID `json:"proc"`
+	At      int            `json:"at"`
+	Recover int            `json:"recover"`
+}
+
+func (c Crash) downAt(step int) bool {
+	return step >= c.At && (c.Recover < 0 || step < c.Recover)
+}
+
+// Plan is a complete, seeded, serializable fault campaign for one run. The
+// zero plan injects nothing.
+type Plan struct {
+	// Seed drives every coin the injector flips; identical plans yield
+	// identical executions, which is what makes violations replayable.
+	Seed int64 `json:"seed"`
+
+	Drops []DropRule `json:"drops,omitempty"`
+
+	// DupProb duplicates an outgoing copy with this probability, at most
+	// DupBudget extra copies per logical message (0 = 1).
+	DupProb   float64 `json:"dup_prob,omitempty"`
+	DupBudget int     `json:"dup_budget,omitempty"`
+
+	// DelayProb holds an enqueued copy for DelaySteps extra steps before it
+	// becomes deliverable — bounded reordering.
+	DelayProb  float64 `json:"delay_prob,omitempty"`
+	DelaySteps int     `json:"delay_steps,omitempty"`
+
+	Partitions []Partition `json:"partitions,omitempty"`
+	Crashes    []Crash     `json:"crashes,omitempty"`
+}
+
+// FairDelivery reports whether the plan preserves eventual delivery by
+// construction: every drop budget is bounded and every partition heals.
+// (Duplication and finite delays never threaten it; crash windows lose
+// deliveries but retransmission re-sends them, and crash-stop processes
+// count against the fault budget rather than against link fairness.)
+// Termination is asserted exactly for fair plans; unfair plans are the
+// executable Lemma 7 regime.
+func (p Plan) FairDelivery() bool {
+	for _, d := range p.Drops {
+		if d.Budget < 0 {
+			return false
+		}
+	}
+	for _, pt := range p.Partitions {
+		if pt.Heal < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CrashStops returns the processes the plan takes down forever; they count
+// against the tolerated fault budget t.
+func (p Plan) CrashStops() []network.ProcID {
+	var out []network.ProcID
+	for _, c := range p.Crashes {
+		if c.Recover < 0 {
+			out = append(out, c.Proc)
+		}
+	}
+	return out
+}
+
+// Encode renders the plan as compact JSON (the replayable form printed on
+// violations).
+func (p Plan) Encode() string {
+	b, err := json.Marshal(p)
+	if err != nil {
+		return fmt.Sprintf("faults: unencodable plan: %v", err)
+	}
+	return string(b)
+}
+
+// ParsePlan decodes a plan from its JSON form.
+func ParsePlan(s string) (Plan, error) {
+	var p Plan
+	if err := json.Unmarshal([]byte(s), &p); err != nil {
+		return Plan{}, fmt.Errorf("faults: bad plan: %w", err)
+	}
+	return p, nil
+}
+
+// UnfairParityDrop is the scripted unfair plan: it drops every copy of
+// every parity-valued BV message, unboundedly. No round can ever become
+// good, so — like the Lemma 7 schedule — correct processes keep exchanging
+// rounds (or starve) without ever deciding, while Agreement and Validity
+// hold vacuously.
+func UnfairParityDrop(seed int64) Plan {
+	return Plan{
+		Seed:  seed,
+		Drops: []DropRule{{ParityBV: true, Prob: 1, Budget: -1}},
+	}
+}
+
+// EventKind labels one fault-log entry.
+type EventKind string
+
+// Fault-log event kinds.
+const (
+	EvDrop      EventKind = "drop"    // copy removed on the send path
+	EvDuplicate EventKind = "dup"     // extra copy enqueued
+	EvDelay     EventKind = "delay"   // copy held for DelaySteps
+	EvLost      EventKind = "lost"    // delivery consumed by a crash window
+	EvCrash     EventKind = "crash"   // process observed down
+	EvRecover   EventKind = "recover" // process rebooted from its snapshot
+)
+
+// Event is one structured fault-log entry. Step is the network.System step
+// counter, the shared clock that interleaves this log with the delivery
+// trace of network/trace.
+type Event struct {
+	Step int
+	Kind EventKind
+	Proc network.ProcID  // crash/recover/lost subject
+	Msg  network.Message // affected message, when applicable
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case EvCrash, EvRecover:
+		return fmt.Sprintf("step %4d  %-7s p%d", e.Step, e.Kind, e.Proc)
+	case EvLost:
+		return fmt.Sprintf("step %4d  %-7s p%d <- %s", e.Step, e.Kind, e.Proc, e.Msg)
+	default:
+		return fmt.Sprintf("step %4d  %-7s %s", e.Step, e.Kind, e.Msg)
+	}
+}
+
+// FormatEvents renders the fault log; limit > 0 truncates.
+func FormatEvents(events []Event, limit int) string {
+	var b strings.Builder
+	shown := len(events)
+	if limit > 0 && limit < shown {
+		shown = limit
+	}
+	for i := 0; i < shown; i++ {
+		fmt.Fprintf(&b, "%s\n", events[i])
+	}
+	if shown < len(events) {
+		fmt.Fprintf(&b, "      ... %d more fault events\n", len(events)-shown)
+	}
+	return b.String()
+}
+
+// CountEvents tallies the log by kind.
+func CountEvents(events []Event) map[EventKind]int {
+	out := map[EventKind]int{}
+	for _, e := range events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// Injector executes a Plan against one network.System. It is the system's
+// Scheduler (holding partitioned/delayed copies, ticking when everything is
+// held) and its SendTap (dropping, duplicating, delaying), and it wraps
+// processes to realize crash windows. All randomness comes from the plan
+// seed; the injector is fully deterministic.
+type Injector struct {
+	Plan  Plan
+	Log   []Event
+	inner network.Scheduler
+	rng   *rand.Rand
+
+	step       int
+	seq        int64
+	dropCount  map[string]int // rule-scoped per-key drop tally
+	dupCount   map[string]int
+	delayUntil map[int64]int // seq -> first deliverable step
+}
+
+// NewInjector builds an injector that defers delivery ordering among
+// eligible messages to the inner scheduler.
+func NewInjector(plan Plan, inner network.Scheduler) *Injector {
+	return &Injector{
+		Plan:       plan,
+		inner:      inner,
+		rng:        rand.New(rand.NewSource(plan.Seed)),
+		dropCount:  map[string]int{},
+		dupCount:   map[string]int{},
+		delayUntil: map[int64]int{},
+	}
+}
+
+// Install points the system's send path at the injector. The injector must
+// also be the system's scheduler (pass it to network.NewSystem).
+func (inj *Injector) Install(sys *network.System) {
+	sys.SendTap = inj.SendTap
+}
+
+// keyString is the logical-message identity (content minus the per-copy Seq
+// tag) usable as a map key despite the Set slice field.
+func keyString(m network.Message) string {
+	return fmt.Sprintf("%d>%d %s r%d v%d i%d p%d %q %v",
+		m.From, m.To, m.Kind, m.Round, m.Value, m.Instance, m.Proposer, m.Payload, m.Set)
+}
+
+func (inj *Injector) log(kind EventKind, proc network.ProcID, m network.Message) {
+	inj.Log = append(inj.Log, Event{Step: inj.step, Kind: kind, Proc: proc, Msg: m})
+}
+
+func (inj *Injector) stamp(m network.Message) network.Message {
+	inj.seq++
+	m.Seq = inj.seq
+	return m
+}
+
+// SendTap implements the network.System send hook.
+func (inj *Injector) SendTap(m network.Message) []network.Message {
+	key := keyString(m)
+	for i, rule := range inj.Plan.Drops {
+		if !rule.matches(m) {
+			continue
+		}
+		ruleKey := fmt.Sprintf("%d|%s", i, key)
+		if rule.Budget >= 0 && inj.dropCount[ruleKey] >= rule.Budget {
+			continue
+		}
+		if rule.Prob < 1 && inj.rng.Float64() >= rule.Prob {
+			continue
+		}
+		inj.dropCount[ruleKey]++
+		inj.log(EvDrop, m.To, m)
+		return nil
+	}
+
+	out := []network.Message{inj.stamp(m)}
+	if inj.Plan.DupProb > 0 && inj.rng.Float64() < inj.Plan.DupProb {
+		budget := inj.Plan.DupBudget
+		if budget <= 0 {
+			budget = 1
+		}
+		if inj.dupCount[key] < budget {
+			inj.dupCount[key]++
+			d := inj.stamp(m)
+			inj.log(EvDuplicate, m.To, d)
+			out = append(out, d)
+		}
+	}
+	if inj.Plan.DelayProb > 0 && inj.Plan.DelaySteps > 0 {
+		for _, c := range out {
+			if inj.rng.Float64() < inj.Plan.DelayProb {
+				inj.delayUntil[c.Seq] = inj.step + inj.Plan.DelaySteps
+				inj.log(EvDelay, c.To, c)
+			}
+		}
+	}
+	return out
+}
+
+// Next implements network.Scheduler: it exposes only the currently
+// deliverable copies to the inner scheduler and maps its choice back. When
+// every in-flight copy is held (partition or delay) it returns network.Tick
+// so simulated time keeps passing until a cut heals or a delay expires.
+func (inj *Injector) Next(inflight []network.Message, step int) int {
+	inj.step = step
+	eligible := make([]int, 0, len(inflight))
+	for i, m := range inflight {
+		if until, ok := inj.delayUntil[m.Seq]; ok && step < until {
+			continue
+		}
+		if inj.cut(m.From, m.To, step) {
+			continue
+		}
+		eligible = append(eligible, i)
+	}
+	if len(eligible) == 0 {
+		return network.Tick
+	}
+	sub := make([]network.Message, len(eligible))
+	for i, idx := range eligible {
+		sub[i] = inflight[idx]
+	}
+	j := inj.inner.Next(sub, step)
+	if j < 0 || j >= len(eligible) {
+		return network.Tick
+	}
+	idx := eligible[j]
+	delete(inj.delayUntil, inflight[idx].Seq)
+	return idx
+}
+
+func (inj *Injector) cut(from, to network.ProcID, step int) bool {
+	for _, p := range inj.Plan.Partitions {
+		if p.activeAt(step) && p.cuts(from, to) {
+			return true
+		}
+	}
+	return false
+}
+
+// downNow reports whether the plan has the process crashed at the current
+// step.
+func (inj *Injector) downNow(id network.ProcID) bool {
+	for _, c := range inj.Plan.Crashes {
+		if c.Proc == id && c.downAt(inj.step) {
+			return true
+		}
+	}
+	return false
+}
+
+// snapshotter is the crash-recovery contract: processes that persist their
+// state survive a crash window with only the window's deliveries lost.
+// Processes without it are paused-with-memory instead (the crash degrades to
+// an omission fault for them).
+type snapshotter interface {
+	Snapshot() *dbft.Snapshot
+	Restore(*dbft.Snapshot)
+}
+
+// Wrap interposes crash handling on every process. The returned slice is
+// what the network.System must be built from.
+func (inj *Injector) Wrap(procs []network.Process) []network.Process {
+	out := make([]network.Process, len(procs))
+	for i, p := range procs {
+		w := &wrapProc{inner: p, inj: inj}
+		if s, ok := p.(snapshotter); ok {
+			w.rec = s
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// wrapProc realizes crash windows around one process: while down, incoming
+// deliveries and ticks are consumed and lost; on the first event after the
+// window it reboots from the last persisted snapshot and rejoins.
+type wrapProc struct {
+	inner network.Process
+	inj   *Injector
+	rec   snapshotter
+
+	started bool
+	down    bool
+	snap    *dbft.Snapshot
+}
+
+var _ network.Process = (*wrapProc)(nil)
+var _ network.Ticker = (*wrapProc)(nil)
+
+func (w *wrapProc) ID() network.ProcID { return w.inner.ID() }
+
+func (w *wrapProc) Start(send network.Sender) {
+	if w.observeDown() {
+		return
+	}
+	w.started = true
+	w.inner.Start(send)
+	w.persist()
+}
+
+func (w *wrapProc) Deliver(m network.Message, send network.Sender) {
+	if w.observeDown() {
+		w.inj.log(EvLost, w.ID(), m)
+		return
+	}
+	w.revive(send)
+	w.inner.Deliver(m, send)
+	w.persist()
+}
+
+func (w *wrapProc) OnTick(step int, send network.Sender) {
+	if w.observeDown() {
+		return
+	}
+	w.revive(send)
+	if t, ok := w.inner.(network.Ticker); ok {
+		t.OnTick(step, send)
+	}
+}
+
+// observeDown checks the crash schedule, logging the down transition once.
+func (w *wrapProc) observeDown() bool {
+	if !w.inj.downNow(w.ID()) {
+		return false
+	}
+	if !w.down {
+		w.down = true
+		w.inj.log(EvCrash, w.ID(), network.Message{})
+	}
+	return true
+}
+
+// revive performs the reboot on the first event after a crash window: the
+// in-memory state is replaced by the persisted snapshot (memory loss), and a
+// process that crashed before its Start finally starts.
+func (w *wrapProc) revive(send network.Sender) {
+	if w.down {
+		w.down = false
+		w.inj.log(EvRecover, w.ID(), network.Message{})
+		if w.rec != nil && w.snap != nil {
+			w.rec.Restore(w.snap)
+		}
+	}
+	if !w.started {
+		w.started = true
+		w.inner.Start(send)
+		w.persist()
+	}
+}
+
+// persist is the synchronous stable write after every handler run — the
+// persistence regime under which a recovered replica can never equivocate
+// against its pre-crash messages (see dbft.Snapshot).
+func (w *wrapProc) persist() {
+	if w.rec != nil {
+		w.snap = w.rec.Snapshot()
+	}
+}

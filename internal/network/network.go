@@ -15,6 +15,7 @@ package network
 import (
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 	"sort"
 	"strings"
 )
@@ -58,6 +59,20 @@ type Message struct {
 	// (MsgProp/MsgEcho/MsgReady).
 	Proposer ProcID
 	Payload  string
+
+	// Seq tags one enqueued copy of a message. The base reliable network
+	// leaves it zero; a fault layer installed via SendTap may stamp it to
+	// track per-copy metadata (delays, duplicates) across the in-flight
+	// multiset. Two copies of the same logical message differ only in Seq.
+	Seq int64
+}
+
+// Key returns the message's content identity: everything except the per-copy
+// Seq tag. Retransmitted or duplicated copies of one logical message share a
+// key, which is what per-message fault budgets are counted against.
+func (m Message) Key() Message {
+	m.Seq = 0
+	return m
 }
 
 func (m Message) String() string {
@@ -90,9 +105,22 @@ type Process interface {
 
 // Scheduler resolves asynchrony: given the in-flight messages, it picks the
 // index of the next one to deliver. It fully determines the adversarial
-// message ordering.
+// message ordering. Returning Tick delivers nothing but still advances
+// simulated time — the escape hatch a fault layer uses while every in-flight
+// message is held behind a partition or a delivery delay.
 type Scheduler interface {
 	Next(inflight []Message, step int) int
+}
+
+// Tick is the sentinel a Scheduler returns to advance time without a
+// delivery.
+const Tick = -1
+
+// Ticker is implemented by processes that want periodic timer events (the
+// hook retransmission layers are built on). The System invokes OnTick every
+// TickInterval steps; sends made during OnTick enter the network normally.
+type Ticker interface {
+	OnTick(step int, send Sender)
 }
 
 // System wires processes, the in-flight message multiset and a scheduler.
@@ -110,6 +138,19 @@ type System struct {
 	RecordTrace bool
 	Steps       int
 	DroppedPast int // deliveries to finished processes etc. (diagnostics)
+
+	// SendTap, when non-nil, interposes on the send path after the sender
+	// identity is stamped: the returned copies are enqueued instead of the
+	// original (nil = the message is dropped). It is the fault-injection
+	// hook of internal/faults; the base network is reliable.
+	SendTap func(m Message) []Message
+
+	// TickInterval > 0 invokes OnTick on every Ticker process each
+	// TickInterval steps (delivery steps and scheduler Tick steps alike).
+	// With ticks enabled the system no longer quiesces on an empty in-flight
+	// set — time keeps passing so retransmission timers can fire — and a run
+	// ends only via its stop predicate or step budget.
+	TickInterval int
 }
 
 // NewSystem builds a system over the given processes.
@@ -143,11 +184,26 @@ func (s *System) send(m Message) {
 		return
 	}
 	m.From = s.sender
+	if s.SendTap != nil {
+		for _, c := range s.SendTap(m) {
+			c.From = m.From // the tap may copy but not forge the sender
+			s.inflight = append(s.inflight, c)
+		}
+		return
+	}
 	s.inflight = append(s.inflight, m)
 }
 
 // Inflight returns the number of undelivered messages.
 func (s *System) Inflight() int { return len(s.inflight) }
+
+// Inject enqueues a message from outside any handler (scripted adversaries,
+// fault-plane tests). Unlike in-handler sends the sender identity is taken
+// from the message itself; the message still passes through SendTap.
+func (s *System) Inject(m Message) {
+	s.sender = m.From
+	s.send(m)
+}
 
 // Step delivers exactly one message (after starting all processes on the
 // first call). It reports whether a delivery happened (false = quiescent).
@@ -160,9 +216,22 @@ func (s *System) Step() (bool, error) {
 		}
 	}
 	if len(s.inflight) == 0 {
+		if s.TickInterval > 0 {
+			// Time passes even with nothing in flight: retransmission
+			// timers must be able to repopulate the network (e.g. after a
+			// crash window swallowed every copy).
+			s.Steps++
+			s.tick()
+			return true, nil
+		}
 		return false, nil
 	}
 	idx := s.sched.Next(s.inflight, s.Steps)
+	if idx == Tick {
+		s.Steps++
+		s.tick()
+		return true, nil
+	}
 	if idx < 0 || idx >= len(s.inflight) {
 		return false, fmt.Errorf("network: scheduler chose out-of-range message %d of %d", idx, len(s.inflight))
 	}
@@ -174,12 +243,36 @@ func (s *System) Step() (bool, error) {
 	}
 	s.sender = m.To
 	s.procs[m.To].Deliver(m, s.send)
+	s.tick()
 	return true, nil
 }
 
+// tick fires the periodic timer when the step count crosses a TickInterval
+// boundary.
+func (s *System) tick() {
+	if s.TickInterval <= 0 || s.Steps%s.TickInterval != 0 {
+		return
+	}
+	for _, id := range s.order {
+		if t, ok := s.procs[id].(Ticker); ok {
+			s.sender = id
+			t.OnTick(s.Steps, s.send)
+		}
+	}
+}
+
 // Run steps until quiescence, the stop predicate fires, or maxSteps is
-// reached. It returns the number of steps taken.
-func (s *System) Run(maxSteps int, stop func() bool) (int, error) {
+// reached. It returns the number of steps taken. A panic in a process
+// handler or scheduler is converted into an error (annotated with the step
+// at which it fired) so that property campaigns survive a misbehaving
+// worker instead of crashing wholesale.
+func (s *System) Run(maxSteps int, stop func() bool) (steps int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			steps = s.Steps
+			err = fmt.Errorf("network: panic at step %d: %v\n%s", s.Steps, r, debug.Stack())
+		}
+	}()
 	for i := 0; maxSteps <= 0 || i < maxSteps; i++ {
 		if stop != nil && stop() {
 			return s.Steps, nil

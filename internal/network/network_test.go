@@ -194,3 +194,112 @@ func TestSenderAuthentication(t *testing.T) {
 		t.Errorf("From = %d, want the true sender 3 (forgery must be corrected)", got)
 	}
 }
+
+// collectProc records deliveries and nothing else.
+type collectProc struct {
+	id       ProcID
+	received []Message
+}
+
+func (p *collectProc) ID() ProcID                  { return p.id }
+func (p *collectProc) Start(Sender)                {}
+func (p *collectProc) Deliver(m Message, _ Sender) { p.received = append(p.received, m) }
+
+// TestBroadcastIncludesSelf: the paper's broadcast primitive delivers to the
+// sender too, and the self-copy goes through the network like any other
+// message — it is scheduled, not short-circuited.
+func TestBroadcastIncludesSelf(t *testing.T) {
+	procs := []Process{&collectProc{id: 0}, &collectProc{id: 1}, &collectProc{id: 2}}
+	sys, err := NewSystem(procs, FIFOScheduler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sent int
+	send := func(m Message) { sent++; sys.Inject(m) }
+	Broadcast(send, []ProcID{0, 1, 2}, Message{From: 0, Kind: MsgBV, Value: 1})
+	if sent != 3 {
+		t.Fatalf("broadcast enqueued %d copies, want 3 (self included)", sent)
+	}
+	if sys.Inflight() != 3 {
+		t.Fatalf("in-flight = %d before any delivery, want 3: self-delivery must be scheduled, not immediate", sys.Inflight())
+	}
+	if _, err := sys.Run(100, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range procs {
+		cp := p.(*collectProc)
+		if len(cp.received) != 1 {
+			t.Errorf("process %d received %d copies, want 1", cp.id, len(cp.received))
+		}
+	}
+}
+
+// TestBroadcastDuplicateTargets: a duplicated id in the target list means two
+// copies — Broadcast does not deduplicate; receivers' idempotence is what
+// absorbs the repeat.
+func TestBroadcastDuplicateTargets(t *testing.T) {
+	a := &collectProc{id: 0}
+	b := &collectProc{id: 1}
+	sys, err := NewSystem([]Process{a, b}, FIFOScheduler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Broadcast(sys.Inject, []ProcID{1, 1, 0}, Message{From: 0, Kind: MsgBV, Value: 1})
+	if _, err := sys.Run(100, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.received) != 2 {
+		t.Errorf("duplicated target received %d copies, want 2", len(b.received))
+	}
+	if len(a.received) != 1 {
+		t.Errorf("singleton target received %d copies, want 1", len(a.received))
+	}
+}
+
+// TestBroadcastToUnknownTargets: ids outside the system are counted as
+// dropped, the rest still deliver.
+func TestBroadcastToUnknownTargets(t *testing.T) {
+	a := &collectProc{id: 0}
+	sys, err := NewSystem([]Process{a}, FIFOScheduler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Broadcast(sys.Inject, []ProcID{0, 7, 9}, Message{From: 0, Kind: MsgBV, Value: 1})
+	if _, err := sys.Run(100, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.received) != 1 {
+		t.Errorf("known target received %d copies, want 1", len(a.received))
+	}
+	if sys.DroppedPast != 2 {
+		t.Errorf("DroppedPast = %d, want 2", sys.DroppedPast)
+	}
+}
+
+// TestBroadcastPreservesSendOrder: under FIFO the copies arrive in target
+// order, so a process broadcasting to [self, peer] sees its own copy first —
+// the ordering the bv-broadcast echo rules implicitly rely on.
+func TestBroadcastPreservesSendOrder(t *testing.T) {
+	a := &collectProc{id: 0}
+	b := &collectProc{id: 1}
+	sys, err := NewSystem([]Process{a, b}, FIFOScheduler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Broadcast(sys.Inject, []ProcID{0, 1}, Message{From: 0, Kind: MsgBV, Value: 0})
+	Broadcast(sys.Inject, []ProcID{0, 1}, Message{From: 0, Kind: MsgBV, Value: 1})
+	trace := []int{}
+	sys.RecordTrace = true
+	if _, err := sys.Run(100, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range sys.Trace {
+		trace = append(trace, m.Value)
+	}
+	want := []int{0, 0, 1, 1}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("FIFO delivery order %v, want %v", trace, want)
+		}
+	}
+}

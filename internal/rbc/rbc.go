@@ -49,6 +49,12 @@ type RBC struct {
 	echoes    map[key]map[network.ProcID]bool
 	readies   map[key]map[network.ProcID]bool
 	delivered map[network.ProcID]bool
+
+	// outbox holds one template per logical broadcast (PROP/ECHO/READY) for
+	// retransmission over lossy links. Re-broadcasting recorded content is
+	// idempotent at every receiver: echo/ready quorums are distinct-sender
+	// sets and maybeEcho/maybeReady are latched.
+	outbox []network.Message
 }
 
 func (r *RBC) init() {
@@ -70,9 +76,22 @@ func (r *RBC) Delivered(proposer network.ProcID) bool {
 // Propose reliably broadcasts the payload with this process as proposer.
 func (r *RBC) Propose(payload string, send network.Sender) {
 	r.init()
-	network.Broadcast(send, r.All, network.Message{
+	r.broadcast(send, network.Message{
 		From: r.Me, Kind: network.MsgProp, Proposer: r.Me, Payload: payload,
 	})
+}
+
+func (r *RBC) broadcast(send network.Sender, m network.Message) {
+	r.outbox = append(r.outbox, m)
+	network.Broadcast(send, r.All, m)
+}
+
+// Retransmit re-broadcasts every PROP/ECHO/READY this process has sent.
+// Callers (e.g. the vector consensus tick handler) own the backoff policy.
+func (r *RBC) Retransmit(send network.Sender) {
+	for _, m := range r.outbox {
+		network.Broadcast(send, r.All, m)
+	}
 }
 
 // Handle consumes a reliable-broadcast message; it reports whether the
@@ -134,7 +153,7 @@ func (r *RBC) maybeEcho(k key, send network.Sender) {
 		return
 	}
 	r.echoed[k.proposer] = true
-	network.Broadcast(send, r.All, network.Message{
+	r.broadcast(send, network.Message{
 		From: r.Me, Kind: network.MsgEcho, Proposer: k.proposer, Payload: k.payload,
 	})
 }
@@ -144,7 +163,7 @@ func (r *RBC) maybeReady(k key, send network.Sender) {
 		return
 	}
 	r.readied[k] = true
-	network.Broadcast(send, r.All, network.Message{
+	r.broadcast(send, network.Message{
 		From: r.Me, Kind: network.MsgReady, Proposer: k.proposer, Payload: k.payload,
 	})
 }

@@ -125,6 +125,7 @@ func TestEquivocatingProposerAgreement(t *testing.T) {
 				if seen == "" {
 					seen = v
 				} else if v != seen {
+					t.Logf("replay with: seed=%d", seed)
 					return false // disagreement!
 				}
 			}

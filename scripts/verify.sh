@@ -1,0 +1,21 @@
+#!/bin/sh
+# verify.sh — the tier-1+ gate: everything tier-1 runs (build + tests) plus
+# vet, the race detector, and a fixed-seed chaos smoke. Deterministic and
+# offline; the race-instrumented suite dominates (a few minutes).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> chaos smoke (fixed seed, 25 runs)"
+go run ./cmd/dbftsim -chaos -chaos-seeds 25 -seed 1 -n 4 -t 1
+
+echo "verify: OK"
