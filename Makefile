@@ -4,11 +4,12 @@ test:
 	go build ./...
 	go test ./...
 
-# Tier-1+ gate: vet + race detector + fixed-seed chaos smoke.
+# Tier-1+ gate: vet + race detector + fixed-seed chaos/torture smokes +
+# the WAL fsync-path benchmark.
 .PHONY: verify
 verify:
 	sh scripts/verify.sh
 
 .PHONY: bench
 bench:
-	go test -bench=. -benchmem
+	go test -bench=. -benchmem ./...

@@ -2,8 +2,9 @@
 // over the Fig. 1 bv-broadcast) on the simulated asynchronous network, with
 // configurable Byzantine strategies and schedulers. It also replays the
 // Appendix B non-termination execution (-lemma7), runs randomized
-// fault-injection campaigns (-chaos) and replays single chaos scenarios
-// (-plan).
+// fault-injection campaigns (-chaos), runs storage-fault torture campaigns
+// over the durable WAL-backed replicas (-torture) and replays single chaos
+// scenarios (-plan).
 //
 // Usage examples:
 //
@@ -11,7 +12,12 @@
 //	dbftsim -n 7 -t 2 -inputs 0,1,0,1,1 -byz equivocator,silent -sched random -seed 7
 //	dbftsim -lemma7 -rounds 12
 //	dbftsim -chaos -chaos-seeds 200 -n 4 -t 1 -seed 1
+//	dbftsim -torture -torture-seeds 200 -n 4 -t 1 -seed 1
 //	dbftsim -plan '{"n":4,"t":1,...}'   (or -plan @scenario.json)
+//
+// SIGINT/SIGTERM interrupt a campaign gracefully: the current seed finishes,
+// partial results are printed, and the resume seed is reported. A second
+// signal force-exits.
 package main
 
 import (
@@ -19,14 +25,35 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 
 	"repro/internal/dbft"
 	"repro/internal/fairness"
 	"repro/internal/faults"
 	"repro/internal/network"
 )
+
+// watchInterrupt converts SIGINT/SIGTERM into a cooperative stop flag the
+// campaign engines poll between seeds. The first signal requests a graceful
+// wind-down (finish the current seed, print partial results and the resume
+// seed); a second signal force-exits for runs that are stuck mid-seed.
+func watchInterrupt() func() bool {
+	var stopped atomic.Bool
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-ch
+		stopped.Store(true)
+		fmt.Fprintln(os.Stderr, "dbftsim: interrupted; finishing current seed (signal again to force-exit)")
+		<-ch
+		os.Exit(130)
+	}()
+	return stopped.Load
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -49,8 +76,11 @@ func run(args []string) error {
 	trace := fs.Int("trace", 0, "print the first N message deliveries and a delivery summary")
 	chaos := fs.Bool("chaos", false, "run a randomized fault-injection campaign (uses -n, -t, -seed, -rounds, -steps, -tick)")
 	chaosSeeds := fs.Int("chaos-seeds", 200, "number of seeds in the -chaos campaign")
-	tick := fs.Int("tick", 25, "retransmission tick interval in steps (-chaos and -plan)")
+	tick := fs.Int("tick", 25, "retransmission tick interval in steps (-chaos, -torture and -plan)")
 	chaosV := fs.Bool("chaos-v", false, "print one line per -chaos run")
+	torture := fs.Bool("torture", false, "run a storage-fault torture campaign over durable replicas (uses -n, -t, -seed, -rounds, -tick)")
+	tortureSeeds := fs.Int("torture-seeds", 200, "number of seeds in the -torture campaign")
+	tortureV := fs.Bool("torture-v", false, "print one line per -torture run")
 	plan := fs.String("plan", "", "replay one chaos scenario: inline JSON or @file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +94,9 @@ func run(args []string) error {
 	}
 	if *chaos {
 		return runChaos(*chaosSeeds, *seed, *n, *t, *maxRounds, *maxSteps, *tick, *chaosV)
+	}
+	if *torture {
+		return runTorture(*tortureSeeds, *seed, *n, *t, *maxRounds, *tick, *tortureV)
 	}
 
 	ins, err := parseInputs(*inputs)
@@ -176,6 +209,42 @@ func runChaos(runs int, baseSeed int64, n, t, maxRounds, maxSteps, tick int, ver
 		MaxRounds: maxRounds,
 		MaxSteps:  maxSteps,
 		Tick:      tick,
+
+		Stop: watchInterrupt(),
+	}
+	if verbose {
+		c.Verbose = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	res := c.Run()
+	fmt.Println(res.String())
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			fmt.Println(v.String())
+		}
+		return fmt.Errorf("%d violations in %d runs", len(res.Violations), res.Runs)
+	}
+	return nil
+}
+
+// runTorture executes a storage-fault torture campaign: every seed runs the
+// consensus over durable WAL-backed replicas while the injector kills,
+// tears, bit-flips and fsync-lies at the storage layer, then asserts
+// Agreement/Validity, post-recovery consistency and byte-identical replay.
+// Exits non-zero on any violation, printing each one's replayable seed and
+// scenario JSON.
+func runTorture(runs int, baseSeed int64, n, t, maxRounds, tick int, verbose bool) error {
+	c := faults.TortureCampaign{
+		Runs:     runs,
+		BaseSeed: baseSeed,
+		N:        n,
+		T:        t,
+
+		MaxRounds: maxRounds,
+		Tick:      tick,
+
+		Stop: watchInterrupt(),
 	}
 	if verbose {
 		c.Verbose = func(format string, args ...any) {
@@ -232,6 +301,17 @@ func runPlan(spec string) error {
 	fmt.Printf("faults: %d drops, %d dups, %d delays, %d lost, %d crashes, %d recoveries\n",
 		counts[faults.EvDrop], counts[faults.EvDuplicate], counts[faults.EvDelay],
 		counts[faults.EvLost], counts[faults.EvCrash], counts[faults.EvRecover])
+	if sc.Durable {
+		fmt.Printf("storage: %d kills, %d torn, %d flips, %d nosync, %d replays; %d replay-checks passed\n",
+			counts[faults.EvKill], counts[faults.EvTorn], counts[faults.EvFlip],
+			counts[faults.EvNoSync], counts[faults.EvReplay], out.ReplayChecked)
+		for _, id := range out.Quarantined {
+			fmt.Printf("quarantined: p%d (%s)\n", id, out.QuarantineReasons[id])
+		}
+		for _, e := range out.ReplayErrs {
+			fmt.Println("REPLAY MISMATCH:", e)
+		}
+	}
 	fmt.Print(faults.FormatEvents(out.Events, 20))
 	return nil
 }

@@ -12,13 +12,20 @@
 //	holistic ce                       generate the n<=3t counterexample
 //	holistic dot     [flags]          print a model as Graphviz DOT
 //	holistic spec    [flags]          compile & check a property file
+//
+// SIGINT/SIGTERM interrupt a verification gracefully: running checks wind
+// down with Budget outcomes and the finished verdicts are still printed. A
+// second signal force-exits.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -29,6 +36,24 @@ import (
 	"repro/internal/ta"
 	"repro/internal/taformat"
 )
+
+// watchInterrupt converts SIGINT/SIGTERM into the cooperative stop flag the
+// verification engines poll at schema-enumeration nodes and SMT case splits.
+// The first signal requests a graceful wind-down (interrupted checks report
+// Budget, finished verdicts survive); a second signal force-exits.
+func watchInterrupt() func() bool {
+	var stopped atomic.Bool
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-ch
+		stopped.Store(true)
+		fmt.Fprintln(os.Stderr, "holistic: interrupted; winding down checks (signal again to force-exit)")
+		<-ch
+		os.Exit(130)
+	}()
+	return stopped.Load
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -132,9 +157,13 @@ func cmdPipeline(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := core.HolisticVerification(core.Options{Mode: m})
+	stop := watchInterrupt()
+	rep, err := core.HolisticVerification(core.Options{Mode: m, Stop: stop})
 	if err != nil {
 		return err
+	}
+	if stop() {
+		fmt.Fprintln(os.Stderr, "holistic: pipeline interrupted; partial verdicts below (interrupted checks report budget)")
 	}
 	if *asJSON {
 		data, err := rep.MarshalIndent()
@@ -193,7 +222,8 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
-	engine, err := schema.New(a, schema.Options{Mode: m, Timeout: *timeout})
+	stop := watchInterrupt()
+	engine, err := schema.New(a, schema.Options{Mode: m, Timeout: *timeout, Stop: stop})
 	if err != nil {
 		return err
 	}
@@ -201,6 +231,10 @@ func cmdVerify(args []string) error {
 	for i := range queries {
 		if *prop != "" && queries[i].Name != *prop {
 			continue
+		}
+		if stop() {
+			fmt.Fprintln(os.Stderr, "holistic: interrupted; remaining properties skipped")
+			break
 		}
 		found = true
 		res, err := engine.Check(&queries[i])
@@ -230,9 +264,13 @@ func cmdTable2(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows, err := core.Table2(core.Table2Options{SkipNaive: *skipNaive, NaiveTimeout: *naiveTimeout})
+	stop := watchInterrupt()
+	rows, err := core.Table2(core.Table2Options{SkipNaive: *skipNaive, NaiveTimeout: *naiveTimeout, Stop: stop})
 	if err != nil {
 		return err
+	}
+	if stop() {
+		fmt.Fprintln(os.Stderr, "holistic: table2 interrupted; interrupted rows report timeout/budget")
 	}
 	fmt.Print(core.FormatTable2(rows))
 	return nil
@@ -243,7 +281,7 @@ func cmdCE(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, err := core.GenerateInv1Counterexample(core.Options{})
+	res, err := core.GenerateInv1Counterexample(core.Options{Stop: watchInterrupt()})
 	if err != nil {
 		return err
 	}
@@ -317,11 +355,16 @@ func cmdSpec(args []string) error {
 	if err != nil {
 		return err
 	}
-	engine, err := schema.New(a, schema.Options{Mode: m})
+	stop := watchInterrupt()
+	engine, err := schema.New(a, schema.Options{Mode: m, Stop: stop})
 	if err != nil {
 		return err
 	}
 	for i := range queries {
+		if stop() {
+			fmt.Fprintln(os.Stderr, "holistic: interrupted; remaining properties skipped")
+			break
+		}
 		res, err := engine.Check(&queries[i])
 		if err != nil {
 			return err

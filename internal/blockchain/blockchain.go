@@ -102,6 +102,10 @@ type Ledger struct {
 	// the retransmission clock for those runs (0 = default 25).
 	Faults       *faults.Plan
 	TickInterval int
+
+	// stores holds per-replica durable chain storage (see durable.go); nil
+	// until EnableDurability.
+	stores map[network.ProcID]*blockStore
 }
 
 // NewLedger creates a ledger with n replicas tolerating t Byzantine ones;
@@ -194,9 +198,11 @@ func (l *Ledger) Recover(id network.ProcID) error {
 		}
 	}
 	mine := l.chains[id]
+	transferred := 0
 	for h := len(mine); h < len(ref); h++ {
 		block := ref[h]
 		mine = append(mine, block)
+		transferred++
 		committed := map[Tx]bool{}
 		for _, tx := range block.Txs {
 			committed[tx] = true
@@ -210,7 +216,7 @@ func (l *Ledger) Recover(id network.ProcID) error {
 		l.mempools[id] = rest
 	}
 	l.chains[id] = mine
-	return nil
+	return l.persistRecover(id, transferred)
 }
 
 // Status reports per-replica health, sorted by id.
@@ -368,6 +374,9 @@ func (l *Ledger) CommitHeight() (Block, error) {
 			}
 		}
 		l.mempools[id] = rest
+	}
+	if err := l.persistCommit(block); err != nil {
+		return Block{}, err
 	}
 	return block, nil
 }

@@ -1,0 +1,336 @@
+// Durable chain storage: each replica's committed chain lives in a
+// write-ahead log (internal/wal) — one record per superblock over a periodic
+// chain snapshot — so a restarted replica reboots from *disk*, not from the
+// orchestrator's memory. Corruption the checksums catch is quarantined: the
+// damaged log is reset and the replica is caught up by the existing Recover
+// state transfer, then re-persisted. This is the ledger half of the
+// durability plane; internal/faults exercises the consensus half.
+
+package blockchain
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/network"
+	"repro/internal/wal"
+)
+
+// chainCompactEvery is the snapshot+truncate cadence, in committed blocks.
+const chainCompactEvery = 8
+
+// blockStore is one replica's durable chain: a wal.Log of block records over
+// a chain-prefix snapshot.
+type blockStore struct {
+	fs        wal.FS
+	dir       string
+	log       *wal.Log
+	sinceSnap int
+}
+
+// RestartReport describes what a replica restart found on disk.
+type RestartReport struct {
+	// FromDisk is how many blocks the WAL yielded.
+	FromDisk int
+	// Corrupt is set when the on-disk state was detected as damaged (bad
+	// checksum, impossible structure, or a height discontinuity); the log
+	// was quarantined and reset.
+	Corrupt bool
+	// Reason holds the detection message when Corrupt.
+	Reason string
+	// Transferred is how many blocks state transfer copied from peers after
+	// the disk image fell short.
+	Transferred int
+}
+
+// EnableDurability attaches a WAL-backed chain store to every correct
+// replica, rooted at root/r<id> on fs. Existing durable state is loaded —
+// this is the restart-from-disk path — and detected corruption follows the
+// quarantine-and-transfer flow of RestartReplica.
+func (l *Ledger) EnableDurability(fs wal.FS, root string) error {
+	if l.stores == nil {
+		l.stores = map[network.ProcID]*blockStore{}
+	}
+	for i := 0; i < l.cfg.N; i++ {
+		id := network.ProcID(i)
+		if l.byz[id] {
+			continue
+		}
+		st := &blockStore{fs: fs, dir: filepath.Join(root, fmt.Sprintf("r%d", id))}
+		l.stores[id] = st
+		if _, err := l.RestartReplica(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestartReplica models a process restart of one replica: the in-memory
+// chain is dropped and rebuilt from the WAL. A clean log yields the chain
+// back verbatim; a damaged one (checksum mismatch, undecodable record, or a
+// height discontinuity) is quarantined — reset to empty — and the replica is
+// caught up from peers by Recover state transfer, after which the
+// transferred chain is persisted again. The WAL can therefore never silently
+// feed a corrupted block into the ledger.
+func (l *Ledger) RestartReplica(id network.ProcID) (RestartReport, error) {
+	var rep RestartReport
+	st := l.stores[id]
+	if st == nil {
+		return rep, fmt.Errorf("blockchain: replica %d has no durable store", id)
+	}
+	chain, err := st.load()
+	if err != nil {
+		if !isCorruption(err) {
+			return rep, err
+		}
+		rep.Corrupt = true
+		rep.Reason = err.Error()
+		if err := st.reset(); err != nil {
+			return rep, err
+		}
+		chain = nil
+	}
+	rep.FromDisk = len(chain)
+	l.chains[id] = chain
+
+	// Catch up past the durable prefix: Recover runs the state transfer and
+	// (through persistRecover) makes the transferred blocks durable too.
+	before := len(chain)
+	if err := l.Recover(id); err != nil {
+		return rep, err
+	}
+	rep.Transferred = len(l.chains[id]) - before
+	return rep, nil
+}
+
+// load opens the WAL and decodes the durable chain: snapshot prefix plus one
+// block per record, heights strictly continuous.
+func (s *blockStore) load() ([]Block, error) {
+	if s.log != nil {
+		s.log.Close()
+		s.log = nil
+	}
+	log, rec, err := wal.Open(wal.Options{FS: s.fs, Dir: s.dir, Sync: wal.SyncEachAppend})
+	if err != nil {
+		return nil, err
+	}
+	s.log, s.sinceSnap = log, 0
+	var chain []Block
+	if rec.Snapshot != nil {
+		chain, err = decodeChain(rec.Snapshot)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range rec.Records {
+		b, err := decodeBlock(r)
+		if err != nil {
+			return nil, err
+		}
+		if b.Height != len(chain) {
+			return nil, fmt.Errorf("%w: block record has height %d, chain is at %d", wal.ErrCorrupt, b.Height, len(chain))
+		}
+		chain = append(chain, b)
+	}
+	for h, b := range chain {
+		if b.Height != h {
+			return nil, fmt.Errorf("%w: snapshot chain has height %d at position %d", wal.ErrCorrupt, b.Height, h)
+		}
+	}
+	return chain, nil
+}
+
+// reset quarantines a damaged log: every file in the replica's directory is
+// removed and a fresh log is opened.
+func (s *blockStore) reset() error {
+	if s.log != nil {
+		s.log.Close()
+		s.log = nil
+	}
+	names, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		if err := s.fs.Remove(filepath.Join(s.dir, name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	log, _, err := wal.Open(wal.Options{FS: s.fs, Dir: s.dir, Sync: wal.SyncEachAppend})
+	if err != nil {
+		return err
+	}
+	s.log, s.sinceSnap = log, 0
+	return nil
+}
+
+// appendBlock persists one committed block, compacting on cadence.
+func (s *blockStore) appendBlock(b Block, chain []Block) error {
+	if err := s.log.Append(encodeBlock(b)); err != nil {
+		return err
+	}
+	s.sinceSnap++
+	if s.sinceSnap >= chainCompactEvery {
+		return s.snapshotChain(chain)
+	}
+	return nil
+}
+
+// snapshotChain compacts the log to a single chain snapshot.
+func (s *blockStore) snapshotChain(chain []Block) error {
+	if err := s.log.SaveSnapshot(encodeChain(chain)); err != nil {
+		return err
+	}
+	s.sinceSnap = 0
+	return nil
+}
+
+// persistCommit is CommitHeight's hook: the block every available replica
+// just appended in memory becomes durable before the height returns.
+func (l *Ledger) persistCommit(b Block) error {
+	for id, st := range l.stores {
+		if !l.available(id) {
+			continue
+		}
+		if err := st.appendBlock(b, l.chains[id]); err != nil {
+			return fmt.Errorf("blockchain: replica %d: persist height %d: %w", id, b.Height, err)
+		}
+	}
+	return nil
+}
+
+// persistRecover makes a state transfer durable (Recover's hook).
+func (l *Ledger) persistRecover(id network.ProcID, transferred int) error {
+	st := l.stores[id]
+	if st == nil || st.log == nil || transferred == 0 {
+		return nil
+	}
+	return st.snapshotChain(l.chains[id])
+}
+
+// isCorruption reports whether err is detected damage (as opposed to an
+// environmental failure like a missing directory).
+func isCorruption(err error) bool {
+	return errors.Is(err, wal.ErrCorrupt)
+}
+
+// --- codec ---
+//
+// Blocks are encoded with uvarint framing: height, proposals, tx count, then
+// each transaction length-prefixed. A chain is a uvarint count of
+// length-prefixed blocks. Decoders reject truncation, overlong lengths, and
+// trailing garbage — a flipped byte that survives the CRC (it cannot, but
+// defense in depth is free here) still fails structurally.
+
+const maxChainDecode = 1 << 26
+
+func encodeBlock(b Block) []byte {
+	out := binary.AppendUvarint(nil, uint64(b.Height))
+	out = binary.AppendUvarint(out, uint64(b.Proposals))
+	out = binary.AppendUvarint(out, uint64(len(b.Txs)))
+	for _, tx := range b.Txs {
+		out = binary.AppendUvarint(out, uint64(len(tx)))
+		out = append(out, tx...)
+	}
+	return out
+}
+
+func decodeBlock(data []byte) (Block, error) {
+	b, rest, err := decodeBlockPrefix(data)
+	if err != nil {
+		return Block{}, err
+	}
+	if len(rest) != 0 {
+		return Block{}, fmt.Errorf("%w: %d trailing bytes after block", wal.ErrCorrupt, len(rest))
+	}
+	return b, nil
+}
+
+func decodeBlockPrefix(data []byte) (Block, []byte, error) {
+	var b Block
+	u, data, err := readUvarint(data)
+	if err != nil {
+		return b, nil, err
+	}
+	b.Height = int(u)
+	u, data, err = readUvarint(data)
+	if err != nil {
+		return b, nil, err
+	}
+	b.Proposals = int(u)
+	count, data, err := readUvarint(data)
+	if err != nil {
+		return b, nil, err
+	}
+	if count > uint64(len(data)) {
+		return b, nil, fmt.Errorf("%w: block claims %d transactions in %d bytes", wal.ErrCorrupt, count, len(data))
+	}
+	for i := uint64(0); i < count; i++ {
+		var n uint64
+		n, data, err = readUvarint(data)
+		if err != nil {
+			return b, nil, err
+		}
+		if n > uint64(len(data)) {
+			return b, nil, fmt.Errorf("%w: transaction length %d exceeds %d remaining bytes", wal.ErrCorrupt, n, len(data))
+		}
+		b.Txs = append(b.Txs, Tx(data[:n]))
+		data = data[n:]
+	}
+	return b, data, nil
+}
+
+func encodeChain(chain []Block) []byte {
+	out := binary.AppendUvarint(nil, uint64(len(chain)))
+	for _, b := range chain {
+		enc := encodeBlock(b)
+		out = binary.AppendUvarint(out, uint64(len(enc)))
+		out = append(out, enc...)
+	}
+	return out
+}
+
+func decodeChain(data []byte) ([]Block, error) {
+	if len(data) > maxChainDecode {
+		return nil, fmt.Errorf("%w: chain snapshot of %d bytes", wal.ErrCorrupt, len(data))
+	}
+	count, data, err := readUvarint(data)
+	if err != nil {
+		return nil, err
+	}
+	if count > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: chain claims %d blocks in %d bytes", wal.ErrCorrupt, count, len(data))
+	}
+	var chain []Block
+	for i := uint64(0); i < count; i++ {
+		var n uint64
+		n, data, err = readUvarint(data)
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(data)) {
+			return nil, fmt.Errorf("%w: block length %d exceeds %d remaining bytes", wal.ErrCorrupt, n, len(data))
+		}
+		b, err := decodeBlock(data[:n])
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, b)
+		data = data[n:]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after chain", wal.ErrCorrupt, len(data))
+	}
+	return chain, nil
+}
+
+func readUvarint(data []byte) (uint64, []byte, error) {
+	u, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: truncated varint", wal.ErrCorrupt)
+	}
+	return u, data[n:], nil
+}

@@ -38,6 +38,10 @@ type Options struct {
 	MaxSchemas int
 	// Timeout bounds each property check (0 = none).
 	Timeout time.Duration
+	// Stop, when set, is polled inside every check; a true return winds the
+	// check down with a Budget outcome. Signal handlers use it to interrupt
+	// a long verification while keeping the finished verdicts.
+	Stop func() bool
 	// Parallel checks up to this many properties concurrently (0 or 1 =
 	// sequential). The paper ran ByMC MPI-parallel; property-level
 	// parallelism is the natural Go equivalent.
@@ -49,6 +53,7 @@ func (o Options) engine(a *ta.TA) (*schema.Engine, error) {
 		Mode:       o.Mode,
 		MaxSchemas: o.MaxSchemas,
 		Timeout:    o.Timeout,
+		Stop:       o.Stop,
 	})
 }
 

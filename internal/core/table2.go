@@ -30,6 +30,9 @@ type Table2Options struct {
 	NaiveTimeout time.Duration
 	// SkipNaive drops the naive rows entirely (for quick runs).
 	SkipNaive bool
+	// Stop, when set, is polled inside every check; a true return winds the
+	// remaining checks down with Budget outcomes (signal handlers use it).
+	Stop func() bool
 }
 
 // Table2 regenerates the paper's Table 2:
@@ -47,7 +50,7 @@ func Table2(opts Table2Options) ([]Table2Row, error) {
 	var rows []Table2Row
 
 	add := func(a *ta.TA, queries []spec.Query, names []string, mode schema.Mode, timeout time.Duration) error {
-		engine, err := schema.New(a, schema.Options{Mode: mode, Timeout: timeout})
+		engine, err := schema.New(a, schema.Options{Mode: mode, Timeout: timeout, Stop: opts.Stop})
 		if err != nil {
 			return err
 		}

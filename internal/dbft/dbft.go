@@ -190,8 +190,14 @@ func (p *Process) broadcast(send network.Sender, m network.Message) {
 }
 
 // Deliver implements network.Process.
+//
+// Only a message that carries *new* information counts as traffic for the
+// retransmission heuristic. A stale duplicate — a laggard re-flooding its
+// outbox, or Byzantine chatter — must not reset sawTraffic, or a steady
+// stream of no-op deliveries silences every correct replica's retransmission
+// and a recovering process can never be caught up (a liveness wedge the
+// storage torture campaign actually found).
 func (p *Process) Deliver(m network.Message, send network.Sender) {
-	p.sawTraffic = true
 	if m.Instance != p.instance {
 		return
 	}
@@ -203,6 +209,9 @@ func (p *Process) Deliver(m network.Message, send network.Sender) {
 	case network.MsgBV:
 		if m.Value != 0 && m.Value != 1 {
 			return // malformed (Byzantine) content is ignored
+		}
+		if st.bvSenders[m.Value][m.From] {
+			return // duplicate: nothing new, no traffic credit
 		}
 		st.bvSenders[m.Value][m.From] = true
 	case network.MsgAux:
@@ -218,6 +227,7 @@ func (p *Process) Deliver(m network.Message, send network.Sender) {
 	default:
 		return
 	}
+	p.sawTraffic = true
 	p.progress(m.Round, send)
 }
 

@@ -1,0 +1,384 @@
+package dbft
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/network"
+)
+
+// This file defines the canonical on-disk encoding of Snapshot and of
+// network.Message — the payloads the durability layer (internal/wal via
+// internal/faults) appends and replays. The encoding is *canonical*: map
+// keys are sorted, so two state-identical snapshots always encode to the
+// same bytes. That is what lets the torture harness assert "recovered state
+// equals a fresh replay of the log" by comparing byte strings, and what
+// makes EncodeSnapshot a usable state fingerprint.
+
+// snapshotVersion guards the layout; bump on any change.
+const snapshotVersion = 1
+
+// maxDecodeLen caps every decoded length field so a hostile (or fuzzed)
+// input cannot demand gigabytes.
+const maxDecodeLen = 1 << 20
+
+type encBuf struct{ b []byte }
+
+func (e *encBuf) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *encBuf) varint(v int)     { e.b = binary.AppendVarint(e.b, int64(v)) }
+func (e *encBuf) bool(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+func (e *encBuf) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *encBuf) ints(vs []int) {
+	e.uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		e.varint(v)
+	}
+}
+func (e *encBuf) procs(ids []network.ProcID) {
+	e.uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		e.varint(int(id))
+	}
+}
+
+type decBuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decBuf) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("dbft: decode: "+format, args...)
+	}
+}
+
+func (d *decBuf) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint at %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decBuf) varint() int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad varint at %d", d.off)
+		return 0
+	}
+	d.off += n
+	return int(v)
+}
+
+func (d *decBuf) length() int {
+	v := d.uvarint()
+	if v > maxDecodeLen {
+		d.fail("length %d exceeds cap", v)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decBuf) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.b) {
+		d.fail("bool past end")
+		return false
+	}
+	v := d.b[d.off]
+	d.off++
+	return v != 0
+}
+
+func (d *decBuf) str() string {
+	n := d.length()
+	if d.err != nil {
+		return ""
+	}
+	if d.off+n > len(d.b) {
+		d.fail("string of %d past end", n)
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decBuf) ints() []int {
+	n := d.length()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int, 0, min(n, 1024))
+	for i := 0; i < n; i++ {
+		out = append(out, d.varint())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+func (d *decBuf) procIDs() []network.ProcID {
+	n := d.length()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]network.ProcID, 0, min(n, 1024))
+	for i := 0; i < n; i++ {
+		out = append(out, network.ProcID(d.varint()))
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// EncodeMessage renders one message in the canonical form.
+func EncodeMessage(m network.Message) []byte {
+	var e encBuf
+	encodeMessage(&e, m)
+	return e.b
+}
+
+func encodeMessage(e *encBuf, m network.Message) {
+	e.varint(int(m.From))
+	e.varint(int(m.To))
+	e.varint(m.Round)
+	e.str(string(m.Kind))
+	e.varint(m.Value)
+	e.ints(m.Set)
+	e.varint(m.Instance)
+	e.varint(int(m.Proposer))
+	e.str(m.Payload)
+	// Seq is per-copy fault-layer metadata, not message content: it is
+	// deliberately not persisted, so retransmitted copies of a recovered
+	// outbox re-enter the network unstamped, exactly like fresh sends.
+}
+
+// DecodeMessage parses a message previously rendered by EncodeMessage.
+func DecodeMessage(b []byte) (network.Message, error) {
+	d := &decBuf{b: b}
+	m := decodeMessage(d)
+	if d.err != nil {
+		return network.Message{}, d.err
+	}
+	if d.off != len(b) {
+		return network.Message{}, fmt.Errorf("dbft: decode: %d trailing bytes after message", len(b)-d.off)
+	}
+	return m, nil
+}
+
+func decodeMessage(d *decBuf) network.Message {
+	var m network.Message
+	m.From = network.ProcID(d.varint())
+	m.To = network.ProcID(d.varint())
+	m.Round = d.varint()
+	m.Kind = network.MsgKind(d.str())
+	m.Value = d.varint()
+	m.Set = d.ints()
+	m.Instance = d.varint()
+	m.Proposer = network.ProcID(d.varint())
+	m.Payload = d.str()
+	return m
+}
+
+// EncodeSnapshot renders the snapshot canonically: state-identical
+// snapshots yield identical bytes.
+func EncodeSnapshot(s *Snapshot) []byte {
+	e := &encBuf{b: make([]byte, 0, 256)}
+	e.b = append(e.b, snapshotVersion)
+	e.varint(s.est)
+	e.varint(s.round)
+	e.bool(s.decided)
+	e.varint(s.decision)
+	e.varint(s.decRound)
+	e.ints(s.estimateHistory)
+
+	rounds := make([]int, 0, len(s.deliveryOrder))
+	for r := range s.deliveryOrder {
+		rounds = append(rounds, r)
+	}
+	sort.Ints(rounds)
+	e.uvarint(uint64(len(rounds)))
+	for _, r := range rounds {
+		e.varint(r)
+		e.ints(s.deliveryOrder[r])
+	}
+
+	rounds = rounds[:0]
+	for r := range s.rounds {
+		rounds = append(rounds, r)
+	}
+	sort.Ints(rounds)
+	e.uvarint(uint64(len(rounds)))
+	for _, r := range rounds {
+		e.varint(r)
+		encodeRoundState(e, s.rounds[r])
+	}
+
+	e.uvarint(uint64(len(s.outbox)))
+	for _, m := range s.outbox {
+		encodeMessage(e, m)
+	}
+	return e.b
+}
+
+func encodeRoundState(e *encBuf, st *roundState) {
+	for v := 0; v <= 1; v++ {
+		ids := make([]network.ProcID, 0, len(st.bvSenders[v]))
+		for id := range st.bvSenders[v] {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		e.procs(ids)
+	}
+	// Bit-pack the five flags.
+	var flags byte
+	if st.echoed[0] {
+		flags |= 1
+	}
+	if st.echoed[1] {
+		flags |= 2
+	}
+	if st.contestants[0] {
+		flags |= 4
+	}
+	if st.contestants[1] {
+		flags |= 8
+	}
+	if st.auxSent {
+		flags |= 16
+	}
+	e.b = append(e.b, flags)
+	// favorites in arrival order (favOrder), preserving first-aux-wins
+	// semantics across a recovery.
+	e.uvarint(uint64(len(st.favOrder)))
+	for _, q := range st.favOrder {
+		e.varint(int(q))
+		e.ints(st.favorites[q])
+	}
+}
+
+// DecodeSnapshot parses a snapshot previously rendered by EncodeSnapshot.
+// It never panics on malformed input (fuzzed in encode_test.go).
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("dbft: decode: empty snapshot")
+	}
+	if b[0] != snapshotVersion {
+		return nil, fmt.Errorf("dbft: decode: unknown snapshot version %d", b[0])
+	}
+	d := &decBuf{b: b, off: 1}
+	s := &Snapshot{
+		rounds:        map[int]*roundState{},
+		deliveryOrder: map[int][]int{},
+	}
+	s.est = d.varint()
+	s.round = d.varint()
+	s.decided = d.bool()
+	s.decision = d.varint()
+	s.decRound = d.varint()
+	s.estimateHistory = d.ints()
+
+	n := d.length()
+	for i := 0; i < n && d.err == nil; i++ {
+		r := d.varint()
+		vs := d.ints()
+		if d.err == nil {
+			if _, dup := s.deliveryOrder[r]; dup {
+				d.fail("duplicate delivery-order round %d", r)
+				break
+			}
+			s.deliveryOrder[r] = vs
+		}
+	}
+
+	n = d.length()
+	for i := 0; i < n && d.err == nil; i++ {
+		r := d.varint()
+		st := decodeRoundState(d)
+		if d.err == nil {
+			if _, dup := s.rounds[r]; dup {
+				d.fail("duplicate round %d", r)
+				break
+			}
+			s.rounds[r] = st
+		}
+	}
+
+	n = d.length()
+	for i := 0; i < n && d.err == nil; i++ {
+		s.outbox = append(s.outbox, decodeMessage(d))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("dbft: decode: %d trailing bytes after snapshot", len(b)-d.off)
+	}
+	return s, nil
+}
+
+func decodeRoundState(d *decBuf) *roundState {
+	st := newRoundState()
+	for v := 0; v <= 1; v++ {
+		for _, id := range d.procIDs() {
+			if st.bvSenders[v][id] {
+				d.fail("duplicate bv sender %d", id)
+				return st
+			}
+			st.bvSenders[v][id] = true
+		}
+	}
+	if d.err != nil {
+		return st
+	}
+	if d.off >= len(d.b) {
+		d.fail("flags past end")
+		return st
+	}
+	flags := d.b[d.off]
+	d.off++
+	st.echoed[0] = flags&1 != 0
+	st.echoed[1] = flags&2 != 0
+	st.contestants[0] = flags&4 != 0
+	st.contestants[1] = flags&8 != 0
+	st.auxSent = flags&16 != 0
+
+	n := d.length()
+	for i := 0; i < n && d.err == nil; i++ {
+		q := network.ProcID(d.varint())
+		set := d.ints()
+		if d.err == nil {
+			if _, dup := st.favorites[q]; dup {
+				d.fail("duplicate favorite %d", q)
+				return st
+			}
+			st.favorites[q] = set
+			st.favOrder = append(st.favOrder, q)
+		}
+	}
+	return st
+}

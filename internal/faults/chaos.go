@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -25,7 +26,11 @@ type Scenario struct {
 	Inputs    []int    `json:"inputs"`          // correct-process inputs, ids 0..len-1
 	Byz       []string `json:"byz,omitempty"`   // strategies for ids len(Inputs)..n-1
 	Sched     string   `json:"sched,omitempty"` // random (default), fifo, fair
-	Plan      Plan     `json:"plan"`
+	// Durable gives every correct replica a write-ahead log on a
+	// fault-injectable filesystem: crashes recover from disk, not from the
+	// injector's memory, and Plan.Storage faults become live.
+	Durable bool `json:"durable,omitempty"`
+	Plan    Plan `json:"plan"`
 }
 
 // Encode renders the scenario as compact JSON.
@@ -37,11 +42,18 @@ func (sc Scenario) Encode() string {
 	return string(b)
 }
 
-// ParseScenario decodes a scenario from its JSON form.
+// ParseScenario decodes a scenario from its JSON form. Decoding is strict —
+// unknown fields, type mismatches and trailing data fail with a line:column
+// diagnostic — and the decoded scenario is validated for internal
+// consistency (see Validate), so a bad replay input fails fast instead of
+// running a garbage campaign.
 func ParseScenario(s string) (Scenario, error) {
-	var sc Scenario
-	if err := json.Unmarshal([]byte(s), &sc); err != nil {
-		return Scenario{}, fmt.Errorf("faults: bad scenario: %w", err)
+	sc, err := parseScenarioStrict(s)
+	if err != nil {
+		return Scenario{}, err
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
 	}
 	return sc, nil
 }
@@ -58,6 +70,18 @@ type Outcome struct {
 	ValidityErr   error
 	Err           error // run/panic error, already annotated with the scenario
 	Events        []Event
+
+	// Durable-run results. Quarantined lists replicas retired because their
+	// WAL was unrecoverable; Contradictions and SilentCorruptions are
+	// oracle hits that must stay empty for a sound durability layer;
+	// ReplayErrs are clean replicas whose live state differed from a fresh
+	// replay of their log; ReplayChecked counts replicas that passed it.
+	Quarantined       []network.ProcID
+	QuarantineReasons map[network.ProcID]string
+	Contradictions    []string
+	SilentCorruptions []string
+	ReplayErrs        []string
+	ReplayChecked     int
 }
 
 // Run executes the scenario. Any panic in the protocol stack or harness is
@@ -121,6 +145,12 @@ func (sc Scenario) Run() (out Outcome) {
 	}
 
 	inj := NewInjector(sc.Plan, inner)
+	if sc.Durable {
+		for _, p := range correct {
+			inj.AttachStore(p.ID(), newReplicaStore(p.ID(), cfg, all,
+				sc.Plan.storageFor(p.ID()), sc.Plan.Seed*1_000_003+int64(p.ID())+11))
+		}
+	}
 	sys, err := network.NewSystem(inj.Wrap(procs), inj)
 	if err != nil {
 		out.Err = fmt.Errorf("faults: scenario %s: %w", sc.Encode(), err)
@@ -142,7 +172,22 @@ func (sc Scenario) Run() (out Outcome) {
 		}
 	}
 
-	steps, err := sys.Run(sc.MaxSteps, func() bool { return dbft.AllDecided(participating) })
+	// Termination is owed to the clean participants: risky-storage replicas
+	// are Byzantine-equivalent and quarantined replicas are crash-stops, so
+	// neither blocks the decided predicate.
+	cleanDecided := func() bool {
+		for _, p := range participating {
+			if inj.Risky(p.ID()) || inj.IsQuarantined(p.ID()) {
+				continue
+			}
+			if _, _, ok := p.Decided(); !ok {
+				return false
+			}
+		}
+		return true
+	}
+
+	steps, err := sys.Run(sc.MaxSteps, cleanDecided)
 	out.Steps = steps
 	out.Procs = correct
 	out.Participating = participating
@@ -151,12 +196,55 @@ func (sc Scenario) Run() (out Outcome) {
 		out.Err = fmt.Errorf("faults: scenario %s: %w", sc.Encode(), err)
 		return out
 	}
-	out.Decided = dbft.AllDecided(participating)
+	out.Decided = cleanDecided()
 	// Safety invariants are checked over every correct process, including
 	// crash-stopped ones: whatever they decided before dying must agree.
-	out.AgreementErr = dbft.Agreement(correct)
-	out.ValidityErr = dbft.Validity(correct, sc.Inputs)
+	// Risky-storage replicas are the exception — amnesia makes them
+	// Byzantine-equivalent, and the fault budget already accounts for them.
+	safetySet := correct
+	if sc.Durable {
+		safetySet = make([]*dbft.Process, 0, len(correct))
+		for _, p := range correct {
+			if !inj.Risky(p.ID()) {
+				safetySet = append(safetySet, p)
+			}
+		}
+	}
+	out.AgreementErr = dbft.Agreement(safetySet)
+	out.ValidityErr = dbft.Validity(safetySet, sc.Inputs)
+	if sc.Durable {
+		sc.checkDurable(inj, &out)
+	}
 	return out
+}
+
+// checkDurable runs the post-run durability oracles: quarantine accounting,
+// the equivocation and flip oracles accumulated during the run, and the
+// byte-identical replay check — every clean, up-to-date replica's live state
+// must equal a fresh rebuild from nothing but its log.
+func (sc Scenario) checkDurable(inj *Injector, out *Outcome) {
+	out.Quarantined = inj.Quarantined()
+	out.QuarantineReasons = inj.quarantined
+	out.Contradictions = inj.Contradictions
+	out.SilentCorruptions = inj.SilentCorruptions
+	for _, p := range out.Procs {
+		st := inj.stores[p.ID()]
+		if st == nil || st.log == nil || st.dirty ||
+			inj.Risky(p.ID()) || inj.IsQuarantined(p.ID()) || inj.downNow(p.ID()) {
+			continue
+		}
+		fp, err := st.replayFingerprint()
+		if err != nil {
+			out.ReplayErrs = append(out.ReplayErrs, fmt.Sprintf("p%d: replay: %v", p.ID(), err))
+			continue
+		}
+		if !bytes.Equal(fp, dbft.EncodeSnapshot(p.Snapshot())) {
+			out.ReplayErrs = append(out.ReplayErrs,
+				fmt.Sprintf("p%d: recovered state differs from fresh replay of its log", p.ID()))
+			continue
+		}
+		out.ReplayChecked++
+	}
 }
 
 // Campaign drives randomized fault mixes across many seeds, asserting the
@@ -176,6 +264,11 @@ type Campaign struct {
 
 	// Verbose, when set, receives one line per run.
 	Verbose func(format string, args ...any)
+
+	// Stop, when set, is polled between seeds; a true return ends the
+	// campaign early with Interrupted set and NextSeed pointing at the first
+	// seed not run (signal handlers use it for graceful shutdown).
+	Stop func() bool
 }
 
 // Violation is one failed assertion, carrying everything needed to replay
@@ -198,13 +291,22 @@ type CampaignResult struct {
 	Decided    int
 	Events     map[EventKind]int
 	Violations []Violation
+
+	// Interrupted is set when Stop ended the campaign early; NextSeed is the
+	// first seed that did not run, so a rerun with -seed NextSeed resumes.
+	Interrupted bool
+	NextSeed    int64
 }
 
 func (r CampaignResult) String() string {
-	return fmt.Sprintf("chaos: %d runs (%d fair, %d unfair), %d decided, %d violations; faults: %d drops, %d dups, %d delays, %d lost, %d crashes, %d recoveries",
+	s := fmt.Sprintf("chaos: %d runs (%d fair, %d unfair), %d decided, %d violations; faults: %d drops, %d dups, %d delays, %d lost, %d crashes, %d recoveries",
 		r.Runs, r.FairRuns, r.UnfairRuns, r.Decided, len(r.Violations),
 		r.Events[EvDrop], r.Events[EvDuplicate], r.Events[EvDelay],
 		r.Events[EvLost], r.Events[EvCrash], r.Events[EvRecover])
+	if r.Interrupted {
+		s += fmt.Sprintf(" (interrupted; resume from seed %d)", r.NextSeed)
+	}
+	return s
 }
 
 // RandomScenario derives a random-but-replayable scenario for one seed: a
@@ -334,6 +436,11 @@ func (c Campaign) Run() CampaignResult {
 	res := CampaignResult{Events: map[EventKind]int{}}
 	for i := 0; i < c.Runs; i++ {
 		seed := c.BaseSeed + int64(i)
+		if c.Stop != nil && c.Stop() {
+			res.Interrupted = true
+			res.NextSeed = seed
+			break
+		}
 		sc := c.RandomScenario(seed)
 		out := sc.Run()
 		res.Runs++

@@ -28,8 +28,10 @@ package faults
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"repro/internal/dbft"
@@ -124,6 +126,11 @@ type Plan struct {
 
 	Partitions []Partition `json:"partitions,omitempty"`
 	Crashes    []Crash     `json:"crashes,omitempty"`
+
+	// Storage schedules write-point storage faults (kill, torn, flip,
+	// nosync) against durable replicas' WALs; it only has effect in a
+	// durable scenario (see Scenario.Durable and storage.go).
+	Storage []StorageFault `json:"storage,omitempty"`
 }
 
 // FairDelivery reports whether the plan preserves eventual delivery by
@@ -154,6 +161,11 @@ func (p Plan) CrashStops() []network.ProcID {
 	for _, c := range p.Crashes {
 		if c.Recover < 0 {
 			out = append(out, c.Proc)
+		}
+	}
+	for _, f := range p.Storage {
+		if f.Recover < 0 {
+			out = append(out, f.Proc)
 		}
 	}
 	return out
@@ -201,6 +213,14 @@ const (
 	EvLost      EventKind = "lost"    // delivery consumed by a crash window
 	EvCrash     EventKind = "crash"   // process observed down
 	EvRecover   EventKind = "recover" // process rebooted from its snapshot
+
+	// Storage fault events (durable scenarios).
+	EvKill       EventKind = "kill"       // killed mid-append
+	EvTorn       EventKind = "torn"       // killed with a guaranteed torn frame
+	EvFlip       EventKind = "flip"       // killed, then one durable byte flipped
+	EvNoSync     EventKind = "nosync"     // killed after a stretch of lying fsyncs
+	EvReplay     EventKind = "replay"     // state rebuilt from the WAL
+	EvQuarantine EventKind = "quarantine" // WAL unrecoverable; replica retired
 )
 
 // Event is one structured fault-log entry. Step is the network.System step
@@ -215,7 +235,7 @@ type Event struct {
 
 func (e Event) String() string {
 	switch e.Kind {
-	case EvCrash, EvRecover:
+	case EvCrash, EvRecover, EvKill, EvTorn, EvFlip, EvNoSync, EvReplay, EvQuarantine:
 		return fmt.Sprintf("step %4d  %-7s p%d", e.Step, e.Kind, e.Proc)
 	case EvLost:
 		return fmt.Sprintf("step %4d  %-7s p%d <- %s", e.Step, e.Kind, e.Proc, e.Msg)
@@ -265,19 +285,127 @@ type Injector struct {
 	dropCount  map[string]int // rule-scoped per-key drop tally
 	dupCount   map[string]int
 	delayUntil map[int64]int // seq -> first deliverable step
+
+	// Durable-scenario state (see storage.go). stores maps each durable
+	// replica to its WAL; storageDown holds replicas killed at a write point
+	// until the given step; quarantined replicas are down forever with the
+	// recorded reason. risky marks replicas whose scheduled storage faults
+	// can erase released history — they are budgeted like Byzantine
+	// processes and excluded from the clean-replica assertions.
+	stores      map[network.ProcID]*replicaStore
+	storageDown map[network.ProcID]int
+	quarantined map[network.ProcID]string
+	risky       map[network.ProcID]bool
+
+	// auxSeen backs the equivocation oracle: first released AUX content per
+	// (clean replica, instance, round). Contradictions collects conflicts —
+	// a recovered replica contradicting its own pre-crash messages.
+	auxSeen        map[string]string
+	Contradictions []string
+	// SilentCorruptions collects flip-oracle hits: corrupted frames that
+	// recovery accepted without a checksum error.
+	SilentCorruptions []string
 }
 
 // NewInjector builds an injector that defers delivery ordering among
 // eligible messages to the inner scheduler.
 func NewInjector(plan Plan, inner network.Scheduler) *Injector {
 	return &Injector{
-		Plan:       plan,
-		inner:      inner,
-		rng:        rand.New(rand.NewSource(plan.Seed)),
-		dropCount:  map[string]int{},
-		dupCount:   map[string]int{},
-		delayUntil: map[int64]int{},
+		Plan:        plan,
+		inner:       inner,
+		rng:         rand.New(rand.NewSource(plan.Seed)),
+		dropCount:   map[string]int{},
+		dupCount:    map[string]int{},
+		delayUntil:  map[int64]int{},
+		stores:      map[network.ProcID]*replicaStore{},
+		storageDown: map[network.ProcID]int{},
+		quarantined: map[network.ProcID]string{},
+		risky:       map[network.ProcID]bool{},
+		auxSeen:     map[string]string{},
 	}
+}
+
+// AttachStore gives a replica a durable WAL; its crash hook reports storage
+// kills back to the injector. Risky-fault replicas are remembered so the
+// safety assertions can budget them as Byzantine-equivalent.
+func (inj *Injector) AttachStore(id network.ProcID, st *replicaStore) {
+	inj.stores[id] = st
+	st.fs.onCrash = func(f StorageFault) { inj.storageCrash(id, f) }
+	for _, f := range st.fs.faults {
+		if f.Risky() {
+			inj.risky[id] = true
+		}
+	}
+}
+
+// Risky reports whether a replica's scheduled storage faults can cause
+// amnesia (it is excluded from the clean-replica assertions).
+func (inj *Injector) Risky(id network.ProcID) bool { return inj.risky[id] }
+
+// storageCrash records a write-point kill: the event, and the down window.
+func (inj *Injector) storageCrash(id network.ProcID, f StorageFault) {
+	kind := EvKill
+	switch f.Kind {
+	case StoreTorn:
+		kind = EvTorn
+	case StoreFlip:
+		kind = EvFlip
+	case StoreNoSync:
+		kind = EvNoSync
+	}
+	inj.log(kind, id, network.Message{})
+	if f.Recover < 0 {
+		inj.storageDown[id] = forever
+	} else {
+		inj.storageDown[id] = inj.step + f.Recover
+	}
+}
+
+// forever is a down-until step no run reaches.
+const forever = int(^uint(0) >> 1)
+
+// quarantineProc retires a replica whose WAL is unrecoverable: detected
+// corruption is a crash-stop, never silent acceptance.
+func (inj *Injector) quarantineProc(id network.ProcID, reason string) {
+	inj.quarantined[id] = reason
+	inj.storageDown[id] = forever
+	inj.log(EvQuarantine, id, network.Message{})
+}
+
+// IsQuarantined reports whether the replica has been retired.
+func (inj *Injector) IsQuarantined(id network.ProcID) bool {
+	_, ok := inj.quarantined[id]
+	return ok
+}
+
+// Quarantined lists retired replicas in id order.
+func (inj *Injector) Quarantined() []network.ProcID {
+	var out []network.ProcID
+	for id := range inj.quarantined {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// recordRelease is the equivocation oracle tap on every message a clean
+// durable replica releases. A correct process sends at most one AUX per
+// (instance, round), always with the same contestant set; two different
+// contents mean a recovered replica contradicted its pre-crash self.
+func (inj *Injector) recordRelease(id network.ProcID, m network.Message) {
+	if m.Kind != network.MsgAux || inj.risky[id] {
+		return
+	}
+	key := fmt.Sprintf("p%d i%d r%d", id, m.Instance, m.Round)
+	content := fmt.Sprintf("%v", m.Set)
+	if prev, ok := inj.auxSeen[key]; ok {
+		if prev != content {
+			inj.Contradictions = append(inj.Contradictions,
+				fmt.Sprintf("%s: aux %s contradicts earlier aux %s", key, content, prev))
+		}
+		return
+	}
+	inj.auxSeen[key] = content
 }
 
 // Install points the system's send path at the injector. The injector must
@@ -346,6 +474,16 @@ func (inj *Injector) SendTap(m network.Message) []network.Message {
 	return out
 }
 
+// observeStep advances the injector clock. The scheduler's Next does this on
+// every delivery, but a fully drained network (every correct replica down at
+// once) bypasses the scheduler entirely — only ticks still flow. Without this
+// hook the clock freezes and no recovery window can ever expire.
+func (inj *Injector) observeStep(step int) {
+	if step > inj.step {
+		inj.step = step
+	}
+}
+
 // Next implements network.Scheduler: it exposes only the currently
 // deliverable copies to the inner scheduler and maps its choice back. When
 // every in-flight copy is held (partition or delay) it returns network.Tick
@@ -395,6 +533,9 @@ func (inj *Injector) downNow(id network.ProcID) bool {
 			return true
 		}
 	}
+	if until, ok := inj.storageDown[id]; ok && inj.step < until {
+		return true
+	}
 	return false
 }
 
@@ -408,13 +549,19 @@ type snapshotter interface {
 }
 
 // Wrap interposes crash handling on every process. The returned slice is
-// what the network.System must be built from.
+// what the network.System must be built from. Processes with an attached
+// replicaStore persist to (and recover from) their WAL; the rest keep the
+// in-memory snapshot regime of the non-durable plane.
 func (inj *Injector) Wrap(procs []network.Process) []network.Process {
 	out := make([]network.Process, len(procs))
 	for i, p := range procs {
 		w := &wrapProc{inner: p, inj: inj}
 		if s, ok := p.(snapshotter); ok {
 			w.rec = s
+			if st := inj.stores[p.ID()]; st != nil {
+				st.rec = s
+				w.store = st
+			}
 		}
 		out[i] = w
 	}
@@ -423,11 +570,13 @@ func (inj *Injector) Wrap(procs []network.Process) []network.Process {
 
 // wrapProc realizes crash windows around one process: while down, incoming
 // deliveries and ticks are consumed and lost; on the first event after the
-// window it reboots from the last persisted snapshot and rejoins.
+// window it reboots — from its WAL when durable, from the last in-memory
+// snapshot otherwise — and rejoins.
 type wrapProc struct {
 	inner network.Process
 	inj   *Injector
 	rec   snapshotter
+	store *replicaStore
 
 	started bool
 	down    bool
@@ -443,9 +592,26 @@ func (w *wrapProc) Start(send network.Sender) {
 	if w.observeDown() {
 		return
 	}
+	if w.store != nil {
+		w.startDurable(send)
+		return
+	}
 	w.started = true
 	w.inner.Start(send)
 	w.persist()
+}
+
+// startDurable runs Start under persist-before-release: the post-Start state
+// becomes the WAL's base snapshot before any of Start's sends go out.
+func (w *wrapProc) startDurable(send network.Sender) {
+	var buf []network.Message
+	w.inner.Start(func(m network.Message) { buf = append(buf, m) })
+	if err := w.store.begin(); err != nil {
+		w.storageFailure(err)
+		return
+	}
+	w.started = true
+	w.release(buf, send)
 }
 
 func (w *wrapProc) Deliver(m network.Message, send network.Sender) {
@@ -453,18 +619,70 @@ func (w *wrapProc) Deliver(m network.Message, send network.Sender) {
 		w.inj.log(EvLost, w.ID(), m)
 		return
 	}
-	w.revive(send)
+	if !w.revive(send) {
+		w.inj.log(EvLost, w.ID(), m)
+		return
+	}
+	if w.store != nil {
+		// Persist-before-release: buffer the handler's sends, append the
+		// delivered message to the WAL, and only then let the sends out. A
+		// kill during the append loses only state nobody else has seen, so
+		// clean-crash recovery can never equivocate.
+		var buf []network.Message
+		w.inner.Deliver(m, func(out network.Message) { buf = append(buf, out) })
+		if err := w.store.appendMsg(m); err != nil {
+			w.storageFailure(err)
+			w.inj.log(EvLost, w.ID(), m)
+			return
+		}
+		w.release(buf, send)
+		return
+	}
 	w.inner.Deliver(m, send)
 	w.persist()
 }
 
 func (w *wrapProc) OnTick(step int, send network.Sender) {
+	w.inj.observeStep(step)
 	if w.observeDown() {
 		return
 	}
-	w.revive(send)
-	if t, ok := w.inner.(network.Ticker); ok {
-		t.OnTick(step, send)
+	if !w.revive(send) {
+		return
+	}
+	t, ok := w.inner.(network.Ticker)
+	if !ok {
+		return
+	}
+	if w.store != nil {
+		// Retransmissions re-send already-persisted outbox state; no new
+		// persistence is needed, but the equivocation oracle still taps them.
+		t.OnTick(step, func(m network.Message) {
+			w.inj.recordRelease(w.ID(), m)
+			send(m)
+		})
+		return
+	}
+	t.OnTick(step, send)
+}
+
+// release lets buffered handler output onto the wire, tapping the
+// equivocation oracle on the way.
+func (w *wrapProc) release(buf []network.Message, send network.Sender) {
+	for _, m := range buf {
+		w.inj.recordRelease(w.ID(), m)
+		send(m)
+	}
+}
+
+// storageFailure handles an error from the durable path: a kill point means
+// the replica is down (the injector already knows); anything else means the
+// log itself failed and the replica is retired.
+func (w *wrapProc) storageFailure(err error) {
+	w.down = true
+	w.store.dirty = true
+	if !errors.Is(err, ErrKilled) {
+		w.inj.quarantineProc(w.ID(), err.Error())
 	}
 }
 
@@ -480,27 +698,74 @@ func (w *wrapProc) observeDown() bool {
 	return true
 }
 
-// revive performs the reboot on the first event after a crash window: the
-// in-memory state is replaced by the persisted snapshot (memory loss), and a
-// process that crashed before its Start finally starts.
-func (w *wrapProc) revive(send network.Sender) {
+// revive performs the reboot on the first event after a crash window and
+// reports whether the replica is up. Durable replicas rebuild state from
+// disk — base snapshot plus re-delivery of the logged suffix — and an
+// unrecoverable log quarantines instead of reviving. A process that crashed
+// before its Start finally starts.
+func (w *wrapProc) revive(send network.Sender) bool {
 	if w.down {
-		w.down = false
-		w.inj.log(EvRecover, w.ID(), network.Message{})
-		if w.rec != nil && w.snap != nil {
-			w.rec.Restore(w.snap)
+		if w.store != nil {
+			if !w.restoreFromDisk() {
+				return false
+			}
+			w.down = false
+			w.inj.log(EvRecover, w.ID(), network.Message{})
+		} else {
+			w.down = false
+			w.inj.log(EvRecover, w.ID(), network.Message{})
+			if w.rec != nil && w.snap != nil {
+				w.rec.Restore(w.snap)
+			}
 		}
 	}
 	if !w.started {
-		w.started = true
-		w.inner.Start(send)
-		w.persist()
+		if w.store != nil {
+			w.startDurable(send)
+		} else {
+			w.started = true
+			w.inner.Start(send)
+			w.persist()
+		}
 	}
+	return !w.down
+}
+
+// restoreFromDisk is crash-consistent recovery: reopen the WAL (torn tails
+// truncate, checksum failures quarantine), Restore the base snapshot, and
+// re-Deliver the logged messages with a no-op sender — their sends already
+// left pre-crash, and the rebuilt outbox retransmits on its own clock.
+func (w *wrapProc) restoreFromDisk() bool {
+	ds, err := w.store.recoverDisk()
+	if err != nil {
+		w.inj.quarantineProc(w.ID(), err.Error())
+		return false
+	}
+	w.inj.SilentCorruptions = append(w.inj.SilentCorruptions, w.store.takeSilent()...)
+	if ds.fresh {
+		if w.started {
+			// Durable state gone after messages were released: rejoining
+			// from scratch could equivocate, so retire the replica (the
+			// ledger layer catches it up by state transfer instead).
+			w.inj.quarantineProc(w.ID(), fmt.Sprintf("p%d: wal empty after start (total disk loss)", w.ID()))
+			return false
+		}
+		return true // never started: the Start path below boots it fresh
+	}
+	w.rec.Restore(ds.snap)
+	nop := func(network.Message) {}
+	for _, m := range ds.msgs {
+		w.inner.Deliver(m, nop)
+	}
+	w.store.dirty = false
+	w.inj.log(EvReplay, w.ID(), network.Message{})
+	return true
 }
 
 // persist is the synchronous stable write after every handler run — the
 // persistence regime under which a recovered replica can never equivocate
-// against its pre-crash messages (see dbft.Snapshot).
+// against its pre-crash messages (see dbft.Snapshot). Durable replicas
+// persist through their WAL instead (startDurable / Deliver).
 func (w *wrapProc) persist() {
 	if w.rec != nil {
 		w.snap = w.rec.Snapshot()

@@ -1,0 +1,426 @@
+package faults
+
+// This file is the storage half of the fault plane: the tentpole of the
+// durability work. Each durable replica owns a wal.Log on a private in-memory
+// filesystem, and a faultFS interposed between the log and that filesystem
+// realizes the four storage failure modes the recovery code must survive —
+// kill-at-write-point, torn tail, flipped byte, lying fsync. Every failure is
+// driven by the plan seed, so a torture run that trips an assertion replays
+// exactly from its scenario JSON.
+//
+// The safety argument the torture harness leans on is the persist-before-
+// release discipline implemented in wrapProc: a delivery's outgoing messages
+// are buffered, the delivered message is appended to the WAL, and only then
+// are the sends released. A crash during the append therefore loses only
+// state the rest of the system never saw, so a replica recovered from a clean
+// kill or torn tail is still a correct process and Agreement/Validity are
+// asserted over it. Faults that can erase *released* history — a lying fsync
+// or a bit flip that forces truncation — make the replica Byzantine-
+// equivalent (it may contradict its own pre-crash messages), so the torture
+// generator budgets those replicas against t exactly like Byzantine
+// processes, and detected-unrecoverable logs quarantine the replica (silent
+// forever, a crash-stop).
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/dbft"
+	"repro/internal/network"
+	"repro/internal/wal"
+)
+
+// Storage fault kinds.
+const (
+	// StoreKill crashes the replica during a record append; the frame tears
+	// at a seeded cut (possibly 0 or the whole frame).
+	StoreKill = "kill"
+	// StoreTorn is a kill with a guaranteed mid-frame tear, pinning the
+	// torn-tail truncation path.
+	StoreTorn = "torn"
+	// StoreFlip crashes the replica at an append and flips one durable byte
+	// while it is down — bit rot the checksums must catch.
+	StoreFlip = "flip"
+	// StoreNoSync makes fsync silently lie from this append on; a crash a few
+	// appends later reveals the lost suffix (amnesia).
+	StoreNoSync = "nosync"
+)
+
+// StorageFault schedules one storage failure on one replica's WAL.
+type StorageFault struct {
+	Proc network.ProcID `json:"proc"`
+	// Append is the 1-based ordinal of the record append that triggers the
+	// fault (counted over the replica's whole lifetime).
+	Append int    `json:"append"`
+	Kind   string `json:"kind"`
+	// Recover is how many steps the replica stays down after the crash;
+	// negative means it never restarts and counts against t like crash-stop.
+	Recover int `json:"recover"`
+	// KillAfter (nosync only) is how many further appends the lying fsync
+	// survives before the revealing crash; default 3.
+	KillAfter int `json:"kill_after,omitempty"`
+}
+
+// Risky reports whether the fault can erase released history (amnesia) or
+// remove the replica permanently — either way the replica must be budgeted
+// against t.
+func (f StorageFault) Risky() bool {
+	return f.Kind == StoreFlip || f.Kind == StoreNoSync || f.Recover < 0
+}
+
+// StorageKinds is the set of valid StorageFault kinds.
+var StorageKinds = map[string]bool{StoreKill: true, StoreTorn: true, StoreFlip: true, StoreNoSync: true}
+
+// ErrKilled is the error a write returns when a kill point fires: the
+// process is gone mid-append.
+var ErrKilled = errors.New("faults: storage kill point")
+
+// storageFor filters the plan's storage faults down to one replica, in plan
+// order.
+func (p Plan) storageFor(id network.ProcID) []StorageFault {
+	var out []StorageFault
+	for _, f := range p.Storage {
+		if f.Proc == id {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// faultFS implements wal.FS over a MemFS, firing the scheduled storage
+// faults at record-append write points. Only segment writes count as append
+// ordinals; snapshot writes pass through (their crash-safety is the WAL's own
+// compaction protocol, exercised separately).
+type faultFS struct {
+	mem    *wal.MemFS
+	rng    *rand.Rand
+	dir    string
+	faults []StorageFault
+	fired  []bool
+
+	appends       int
+	syncOff       bool
+	syncKillAt    int // append ordinal of the nosync-revealing crash (0 = none)
+	syncKillFault StorageFault
+
+	// flipped records every injected bit-flip offset per file (base name) —
+	// the oracle input for detecting silently accepted corruption.
+	flipped map[string][]int
+
+	// onCrash tells the injector the replica just died at a write point.
+	onCrash func(f StorageFault)
+}
+
+func (f *faultFS) isSeg(name string) bool {
+	return strings.HasPrefix(filepath.Base(name), "seg-")
+}
+
+// crash models the machine dying now: unsynced page cache is dropped and the
+// lying-fsync state resets (a rebooted kernel syncs honestly again).
+func (f *faultFS) crash(fault StorageFault) {
+	f.mem.Crash(nil)
+	f.syncOff = false
+	f.syncKillAt = 0
+	if f.onCrash != nil {
+		f.onCrash(fault)
+	}
+}
+
+// flip corrupts one seeded durable byte in one seeded file of the log dir.
+func (f *faultFS) flip() {
+	var names []string
+	for _, n := range f.mem.Names() {
+		if strings.HasPrefix(n, f.dir+string(filepath.Separator)) && f.mem.Size(n) > 0 {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	name := names[f.rng.Intn(len(names))]
+	off := f.rng.Intn(f.mem.Size(name))
+	if f.mem.CorruptByte(name, off, 0) {
+		base := filepath.Base(name)
+		f.flipped[base] = append(f.flipped[base], off)
+	}
+}
+
+// take returns the unfired fault scheduled for the current append ordinal.
+func (f *faultFS) take() *StorageFault {
+	for i := range f.faults {
+		if !f.fired[i] && f.faults[i].Append == f.appends {
+			f.fired[i] = true
+			return &f.faults[i]
+		}
+	}
+	return nil
+}
+
+// OpenAppend implements wal.FS.
+func (f *faultFS) OpenAppend(name string) (wal.File, error) {
+	h, err := f.mem.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultHandle{fs: f, name: name, inner: h}, nil
+}
+
+// ReadFile implements wal.FS.
+func (f *faultFS) ReadFile(name string) ([]byte, error) { return f.mem.ReadFile(name) }
+
+// ReadDir implements wal.FS.
+func (f *faultFS) ReadDir(dir string) ([]string, error) { return f.mem.ReadDir(dir) }
+
+// Remove implements wal.FS.
+func (f *faultFS) Remove(name string) error { return f.mem.Remove(name) }
+
+// MkdirAll implements wal.FS.
+func (f *faultFS) MkdirAll(dir string) error { return f.mem.MkdirAll(dir) }
+
+type faultHandle struct {
+	fs    *faultFS
+	name  string
+	inner wal.File
+}
+
+func (h *faultHandle) Write(p []byte) (int, error) {
+	fs := h.fs
+	if !fs.isSeg(h.name) {
+		return h.inner.Write(p)
+	}
+	fs.appends++
+	if fs.syncKillAt != 0 && fs.appends >= fs.syncKillAt {
+		// The nosync-revealing crash: this write and every unsynced byte
+		// before it evaporate.
+		h.inner.Write(p)
+		fs.crash(fs.syncKillFault)
+		return 0, ErrKilled
+	}
+	fault := fs.take()
+	if fault == nil {
+		return h.inner.Write(p)
+	}
+	switch fault.Kind {
+	case StoreKill, StoreTorn:
+		lo, hi := 0, len(p)
+		if fault.Kind == StoreTorn && len(p) >= 2 {
+			lo, hi = 1, len(p)-1 // guaranteed mid-frame tear
+		}
+		cut := lo
+		if hi > lo {
+			cut = lo + fs.rng.Intn(hi-lo+1)
+		}
+		h.inner.Write(p[:cut])
+		// The torn prefix reached the platter before the power died.
+		fs.mem.ForceSync(h.name)
+		fs.crash(*fault)
+		return 0, ErrKilled
+	case StoreNoSync:
+		fs.syncOff = true
+		ka := fault.KillAfter
+		if ka <= 0 {
+			ka = 3
+		}
+		fs.syncKillAt = fs.appends + ka
+		fs.syncKillFault = *fault
+		return h.inner.Write(p)
+	case StoreFlip:
+		if _, err := h.inner.Write(p); err != nil {
+			return 0, err
+		}
+		h.inner.Sync()
+		fs.crash(*fault)
+		fs.flip()
+		return 0, ErrKilled
+	}
+	return h.inner.Write(p)
+}
+
+func (h *faultHandle) Sync() error {
+	if h.fs.syncOff {
+		return nil // the lying fsync: reports success, persists nothing
+	}
+	return h.inner.Sync()
+}
+
+func (h *faultHandle) Close() error { return h.inner.Close() }
+
+// walSegBytes keeps torture-run segments small so rotation and multi-segment
+// recovery are exercised constantly, not only at scale.
+const walSegBytes = 1024
+
+// walCompactEvery is the snapshot+truncate cadence in records.
+const walCompactEvery = 8
+
+// replicaStore is one replica's durable state: a wal.Log of delivered
+// messages over a base snapshot, on a fault-injected in-memory filesystem.
+// Recovery = Restore(base snapshot) + re-Deliver of the logged suffix.
+type replicaStore struct {
+	id  network.ProcID
+	cfg dbft.Config
+	all []network.ProcID
+	fs  *faultFS
+	dir string
+
+	log          *wal.Log
+	rec          snapshotter
+	sinceCompact int
+
+	// dirty means the replica's in-memory state has diverged from disk (a
+	// kill interrupted a persist and no recovery has run since).
+	dirty bool
+	// silent accumulates flip-oracle hits: corrupted frames recovery trusted.
+	silent []string
+}
+
+func newReplicaStore(id network.ProcID, cfg dbft.Config, all []network.ProcID, faults []StorageFault, seed int64) *replicaStore {
+	dir := "wal"
+	return &replicaStore{
+		id:  id,
+		cfg: cfg,
+		all: all,
+		dir: dir,
+		fs: &faultFS{
+			mem:     wal.NewMemFS(),
+			rng:     rand.New(rand.NewSource(seed)),
+			dir:     dir,
+			faults:  faults,
+			fired:   make([]bool, len(faults)),
+			flipped: map[string][]int{},
+		},
+	}
+}
+
+func (s *replicaStore) open() (*wal.Recovery, error) {
+	if s.log != nil {
+		s.log.Close()
+		s.log = nil
+	}
+	l, rec, err := wal.Open(wal.Options{FS: s.fs, Dir: s.dir, SegmentBytes: walSegBytes, Sync: wal.SyncEachAppend})
+	if err != nil {
+		return nil, err
+	}
+	s.log = l
+	s.sinceCompact = 0
+	return rec, nil
+}
+
+// begin opens the log and persists the post-Start state as the base
+// snapshot — before any of Start's sends are released.
+func (s *replicaStore) begin() error {
+	if _, err := s.open(); err != nil {
+		return err
+	}
+	return s.log.SaveSnapshot(dbft.EncodeSnapshot(s.rec.Snapshot()))
+}
+
+// appendMsg persists one delivered message, compacting on cadence. An
+// ErrKilled return means the replica died at the write point (the injector
+// has already been told); any other error is unrecoverable.
+func (s *replicaStore) appendMsg(m network.Message) error {
+	if err := s.log.Append(dbft.EncodeMessage(m)); err != nil {
+		return err
+	}
+	s.sinceCompact++
+	if s.sinceCompact >= walCompactEvery {
+		if err := s.log.SaveSnapshot(dbft.EncodeSnapshot(s.rec.Snapshot())); err != nil {
+			return err
+		}
+		s.sinceCompact = 0
+	}
+	return nil
+}
+
+// diskState is what recovery reconstructed: a decoded base snapshot plus the
+// message suffix to re-deliver, or fresh (nothing durable at all).
+type diskState struct {
+	snap  *dbft.Snapshot
+	msgs  []network.Message
+	fresh bool
+}
+
+// recoverDisk reopens the log and decodes the durable state. Errors wrap
+// corruption the checksums caught — the caller quarantines.
+func (s *replicaStore) recoverDisk() (*diskState, error) {
+	rec, err := s.open()
+	if err != nil {
+		return nil, err
+	}
+	s.checkSilent(rec)
+	if rec.Snapshot == nil && len(rec.Records) == 0 {
+		return &diskState{fresh: true}, nil
+	}
+	if rec.Snapshot == nil {
+		return nil, fmt.Errorf("faults: p%d: wal has records but no base snapshot", s.id)
+	}
+	return decodeDiskState(rec)
+}
+
+func decodeDiskState(rec *wal.Recovery) (*diskState, error) {
+	snap, err := dbft.DecodeSnapshot(rec.Snapshot)
+	if err != nil {
+		return nil, err
+	}
+	ds := &diskState{snap: snap, msgs: make([]network.Message, 0, len(rec.Records))}
+	for _, r := range rec.Records {
+		m, err := dbft.DecodeMessage(r)
+		if err != nil {
+			return nil, err
+		}
+		ds.msgs = append(ds.msgs, m)
+	}
+	return ds, nil
+}
+
+// checkSilent is the flip oracle: an injected flip offset inside a byte
+// range recovery accepted means a checksum was silently bypassed.
+func (s *replicaStore) checkSilent(rec *wal.Recovery) {
+	for name, offs := range s.fs.flipped {
+		for _, off := range offs {
+			for _, r := range rec.Accepted[name] {
+				if off >= r[0] && off < r[1] {
+					s.silent = append(s.silent,
+						fmt.Sprintf("p%d: flipped byte %s+%d inside accepted frame [%d,%d)", s.id, name, off, r[0], r[1]))
+				}
+			}
+		}
+	}
+}
+
+func (s *replicaStore) takeSilent() []string {
+	out := s.silent
+	s.silent = nil
+	return out
+}
+
+// replayFingerprint rebuilds the replica's state from nothing but the
+// durable log — a fresh process, the base snapshot, the record suffix — and
+// returns its canonical encoding. For a clean replica this must equal the
+// live state's encoding byte for byte.
+func (s *replicaStore) replayFingerprint() ([]byte, error) {
+	l, rec, err := wal.Open(wal.Options{FS: s.fs, Dir: s.dir, SegmentBytes: walSegBytes, Sync: wal.SyncEachAppend})
+	if err != nil {
+		return nil, err
+	}
+	l.Close()
+	if rec.Snapshot == nil {
+		return nil, fmt.Errorf("faults: p%d: replay: no base snapshot", s.id)
+	}
+	ds, err := decodeDiskState(rec)
+	if err != nil {
+		return nil, err
+	}
+	p, err := dbft.NewProcess(s.id, 0, s.cfg, s.all)
+	if err != nil {
+		return nil, err
+	}
+	p.Restore(ds.snap)
+	nop := func(network.Message) {}
+	for _, m := range ds.msgs {
+		p.Deliver(m, nop)
+	}
+	return dbft.EncodeSnapshot(p.Snapshot()), nil
+}

@@ -340,7 +340,7 @@ func (enc *encoding) solve() (smt.Status, *Counterexample, error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	limits := smt.ClauseLimits{MaxSplits: enc.e.opts.MaxSplits}
+	limits := smt.ClauseLimits{MaxSplits: enc.e.opts.MaxSplits, Stop: enc.e.opts.Stop}
 	if enc.e.opts.Timeout > 0 {
 		limits.Deadline = enc.deadline
 	}

@@ -69,6 +69,12 @@ type Options struct {
 	MaxSplits int
 	// Timeout bounds one Check call (0 = no timeout).
 	Timeout time.Duration
+	// Stop, when set, is polled inside the schema enumeration and the SMT
+	// case-splitting search; a true return aborts the check with a Budget
+	// outcome. This is the cooperative-interrupt hook: a signal handler
+	// flips a flag, the engine winds down at the next poll and partial
+	// results survive.
+	Stop func() bool
 	// ExtraPasses adds safety-margin passes to staged schemas (default 1).
 	ExtraPasses int
 }

@@ -94,6 +94,10 @@ func (w *fullWalk) walk(ctx []int, unlocked map[int]bool) error {
 		w.timedOut = true
 		return nil
 	}
+	if w.e.opts.Stop != nil && w.e.opts.Stop() {
+		w.timedOut = true // interrupted: same Budget outcome as a timeout
+		return nil
+	}
 
 	st, ce, slots, stats, err := w.e.solveSchema(w.an, ctx)
 	if err != nil {

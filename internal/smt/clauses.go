@@ -41,6 +41,10 @@ type ClauseLimits struct {
 	MaxBBNodes int
 	// Deadline, when nonzero, aborts the search with Unknown once passed.
 	Deadline time.Time
+	// Stop, when set, is polled at every split; a true return aborts the
+	// search with Unknown (the cooperative-interrupt hook signal handlers
+	// use to stop a long check cleanly).
+	Stop func() bool
 }
 
 func (l ClauseLimits) withDefaults() ClauseLimits {
@@ -78,6 +82,9 @@ func (s *Solver) checkClausesRec(clauses []Clause, limits ClauseLimits, splits *
 		return Unknown, nil, nil
 	}
 	if !limits.Deadline.IsZero() && time.Now().After(limits.Deadline) {
+		return Unknown, nil, nil
+	}
+	if limits.Stop != nil && limits.Stop() {
 		return Unknown, nil, nil
 	}
 	*splits++

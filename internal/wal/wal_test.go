@@ -1,0 +1,506 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func openMem(t *testing.T, fs *MemFS, o Options) (*Log, *Recovery) {
+	t.Helper()
+	o.FS = fs
+	if o.Dir == "" {
+		o.Dir = "p0"
+	}
+	l, rec, err := Open(o)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, rec
+}
+
+func appendAll(t *testing.T, l *Log, recs ...string) {
+	t.Helper()
+	for _, r := range recs {
+		if err := l.Append([]byte(r)); err != nil {
+			t.Fatalf("Append(%q): %v", r, err)
+		}
+	}
+}
+
+func payloads(recs [][]byte) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = string(r)
+	}
+	return out
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	l, rec := openMem(t, fs, Options{})
+	if rec.NextIndex != 1 || rec.Snapshot != nil || len(rec.Records) != 0 {
+		t.Fatalf("fresh log recovery = %+v", rec)
+	}
+	appendAll(t, l, "a", "b", "c")
+	l.Close()
+
+	_, rec2 := openMem(t, fs, Options{})
+	if got := payloads(rec2.Records); len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("recovered %v", got)
+	}
+	if rec2.NextIndex != 4 || rec2.TornBytes != 0 {
+		t.Fatalf("recovery = %+v", rec2)
+	}
+}
+
+func TestSegmentRotationAndContinuity(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, Options{SegmentBytes: 32})
+	var want []string
+	for i := 0; i < 20; i++ {
+		r := fmt.Sprintf("record-%02d", i)
+		want = append(want, r)
+		appendAll(t, l, r)
+	}
+	if n := len(fs.Names()); n < 3 {
+		t.Fatalf("expected multiple segments, got files %v", fs.Names())
+	}
+	_, rec := openMem(t, fs, Options{SegmentBytes: 32})
+	got := payloads(rec.Records)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d of %d records", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSnapshotCompaction(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, Options{SegmentBytes: 32})
+	appendAll(t, l, "a", "b", "c", "d")
+	if err := l.SaveSnapshot([]byte("state@4")); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	appendAll(t, l, "e", "f")
+
+	_, rec := openMem(t, fs, Options{SegmentBytes: 32})
+	if string(rec.Snapshot) != "state@4" || rec.SnapshotIndex != 4 {
+		t.Fatalf("snapshot = %q @%d", rec.Snapshot, rec.SnapshotIndex)
+	}
+	if got := payloads(rec.Records); len(got) != 2 || got[0] != "e" || got[1] != "f" {
+		t.Fatalf("post-snapshot records %v", got)
+	}
+	if rec.NextIndex != 7 {
+		t.Fatalf("NextIndex = %d, want 7", rec.NextIndex)
+	}
+	// Compaction actually removed the pre-snapshot segments.
+	for _, name := range fs.Names() {
+		if kind, idx, ok := parseName(name[len("p0/"):]); ok && kind == "seg" && idx < 5 {
+			t.Fatalf("segment %s survived compaction", name)
+		}
+	}
+}
+
+func TestSecondSnapshotReplacesFirst(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, Options{})
+	appendAll(t, l, "a", "b")
+	if err := l.SaveSnapshot([]byte("s1")); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "c")
+	if err := l.SaveSnapshot([]byte("s2")); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openMem(t, fs, Options{})
+	if string(rec.Snapshot) != "s2" || rec.SnapshotIndex != 3 || len(rec.Records) != 0 {
+		t.Fatalf("recovery = snapshot %q @%d + %d records", rec.Snapshot, rec.SnapshotIndex, len(rec.Records))
+	}
+	if n := len(fs.Names()); n != 1 {
+		t.Fatalf("expected only the newest snapshot on disk, got %v", fs.Names())
+	}
+}
+
+// TestTornTailTruncated: a crash mid-append leaves a partial frame at the
+// durable tail; recovery truncates exactly that record and keeps the rest.
+func TestTornTailTruncated(t *testing.T) {
+	full := frame([]byte("cccc"))
+	for cut := 1; cut < len(full); cut++ {
+		fs := NewMemFS()
+		l, _ := openMem(t, fs, Options{})
+		appendAll(t, l, "aaaa", "bbbb")
+		l.Close()
+		// A crash mid-append left `cut` bytes of record 3 on disk.
+		f := fs.file("p0/" + fs.namesIn(t, "p0")[0])
+		f.data = append(f.data, full[:cut]...)
+		f.synced = len(f.data)
+
+		_, rec, err := Open(Options{FS: fs, Dir: "p0"})
+		if err != nil {
+			t.Fatalf("cut=%d: Open: %v", cut, err)
+		}
+		if got := payloads(rec.Records); len(got) != 2 || got[0] != "aaaa" || got[1] != "bbbb" {
+			t.Fatalf("cut=%d: recovered %v", cut, got)
+		}
+		if rec.TornBytes != cut {
+			t.Fatalf("cut=%d: TornBytes = %d", cut, rec.TornBytes)
+		}
+		if rec.NextIndex != 3 {
+			t.Fatalf("cut=%d: NextIndex = %d", cut, rec.NextIndex)
+		}
+	}
+}
+
+// namesIn lists the file names under dir (test helper on MemFS).
+func (m *MemFS) namesIn(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := m.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+// TestAppendAfterTornTailStaysRecoverable: recovery after a torn tail starts
+// a fresh segment; a later recovery must accept the torn old segment plus
+// the continuation by index continuity.
+func TestAppendAfterTornTailStaysRecoverable(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, Options{})
+	appendAll(t, l, "aaaa", "bbbb")
+	seg := "p0/" + fs.namesIn(t, "p0")[0]
+	f := fs.file(seg)
+	f.data = append(f.data, frame([]byte("cccc"))[:5]...) // torn record 3
+	f.synced = len(f.data)
+
+	l2, rec, err := Open(Options{FS: fs, Dir: "p0"})
+	if err != nil {
+		t.Fatalf("first recovery: %v", err)
+	}
+	if rec.NextIndex != 3 {
+		t.Fatalf("NextIndex = %d", rec.NextIndex)
+	}
+	if err := l2.Append([]byte("c2")); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+
+	_, rec2, err := Open(Options{FS: fs, Dir: "p0"})
+	if err != nil {
+		t.Fatalf("second recovery: %v", err)
+	}
+	if got := payloads(rec2.Records); len(got) != 3 || got[2] != "c2" {
+		t.Fatalf("recovered %v", got)
+	}
+}
+
+// TestTornFirstFrameSegmentIsReplaced: when the tear eats the very first
+// frame of a segment, recovery accepts zero records from it and the next
+// append reuses the same segment index. The rotate path must replace the
+// torn file rather than append after the garbage.
+func TestTornFirstFrameSegmentIsReplaced(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, Options{})
+	appendAll(t, l, "aaaa", "bbbb")
+	// Simulate a crash that tore record 3 at the start of a fresh segment:
+	// an artifact file at seg index 3 holding half a frame.
+	torn := "p0/" + segBase(3)
+	f := fs.file(torn)
+	f.data = frame([]byte("cccc"))[:5]
+	f.synced = len(f.data)
+
+	l2, rec, err := Open(Options{FS: fs, Dir: "p0", SegmentBytes: 16})
+	if err != nil {
+		t.Fatalf("first recovery: %v", err)
+	}
+	if rec.NextIndex != 3 {
+		t.Fatalf("NextIndex = %d", rec.NextIndex)
+	}
+	// SegmentBytes 16 forces rotation onto the torn file's index.
+	appendAll(t, l2, "c2", "d2")
+	// Compaction after the replacement: the replaced segment must be tracked
+	// exactly once, or the second Remove of its name breaks the log.
+	if err := l2.SaveSnapshot([]byte("snap")); err != nil {
+		t.Fatalf("SaveSnapshot after torn-segment replacement: %v", err)
+	}
+	appendAll(t, l2, "e2")
+	l2.Close()
+
+	_, rec2, err := Open(Options{FS: fs, Dir: "p0", SegmentBytes: 16})
+	if err != nil {
+		t.Fatalf("second recovery: %v", err)
+	}
+	if string(rec2.Snapshot) != "snap" || rec2.SnapshotIndex != 4 {
+		t.Fatalf("snapshot = %q at %d", rec2.Snapshot, rec2.SnapshotIndex)
+	}
+	if got := payloads(rec2.Records); len(got) != 1 || got[0] != "e2" {
+		t.Fatalf("recovered %v", got)
+	}
+}
+
+// segBase mirrors segName's base for test fixtures.
+func segBase(first int) string {
+	return fmt.Sprintf("seg-%016d.wseg", first)
+}
+
+// TestFlippedByteDetected: every single-byte flip in the durable image must
+// be detected — recovery either reports corruption or truncates the tail; it
+// never accepts a frame containing the flipped byte.
+func TestFlippedByteDetected(t *testing.T) {
+	base := NewMemFS()
+	l, _ := openMem(t, base, Options{})
+	appendAll(t, l, "aaaa", "bbbb", "cccc")
+	seg := "p0/" + base.namesIn(t, "p0")[0]
+	size := len(base.file(seg).data)
+
+	for off := 0; off < size; off++ {
+		fs := NewMemFS()
+		src := base.file(seg)
+		dst := fs.file(seg)
+		dst.data = append([]byte(nil), src.data...)
+		dst.synced = len(dst.data)
+		if !fs.CorruptByte(seg, off, 0x40) {
+			t.Fatalf("offset %d missing", off)
+		}
+		_, rec, err := Open(Options{FS: fs, Dir: "p0"})
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("off=%d: unexpected error class: %v", off, err)
+			}
+			continue // detected as corruption: quarantine
+		}
+		// Recovery succeeded: the flip must be outside every accepted range.
+		for _, r := range rec.Accepted[seg] {
+			if off >= r[0] && off < r[1] {
+				t.Fatalf("off=%d: flip inside accepted range %v — silent acceptance", off, r)
+			}
+		}
+	}
+}
+
+// TestMissingMiddleSegmentIsCorrupt: losing a whole middle segment is a gap,
+// never a torn tail.
+func TestMissingMiddleSegmentIsCorrupt(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, Options{SegmentBytes: 24})
+	for i := 0; i < 12; i++ {
+		appendAll(t, l, fmt.Sprintf("record-%02d", i))
+	}
+	names := fs.namesIn(t, "p0")
+	if len(names) < 3 {
+		t.Fatalf("want ≥3 segments, got %v", names)
+	}
+	if err := fs.Remove("p0/" + names[1]); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Open(Options{FS: fs, Dir: "p0"})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("missing middle segment: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestUnsyncedTailLostOnCrash: with SyncNever the whole unsynced suffix
+// vanishes at a crash — the amnesia regime — but the log stays structurally
+// recoverable (shorter, not corrupt).
+func TestUnsyncedTailLostOnCrash(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, Options{Sync: SyncNever})
+	appendAll(t, l, "a", "b")
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "c", "d")
+	fs.Crash(nil)
+
+	_, rec, err := Open(Options{FS: fs, Dir: "p0"})
+	if err != nil {
+		t.Fatalf("Open after crash: %v", err)
+	}
+	if got := payloads(rec.Records); len(got) != 2 || got[1] != "b" {
+		t.Fatalf("recovered %v, want the synced prefix only", got)
+	}
+}
+
+// TestCrashDuringCompactionRecovers: SaveSnapshot syncs the snapshot before
+// removing segments, so a crash at any intermediate point leaves a
+// recoverable log.
+func TestCrashDuringCompactionRecovers(t *testing.T) {
+	// Crash after the snapshot is durable but before segments are removed:
+	// both exist; recovery prefers the snapshot and skips covered segments.
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, Options{})
+	appendAll(t, l, "a", "b")
+	if err := l.SaveSnapshot([]byte("s1")); err != nil {
+		t.Fatal(err)
+	}
+	// Resurrect a stale covered segment alongside the snapshot.
+	stale := fs.file(segName("p0", 1))
+	stale.data = append(stale.data, frame([]byte("a"))...)
+	stale.data = append(stale.data, frame([]byte("b"))...)
+	stale.synced = len(stale.data)
+
+	_, rec, err := Open(Options{FS: fs, Dir: "p0"})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if string(rec.Snapshot) != "s1" || len(rec.Records) != 0 || rec.NextIndex != 3 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+
+	// Crash mid-snapshot-write (torn snapshot): fall back to the records.
+	fs2 := NewMemFS()
+	l2, _ := openMem(t, fs2, Options{})
+	appendAll(t, l2, "a", "b")
+	snap := fs2.file(snapName("p0", 2))
+	snap.data = frame([]byte("s1"))[:5]
+	snap.synced = len(snap.data)
+	_, rec2, err := Open(Options{FS: fs2, Dir: "p0"})
+	if err != nil {
+		t.Fatalf("Open with torn snapshot: %v", err)
+	}
+	if rec2.Snapshot != nil || len(rec2.Records) != 2 {
+		t.Fatalf("torn snapshot recovery = %+v", rec2)
+	}
+}
+
+// TestCorruptSnapshotQuarantines: a complete snapshot frame with a bad
+// checksum is rot, not a crash artifact.
+func TestCorruptSnapshotQuarantines(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, Options{})
+	appendAll(t, l, "a", "b")
+	if err := l.SaveSnapshot([]byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	name := snapName("p0", 2)
+	if !fs.CorruptByte(name, frameHeader+1, 0x01) {
+		t.Fatal("corrupt failed")
+	}
+	_, _, err := Open(Options{FS: fs, Dir: "p0"})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt snapshot: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestRandomizedCrashRecoveryNeverCorrupts: a seeded generative torture of
+// the log alone — random appends, snapshots, reopens and clean crashes (all
+// synced appends) must always recover exactly the acked record suffix.
+func TestRandomizedCrashRecoveryNeverCorrupts(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		fs := NewMemFS()
+		var acked []string // all records ever acked, 1-based
+		snapAt := 0        // records covered by the durable snapshot
+
+		l, _ := openMem(t, fs, Options{SegmentBytes: 64})
+		for op := 0; op < 60; op++ {
+			switch rng.Intn(5) {
+			case 0, 1, 2:
+				recd := fmt.Sprintf("s%d-r%d-%d", seed, op, rng.Intn(1000))
+				if err := l.Append([]byte(recd)); err != nil {
+					t.Fatalf("seed %d: append: %v", seed, err)
+				}
+				acked = append(acked, recd)
+			case 3:
+				if err := l.SaveSnapshot([]byte(fmt.Sprintf("snap@%d", len(acked)))); err != nil {
+					t.Fatalf("seed %d: snapshot: %v", seed, err)
+				}
+				snapAt = len(acked)
+			case 4:
+				fs.Crash(nil) // clean crash: synced appends survive
+				var rec *Recovery
+				l, rec = openMem(t, fs, Options{SegmentBytes: 64})
+				if rec.SnapshotIndex != snapAt {
+					t.Fatalf("seed %d: snapshot index %d, want %d", seed, rec.SnapshotIndex, snapAt)
+				}
+				got := payloads(rec.Records)
+				want := acked[snapAt:]
+				if len(got) != len(want) {
+					t.Fatalf("seed %d: recovered %d records, want %d", seed, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d: record %d = %q, want %q", seed, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBrokenLogRefusesFurtherWrites(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, Options{})
+	appendAll(t, l, "a")
+	l.broken = errors.New("simulated device failure")
+	if err := l.Append([]byte("b")); err == nil {
+		t.Fatal("append after failure succeeded")
+	}
+	if err := l.SaveSnapshot([]byte("s")); err == nil {
+		t.Fatal("snapshot after failure succeeded")
+	}
+}
+
+func TestOSFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "x", "y")
+	if err := l.SaveSnapshot([]byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "z")
+	l.Close()
+	_, rec, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec.Snapshot) != "s" || len(rec.Records) != 1 || string(rec.Records[0]) != "z" {
+		t.Fatalf("osfs recovery = %+v", rec)
+	}
+}
+
+// BenchmarkWALAppend tracks the fsync-path cost per record (MemFS isolates
+// the log's own overhead; see BenchmarkWALAppendDisk for the real-disk
+// number).
+func BenchmarkWALAppend(b *testing.B) {
+	l, _, err := Open(Options{FS: NewMemFS(), Dir: "p0", SegmentBytes: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := bytes.Repeat([]byte("x"), 128)
+	b.SetBytes(int64(len(rec) + frameHeader))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALAppendDisk measures the true fsync-per-append discipline on
+// the real filesystem.
+func BenchmarkWALAppendDisk(b *testing.B) {
+	l, _, err := Open(Options{Dir: b.TempDir(), SegmentBytes: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := bytes.Repeat([]byte("x"), 128)
+	b.SetBytes(int64(len(rec) + frameHeader))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	l.Close()
+}

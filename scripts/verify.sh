@@ -1,7 +1,8 @@
 #!/bin/sh
 # verify.sh — the tier-1+ gate: everything tier-1 runs (build + tests) plus
-# vet, the race detector, and a fixed-seed chaos smoke. Deterministic and
-# offline; the race-instrumented suite dominates (a few minutes).
+# vet, the race detector, fixed-seed chaos and storage-torture smokes, and
+# the WAL fsync-path benchmark. Deterministic and offline; the
+# race-instrumented suite dominates (a few minutes).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,10 +13,19 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
+echo "==> go test -race ./internal/wal"
+go test -race ./internal/wal
+
 echo "==> go test -race ./..."
 go test -race ./...
 
 echo "==> chaos smoke (fixed seed, 25 runs)"
 go run ./cmd/dbftsim -chaos -chaos-seeds 25 -seed 1 -n 4 -t 1
+
+echo "==> storage torture smoke (fixed seed, 10 runs)"
+go run ./cmd/dbftsim -torture -torture-seeds 10 -seed 1 -n 4 -t 1
+
+echo "==> WAL append benchmark (fsync-path cost)"
+go test -run '^$' -bench BenchmarkWALAppend -benchmem ./internal/wal
 
 echo "verify: OK"
