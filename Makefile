@@ -13,3 +13,9 @@ verify:
 .PHONY: bench
 bench:
 	go test -bench=. -benchmem ./...
+
+# Table 2 wall-clock at 1 worker vs all CPUs, with the cross-check that both
+# runs produced identical verdicts and schema counts. Writes BENCH_schema.json.
+.PHONY: bench-baseline
+bench-baseline:
+	go run ./cmd/holistic bench -out BENCH_schema.json

@@ -7,7 +7,9 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/blockchain"
@@ -25,6 +27,11 @@ import (
 
 func benchQuery(b *testing.B, a *ta.TA, queries []spec.Query, name string, mode schema.Mode) {
 	b.Helper()
+	benchQueryWorkers(b, a, queries, name, mode, 1)
+}
+
+func benchQueryWorkers(b *testing.B, a *ta.TA, queries []spec.Query, name string, mode schema.Mode, workers int) {
+	b.Helper()
 	var q *spec.Query
 	for i := range queries {
 		if queries[i].Name == name {
@@ -34,7 +41,7 @@ func benchQuery(b *testing.B, a *ta.TA, queries []spec.Query, name string, mode 
 	if q == nil {
 		b.Fatalf("no query %s", name)
 	}
-	engine, err := schema.New(a, schema.Options{Mode: mode})
+	engine, err := schema.New(a, schema.Options{Mode: mode, Workers: workers})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -51,7 +58,10 @@ func benchQuery(b *testing.B, a *ta.TA, queries []spec.Query, name string, mode 
 }
 
 // BenchmarkTable2BV reproduces the bv-broadcast block of Table 2 (full
-// schema enumeration, the mode whose schema counts the paper reports).
+// schema enumeration, the mode whose schema counts the paper reports), at
+// one worker and at NumCPU workers — the Table 2 wall-clock comparison of
+// the parallel enumeration. Results are identical at both counts; only the
+// wall clock moves.
 func BenchmarkTable2BV(b *testing.B) {
 	a := models.BVBroadcast()
 	queries, err := models.BVQueries(a)
@@ -59,9 +69,11 @@ func BenchmarkTable2BV(b *testing.B) {
 		b.Fatal(err)
 	}
 	for _, name := range []string{"BV-Just0", "BV-Obl0", "BV-Unif0", "BV-Term"} {
-		b.Run(name, func(b *testing.B) {
-			benchQuery(b, a, queries, name, schema.FullEnumeration)
-		})
+		for _, workers := range []int{1, runtime.NumCPU()} {
+			b.Run(fmt.Sprintf("%s/j%d", name, workers), func(b *testing.B) {
+				benchQueryWorkers(b, a, queries, name, schema.FullEnumeration, workers)
+			})
+		}
 	}
 }
 
@@ -89,28 +101,30 @@ func BenchmarkTable2NaiveExplosion(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	engine, err := schema.New(a, schema.Options{Mode: schema.FullEnumeration})
-	if err != nil {
-		b.Fatal(err)
-	}
-	for _, name := range []string{"Inv1_0", "Inv2_0", "SRoundTerm"} {
-		var q *spec.Query
-		for i := range queries {
-			if queries[i].Name == name {
-				q = &queries[i]
-			}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		engine, err := schema.New(a, schema.Options{Mode: schema.FullEnumeration, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
 		}
-		b.Run(name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				res, err := engine.Check(q)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if res.Outcome != spec.Budget {
-					b.Fatalf("%s: %v, want budget-exceeded", name, res.Outcome)
+		for _, name := range []string{"Inv1_0", "Inv2_0", "SRoundTerm"} {
+			var q *spec.Query
+			for i := range queries {
+				if queries[i].Name == name {
+					q = &queries[i]
 				}
 			}
-		})
+			b.Run(fmt.Sprintf("%s/j%d", name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := engine.Check(q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Outcome != spec.Budget {
+						b.Fatalf("%s: %v, want budget-exceeded", name, res.Outcome)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -82,6 +83,7 @@ func run(args []string) error {
 	tortureSeeds := fs.Int("torture-seeds", 200, "number of seeds in the -torture campaign")
 	tortureV := fs.Bool("torture-v", false, "print one line per -torture run")
 	plan := fs.String("plan", "", "replay one chaos scenario: inline JSON or @file")
+	workers := fs.Int("j", runtime.NumCPU(), "campaign worker count for -chaos and -torture (results are deterministic at any count)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,10 +95,10 @@ func run(args []string) error {
 		return runPlan(*plan)
 	}
 	if *chaos {
-		return runChaos(*chaosSeeds, *seed, *n, *t, *maxRounds, *maxSteps, *tick, *chaosV)
+		return runChaos(*chaosSeeds, *seed, *n, *t, *maxRounds, *maxSteps, *tick, *workers, *chaosV)
 	}
 	if *torture {
-		return runTorture(*tortureSeeds, *seed, *n, *t, *maxRounds, *tick, *tortureV)
+		return runTorture(*tortureSeeds, *seed, *n, *t, *maxRounds, *tick, *workers, *tortureV)
 	}
 
 	ins, err := parseInputs(*inputs)
@@ -199,7 +201,7 @@ func parseInputs(s string) ([]int, error) {
 // runChaos executes a randomized fault-injection campaign and exits non-zero
 // on any safety/termination violation, printing each violation's seed and
 // replayable scenario JSON.
-func runChaos(runs int, baseSeed int64, n, t, maxRounds, maxSteps, tick int, verbose bool) error {
+func runChaos(runs int, baseSeed int64, n, t, maxRounds, maxSteps, tick, workers int, verbose bool) error {
 	c := faults.Campaign{
 		Runs:     runs,
 		BaseSeed: baseSeed,
@@ -210,7 +212,8 @@ func runChaos(runs int, baseSeed int64, n, t, maxRounds, maxSteps, tick int, ver
 		MaxSteps:  maxSteps,
 		Tick:      tick,
 
-		Stop: watchInterrupt(),
+		Stop:    watchInterrupt(),
+		Workers: workers,
 	}
 	if verbose {
 		c.Verbose = func(format string, args ...any) {
@@ -234,7 +237,7 @@ func runChaos(runs int, baseSeed int64, n, t, maxRounds, maxSteps, tick int, ver
 // Agreement/Validity, post-recovery consistency and byte-identical replay.
 // Exits non-zero on any violation, printing each one's replayable seed and
 // scenario JSON.
-func runTorture(runs int, baseSeed int64, n, t, maxRounds, tick int, verbose bool) error {
+func runTorture(runs int, baseSeed int64, n, t, maxRounds, tick, workers int, verbose bool) error {
 	c := faults.TortureCampaign{
 		Runs:     runs,
 		BaseSeed: baseSeed,
@@ -244,7 +247,8 @@ func runTorture(runs int, baseSeed int64, n, t, maxRounds, tick int, verbose boo
 		MaxRounds: maxRounds,
 		Tick:      tick,
 
-		Stop: watchInterrupt(),
+		Stop:    watchInterrupt(),
+		Workers: workers,
 	}
 	if verbose {
 		c.Verbose = func(format string, args ...any) {

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+)
+
+// benchRun is one Table 2 regeneration at a fixed worker count.
+type benchRun struct {
+	Workers int        `json:"workers"`
+	TotalNS int64      `json:"total_ns"`
+	Rows    []benchRow `json:"rows"`
+}
+
+// benchRow is one Table 2 row with its wall clock.
+type benchRow struct {
+	TA        string `json:"ta"`
+	Property  string `json:"property"`
+	Outcome   string `json:"outcome"`
+	Schemas   int    `json:"schemas"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+}
+
+// benchReport is the BENCH_schema.json payload: the same Table 2 block run
+// sequentially and with the full worker budget, plus the cross-check that the
+// two runs produced identical verdicts and schema counts.
+type benchReport struct {
+	GeneratedAt string   `json:"generated_at"`
+	CPUs        int      `json:"cpus"`
+	Sequential  benchRun `json:"sequential"`
+	Parallel    benchRun `json:"parallel"`
+	Speedup     float64  `json:"speedup"`
+	Identical   bool     `json:"identical"`
+	Mismatches  []string `json:"mismatches,omitempty"`
+}
+
+func benchTable2(workers int, skipNaive bool, naiveTimeout time.Duration, stop func() bool) (benchRun, error) {
+	start := time.Now()
+	rows, err := core.Table2(core.Table2Options{
+		SkipNaive:    skipNaive,
+		NaiveTimeout: naiveTimeout,
+		Stop:         stop,
+		Workers:      workers,
+	})
+	if err != nil {
+		return benchRun{}, err
+	}
+	run := benchRun{Workers: workers, TotalNS: time.Since(start).Nanoseconds()}
+	for _, r := range rows {
+		run.Rows = append(run.Rows, benchRow{
+			TA: r.TA, Property: r.Property, Outcome: r.Outcome.String(),
+			Schemas: r.Schemas, ElapsedNS: r.Elapsed.Nanoseconds(),
+		})
+	}
+	return run, nil
+}
+
+// crossCheck compares the two runs row by row: same properties in the same
+// order, same verdicts, same schema counts. Rows whose outcome is Budget are
+// compared on outcome only — a timeout cuts the enumeration at a
+// wall-clock-dependent point, so the partial count is not deterministic.
+func crossCheck(seq, par benchRun) []string {
+	var bad []string
+	if len(seq.Rows) != len(par.Rows) {
+		return []string{fmt.Sprintf("row count: %d sequential vs %d parallel", len(seq.Rows), len(par.Rows))}
+	}
+	for i := range seq.Rows {
+		s, p := seq.Rows[i], par.Rows[i]
+		if s.TA != p.TA || s.Property != p.Property {
+			bad = append(bad, fmt.Sprintf("row %d: %s/%s vs %s/%s", i, s.TA, s.Property, p.TA, p.Property))
+			continue
+		}
+		if s.Outcome != p.Outcome {
+			bad = append(bad, fmt.Sprintf("%s/%s: outcome %s vs %s", s.TA, s.Property, s.Outcome, p.Outcome))
+		}
+		if s.Outcome != spec.Budget.String() && s.Schemas != p.Schemas {
+			bad = append(bad, fmt.Sprintf("%s/%s: %d schemas vs %d", s.TA, s.Property, s.Schemas, p.Schemas))
+		}
+	}
+	return bad
+}
+
+// cmdBench regenerates Table 2 twice — once with a single worker, once with
+// the full budget — cross-checks that the verdicts and schema counts are
+// byte-identical, and writes the timings as JSON (the paper's Table 2
+// wall-clock column, at both worker counts).
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	workers := fs.Int("j", runtime.NumCPU(), "parallel worker count to compare against 1")
+	out := fs.String("out", "", "write the JSON report to this file (default: stdout)")
+	skipNaive := fs.Bool("skip-naive", true, "skip the naive-consensus block (its rows time out by design)")
+	naiveTimeout := fs.Duration("naive-timeout", 30*time.Second, "budget for the naive block when enabled")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stop := watchInterrupt()
+
+	fmt.Fprintf(os.Stderr, "bench: table2 with 1 worker...\n")
+	seq, err := benchTable2(1, *skipNaive, *naiveTimeout, stop)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: table2 with %d workers...\n", *workers)
+	par, err := benchTable2(*workers, *skipNaive, *naiveTimeout, stop)
+	if err != nil {
+		return err
+	}
+	if stop() {
+		return fmt.Errorf("bench interrupted; timings would be meaningless")
+	}
+
+	rep := benchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		CPUs:        runtime.NumCPU(),
+		Sequential:  seq,
+		Parallel:    par,
+		Mismatches:  crossCheck(seq, par),
+	}
+	rep.Identical = len(rep.Mismatches) == 0
+	if par.TotalNS > 0 {
+		rep.Speedup = float64(seq.TotalNS) / float64(par.TotalNS)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("bench: %s (speedup %.2fx at %d workers, identical=%v)\n",
+			*out, rep.Speedup, *workers, rep.Identical)
+	} else {
+		os.Stdout.Write(data)
+	}
+	if !rep.Identical {
+		return fmt.Errorf("worker counts disagreed: %v", rep.Mismatches)
+	}
+	return nil
+}

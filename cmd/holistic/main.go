@@ -12,6 +12,10 @@
 //	holistic ce                       generate the n<=3t counterexample
 //	holistic dot     [flags]          print a model as Graphviz DOT
 //	holistic spec    [flags]          compile & check a property file
+//	holistic bench   [flags]          Table 2 wall-clock at 1 vs N workers
+//
+// Verification subcommands accept -j <workers> (default: the number of CPUs);
+// verdicts, schema counts and counterexamples are deterministic at any -j.
 //
 // SIGINT/SIGTERM interrupt a verification gracefully: running checks wind
 // down with Budget outcomes and the finished verdicts are still printed. A
@@ -23,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -82,6 +87,8 @@ func run(args []string) error {
 		return cmdSpec(args[1:])
 	case "export":
 		return cmdExport(args[1:])
+	case "bench":
+		return cmdBench(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -102,9 +109,11 @@ subcommands:
   dot        print a model as Graphviz DOT (-model ...)
   spec       compile and check a ByMC-style property file (-model ..., -file ...)
   export     print a model in the textual automaton format (-model ...)
+  bench      compare Table 2 wall-clock at 1 worker vs -j workers (-out file.json)
 
 most subcommands accept -ta <file.ta> to load a user-supplied automaton
-instead of a bundled model.
+instead of a bundled model, and -j <workers> to set the worker budget
+(results are deterministic at any worker count).
 `)
 }
 
@@ -150,6 +159,7 @@ func cmdPipeline(args []string) error {
 	fs := flag.NewFlagSet("pipeline", flag.ContinueOnError)
 	mode := fs.String("mode", "staged", "schema mode: staged or full")
 	asJSON := fs.Bool("json", false, "emit a machine-readable JSON certificate")
+	workers := fs.Int("j", runtime.NumCPU(), "total worker budget (verdicts are deterministic at any count)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -158,7 +168,7 @@ func cmdPipeline(args []string) error {
 		return err
 	}
 	stop := watchInterrupt()
-	rep, err := core.HolisticVerification(core.Options{Mode: m, Stop: stop})
+	rep, err := core.HolisticVerification(core.Options{Mode: m, Stop: stop, Parallel: *workers})
 	if err != nil {
 		return err
 	}
@@ -189,6 +199,7 @@ func cmdVerify(args []string) error {
 	prop := fs.String("prop", "", "check only this property (default: all)")
 	stats := fs.Bool("stats", false, "print SMT effort statistics per property")
 	timeout := fs.Duration("timeout", 0, "per-property timeout (0 = none)")
+	workers := fs.Int("j", runtime.NumCPU(), "schema-enumeration workers (verdicts are deterministic at any count)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -223,7 +234,7 @@ func cmdVerify(args []string) error {
 		return err
 	}
 	stop := watchInterrupt()
-	engine, err := schema.New(a, schema.Options{Mode: m, Timeout: *timeout, Stop: stop})
+	engine, err := schema.New(a, schema.Options{Mode: m, Timeout: *timeout, Stop: stop, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -261,11 +272,12 @@ func cmdTable2(args []string) error {
 	fs := flag.NewFlagSet("table2", flag.ContinueOnError)
 	skipNaive := fs.Bool("skip-naive", false, "skip the naive-consensus block")
 	naiveTimeout := fs.Duration("naive-timeout", 30*time.Second, "budget for the naive block")
+	workers := fs.Int("j", runtime.NumCPU(), "schema-enumeration workers per row (counts are deterministic at any -j)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	stop := watchInterrupt()
-	rows, err := core.Table2(core.Table2Options{SkipNaive: *skipNaive, NaiveTimeout: *naiveTimeout, Stop: stop})
+	rows, err := core.Table2(core.Table2Options{SkipNaive: *skipNaive, NaiveTimeout: *naiveTimeout, Stop: stop, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -278,10 +290,11 @@ func cmdTable2(args []string) error {
 
 func cmdCE(args []string) error {
 	fs := flag.NewFlagSet("ce", flag.ContinueOnError)
+	workers := fs.Int("j", runtime.NumCPU(), "schema-enumeration workers (the counterexample is deterministic at any count)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, err := core.GenerateInv1Counterexample(core.Options{Stop: watchInterrupt()})
+	res, err := core.GenerateInv1Counterexample(core.Options{Stop: watchInterrupt(), Parallel: *workers})
 	if err != nil {
 		return err
 	}
@@ -319,6 +332,7 @@ func cmdSpec(args []string) error {
 	model := fs.String("model", "bv", "model: bv, naive or simplified")
 	file := fs.String("file", "", "property file (default: the bundled spec for the model)")
 	mode := fs.String("mode", "staged", "schema mode")
+	workers := fs.Int("j", runtime.NumCPU(), "schema-enumeration workers (verdicts are deterministic at any count)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -356,7 +370,7 @@ func cmdSpec(args []string) error {
 		return err
 	}
 	stop := watchInterrupt()
-	engine, err := schema.New(a, schema.Options{Mode: m, Stop: stop})
+	engine, err := schema.New(a, schema.Options{Mode: m, Stop: stop, Workers: *workers})
 	if err != nil {
 		return err
 	}

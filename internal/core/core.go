@@ -42,19 +42,38 @@ type Options struct {
 	// check down with a Budget outcome. Signal handlers use it to interrupt
 	// a long verification while keeping the finished verdicts.
 	Stop func() bool
-	// Parallel checks up to this many properties concurrently (0 or 1 =
-	// sequential). The paper ran ByMC MPI-parallel; property-level
-	// parallelism is the natural Go equivalent.
+	// Parallel is the total worker budget (0 or 1 = fully sequential). The
+	// paper ran ByMC MPI-parallel on 64 cores; here the budget is split
+	// between the two levels of parallelism so they never oversubscribe the
+	// machine: up to min(Parallel, #queries) properties check concurrently,
+	// and each engine gets Parallel / that many schema-enumeration workers
+	// (schema.Options.Workers). Verdicts are deterministic at any budget.
 	Parallel int
 }
 
-func (o Options) engine(a *ta.TA) (*schema.Engine, error) {
+func (o Options) engine(a *ta.TA, schemaWorkers int) (*schema.Engine, error) {
 	return schema.New(a, schema.Options{
 		Mode:       o.Mode,
 		MaxSchemas: o.MaxSchemas,
 		Timeout:    o.Timeout,
 		Stop:       o.Stop,
+		Workers:    schemaWorkers,
 	})
+}
+
+// splitBudget divides the total worker budget between query-level
+// concurrency and per-query schema workers: queries first (they are the
+// coarser, better-isolated unit), remaining capacity to the enumeration.
+func splitBudget(budget, queries int) (queryPar, schemaWorkers int) {
+	if budget < 1 {
+		budget = 1
+	}
+	queryPar = budget
+	if queries >= 1 && queryPar > queries {
+		queryPar = queries
+	}
+	schemaWorkers = budget / queryPar
+	return queryPar, schemaWorkers
 }
 
 // Report collects the verdicts for one automaton.
@@ -105,7 +124,8 @@ func safeCheck(c checker, q *spec.Query) (res schema.Result, err error) {
 
 func runQueries(a *ta.TA, queries []spec.Query, opts Options) (Report, error) {
 	start := time.Now()
-	engine, err := opts.engine(a)
+	queryPar, schemaWorkers := splitBudget(opts.Parallel, len(queries))
+	engine, err := opts.engine(a, schemaWorkers)
 	if err != nil {
 		return Report{}, err
 	}
@@ -113,11 +133,7 @@ func runQueries(a *ta.TA, queries []spec.Query, opts Options) (Report, error) {
 	results := make([]schema.Result, len(queries))
 	errs := make([]error, len(queries))
 
-	workers := opts.Parallel
-	if workers <= 1 {
-		workers = 1
-	}
-	sem := make(chan struct{}, workers)
+	sem := make(chan struct{}, queryPar)
 	var wg sync.WaitGroup
 	for i := range queries {
 		wg.Add(1)
@@ -241,7 +257,8 @@ func GenerateInv1Counterexample(opts Options) (schema.Result, error) {
 	if err != nil {
 		return schema.Result{}, err
 	}
-	engine, err := opts.engine(a)
+	// A single query: the whole worker budget goes to schema enumeration.
+	engine, err := opts.engine(a, opts.Parallel)
 	if err != nil {
 		return schema.Result{}, err
 	}

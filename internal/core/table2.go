@@ -33,6 +33,11 @@ type Table2Options struct {
 	// Stop, when set, is polled inside every check; a true return winds the
 	// remaining checks down with Budget outcomes (signal handlers use it).
 	Stop func() bool
+	// Workers is the schema-enumeration worker count per check (0 or 1 =
+	// sequential). Table 2 rows run one at a time so the timing column stays
+	// meaningful; the enumeration inside each row parallelizes, with
+	// deterministic schema counts and outcomes.
+	Workers int
 }
 
 // Table2 regenerates the paper's Table 2:
@@ -50,7 +55,7 @@ func Table2(opts Table2Options) ([]Table2Row, error) {
 	var rows []Table2Row
 
 	add := func(a *ta.TA, queries []spec.Query, names []string, mode schema.Mode, timeout time.Duration) error {
-		engine, err := schema.New(a, schema.Options{Mode: mode, Timeout: timeout, Stop: opts.Stop})
+		engine, err := schema.New(a, schema.Options{Mode: mode, Timeout: timeout, Stop: opts.Stop, Workers: opts.Workers})
 		if err != nil {
 			return err
 		}

@@ -72,6 +72,30 @@ func (t *Table) Name(s Sym) string {
 	return t.names[s]
 }
 
+// Snapshot returns a new independent table containing the first n interned
+// symbols of t (clamped to its current length). The schema encoder gives
+// each per-schema solver a private snapshot for its fresh variables: symbol
+// ids feed simplex pivoting order, so ids racing through a shared table
+// would make solver effort depend on worker interleaving. With snapshots,
+// identical encodings get identical ids regardless of concurrency — and the
+// shared table is never grown by a solve.
+func (t *Table) Snapshot(n int) *Table {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if n > len(t.names) {
+		n = len(t.names)
+	}
+	if n < 0 {
+		n = 0
+	}
+	nt := &Table{names: make([]string, n), index: make(map[string]Sym, n)}
+	copy(nt.names, t.names[:n])
+	for i, name := range nt.names {
+		nt.index[name] = Sym(i)
+	}
+	return nt
+}
+
 // Len reports the number of interned symbols.
 func (t *Table) Len() int {
 	t.mu.RLock()

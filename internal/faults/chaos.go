@@ -269,6 +269,13 @@ type Campaign struct {
 	// campaign early with Interrupted set and NextSeed pointing at the first
 	// seed not run (signal handlers use it for graceful shutdown).
 	Stop func() bool
+
+	// Workers runs up to this many seeds concurrently (0 or 1 =
+	// sequential). Seeds are independent simulations; results are folded in
+	// seed order over the contiguous completed prefix, so the aggregate —
+	// and the resume seed after an interrupt — is identical to a sequential
+	// campaign. Verbose lines may interleave across seeds.
+	Workers int
 }
 
 // Violation is one failed assertion, carrying everything needed to replay
@@ -432,19 +439,30 @@ func (c Campaign) tick() int {
 
 // Run executes the campaign. It never panics and never aborts early: every
 // seed runs, every violation is collected with its replayable scenario.
+// With Workers > 1 seeds execute concurrently; the fold over results still
+// happens in seed order (see runIndexed), so the aggregate is deterministic.
 func (c Campaign) Run() CampaignResult {
-	res := CampaignResult{Events: map[EventKind]int{}}
-	for i := 0; i < c.Runs; i++ {
+	type chaosRun struct {
+		sc  Scenario
+		out Outcome
+	}
+	recs, nextIdx, interrupted := runIndexed(c.Runs, c.Workers, c.Stop, func(i int) chaosRun {
 		seed := c.BaseSeed + int64(i)
-		if c.Stop != nil && c.Stop() {
-			res.Interrupted = true
-			res.NextSeed = seed
-			break
-		}
 		sc := c.RandomScenario(seed)
 		out := sc.Run()
+		if c.Verbose != nil {
+			c.Verbose("seed %d: steps=%d decided=%v fair=%v faults=%v",
+				seed, out.Steps, out.Decided, sc.Plan.FairDelivery(), CountEvents(out.Events))
+		}
+		return chaosRun{sc: sc, out: out}
+	})
+
+	res := CampaignResult{Events: map[EventKind]int{}}
+	for i, r := range recs {
+		seed := c.BaseSeed + int64(i)
+		out := r.out
 		res.Runs++
-		fair := sc.Plan.FairDelivery()
+		fair := r.sc.Plan.FairDelivery()
 		if fair {
 			res.FairRuns++
 		} else {
@@ -457,7 +475,7 @@ func (c Campaign) Run() CampaignResult {
 			res.Events[k] += n
 		}
 		fail := func(reason string) {
-			res.Violations = append(res.Violations, Violation{Seed: seed, Scenario: sc, Reason: reason})
+			res.Violations = append(res.Violations, Violation{Seed: seed, Scenario: r.sc, Reason: reason})
 		}
 		switch {
 		case out.Err != nil:
@@ -473,10 +491,10 @@ func (c Campaign) Run() CampaignResult {
 				fail(fmt.Sprintf("termination: fair plan undecided after %d steps", out.Steps))
 			}
 		}
-		if c.Verbose != nil {
-			c.Verbose("seed %d: steps=%d decided=%v fair=%v faults=%v",
-				seed, out.Steps, out.Decided, fair, CountEvents(out.Events))
-		}
+	}
+	if interrupted {
+		res.Interrupted = true
+		res.NextSeed = c.BaseSeed + int64(nextIdx)
 	}
 	return res
 }

@@ -31,6 +31,11 @@ type TortureCampaign struct {
 	// Stop, when set, is polled between runs; a true return ends the
 	// campaign early with partial results (the signal-handling hook).
 	Stop func() bool
+	// Workers runs seeds concurrently (0 or 1 = sequential). Results are
+	// folded in seed order over the contiguous completed prefix, so the
+	// aggregate — and the NextSeed resume point — is the same at any worker
+	// count. Verbose lines may interleave.
+	Workers int
 }
 
 // TortureResult aggregates a torture campaign.
@@ -180,18 +185,29 @@ func (c TortureCampaign) RandomScenario(seed int64) Scenario {
 }
 
 // Run executes the campaign. Every violation carries its replayable seed and
-// scenario JSON; Stop ends it early with partial results.
+// scenario JSON; Stop ends it early with partial results. With Workers > 1
+// seeds execute concurrently; the fold over results still happens in seed
+// order (see runIndexed), so the aggregate is deterministic.
 func (c TortureCampaign) Run() TortureResult {
-	res := TortureResult{Events: map[EventKind]int{}}
-	for i := 0; i < c.Runs; i++ {
+	type tortureRun struct {
+		sc  Scenario
+		out Outcome
+	}
+	recs, nextIdx, interrupted := runIndexed(c.Runs, c.Workers, c.Stop, func(i int) tortureRun {
 		seed := c.BaseSeed + int64(i)
-		if c.Stop != nil && c.Stop() {
-			res.Interrupted = true
-			res.NextSeed = seed
-			break
-		}
 		sc := c.RandomScenario(seed)
 		out := sc.Run()
+		if c.Verbose != nil {
+			c.Verbose("seed %d: steps=%d decided=%v quarantined=%v replayChecked=%d faults=%v",
+				seed, out.Steps, out.Decided, out.Quarantined, out.ReplayChecked, CountEvents(out.Events))
+		}
+		return tortureRun{sc: sc, out: out}
+	})
+
+	res := TortureResult{Events: map[EventKind]int{}}
+	for i, r := range recs {
+		seed := c.BaseSeed + int64(i)
+		out := r.out
 		res.Runs++
 		if out.Decided {
 			res.Decided++
@@ -202,7 +218,7 @@ func (c TortureCampaign) Run() TortureResult {
 			res.Events[k] += n
 		}
 		fail := func(reason string) {
-			res.Violations = append(res.Violations, Violation{Seed: seed, Scenario: sc, Reason: reason})
+			res.Violations = append(res.Violations, Violation{Seed: seed, Scenario: r.sc, Reason: reason})
 		}
 		switch {
 		case out.Err != nil:
@@ -223,14 +239,14 @@ func (c TortureCampaign) Run() TortureResult {
 			for _, s := range out.ReplayErrs {
 				fail(fmt.Sprintf("replay divergence: %s", s))
 			}
-			if sc.Plan.FairDelivery() && !out.Decided {
+			if r.sc.Plan.FairDelivery() && !out.Decided {
 				fail(fmt.Sprintf("termination: fair durable plan undecided after %d steps", out.Steps))
 			}
 		}
-		if c.Verbose != nil {
-			c.Verbose("seed %d: steps=%d decided=%v quarantined=%v replayChecked=%d faults=%v",
-				seed, out.Steps, out.Decided, out.Quarantined, out.ReplayChecked, CountEvents(out.Events))
-		}
+	}
+	if interrupted {
+		res.Interrupted = true
+		res.NextSeed = c.BaseSeed + int64(nextIdx)
 	}
 	return res
 }

@@ -35,6 +35,10 @@ type analysis struct {
 	ruleGuards [][]int // per rules index: alphabet indices of its guard conjuncts
 	guards     []*guardInfo
 	guardIdx   map[string]int
+	// alphabet is the full-enumeration alphabet: the guards that gate at
+	// least one rule, in interning order. The walk iterates it in this fixed
+	// order, which defines the preorder the parallel enumeration preserves.
+	alphabet   []int
 	resilience []expr.Constraint
 	initLocs   []ta.LocID // initial locations minus Init/GlobalEmpty
 
@@ -129,6 +133,18 @@ func (e *Engine) analyze(q *spec.Query) (*analysis, error) {
 					return nil, err
 				}
 			}
+		}
+	}
+
+	gating := make(map[int]bool)
+	for i := range an.rules {
+		for _, gi := range an.ruleGuards[i] {
+			gating[gi] = true
+		}
+	}
+	for gi := range an.guards {
+		if gating[gi] {
+			an.alphabet = append(an.alphabet, gi)
 		}
 	}
 

@@ -25,6 +25,7 @@ type slot struct {
 type encoding struct {
 	e        *Engine
 	an       *analysis
+	tab      *expr.Table // private snapshot: fresh symbols interned here
 	solver   *smt.Solver
 	deadline time.Time
 
@@ -52,11 +53,16 @@ type pendingGuard struct {
 // distribution of the n-f correct processes over the admissible initial
 // locations, and zeroed shared variables.
 func (e *Engine) newEncoding(an *analysis) (*encoding, error) {
-	nonce := e.nonce.Add(1)
+	// Fresh encoding variables live in a private snapshot of the automaton's
+	// table: every encoding of the same schema then assigns them identical
+	// symbol ids no matter how many encoders run concurrently, and the shared
+	// table stays read-only during checks.
+	tab := e.ta.Table.Snapshot(e.baseSyms)
 	enc := &encoding{
 		e:        e,
 		an:       an,
-		solver:   smt.NewSolver(e.ta.Table),
+		tab:      tab,
+		solver:   smt.NewSolver(tab),
 		shared:   make(map[expr.Sym]expr.Lin, len(e.ta.Shared)),
 		initVars: make(map[ta.LocID]expr.Sym, len(an.initLocs)),
 	}
@@ -65,7 +71,7 @@ func (e *Engine) newEncoding(an *analysis) (*encoding, error) {
 	enc.kappa = make([]expr.Lin, len(e.ta.Locations))
 	sum := expr.Lin{}
 	for _, l := range an.initLocs {
-		x := e.ta.Table.Intern(fmt.Sprintf("$%d.x.%s", nonce, e.ta.Locations[l].Name))
+		x := tab.Intern(fmt.Sprintf("$x.%s", e.ta.Locations[l].Name))
 		enc.initVars[l] = x
 		enc.kappa[l] = expr.Var(x)
 		if err := sum.AddTerm(x, 1); err != nil {
@@ -119,7 +125,7 @@ func (enc *encoding) snapshotShared() map[expr.Sym]expr.Lin {
 func (enc *encoding) addSlot(ruleIdx int, lazyGuard bool) error {
 	e := enc.e
 	r := e.ta.Rules[ruleIdx]
-	d := e.ta.Table.Intern(fmt.Sprintf("$%d.d.%s", e.nonce.Add(1), r.Name))
+	d := enc.tab.Intern(fmt.Sprintf("$d%d.%s", len(enc.slots), r.Name))
 
 	// κ[from] >= δ at this frame.
 	avail := enc.kappa[r.From].Clone()
@@ -340,9 +346,10 @@ func (enc *encoding) solve() (smt.Status, *Counterexample, error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	limits := smt.ClauseLimits{MaxSplits: enc.e.opts.MaxSplits, Stop: enc.e.opts.Stop}
-	if enc.e.opts.Timeout > 0 {
-		limits.Deadline = enc.deadline
+	limits := smt.ClauseLimits{
+		MaxSplits: enc.e.opts.MaxSplits,
+		Stop:      enc.e.opts.Stop,
+		Deadline:  enc.deadline, // zero = none; honored down in branch-and-bound
 	}
 	st, model, err := enc.solver.CheckClauses(clauses, limits)
 	if err != nil {

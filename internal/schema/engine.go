@@ -29,7 +29,6 @@ package schema
 
 import (
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/counter"
@@ -70,11 +69,18 @@ type Options struct {
 	// Timeout bounds one Check call (0 = no timeout).
 	Timeout time.Duration
 	// Stop, when set, is polled inside the schema enumeration and the SMT
-	// case-splitting search; a true return aborts the check with a Budget
-	// outcome. This is the cooperative-interrupt hook: a signal handler
-	// flips a flag, the engine winds down at the next poll and partial
-	// results survive.
+	// case-splitting and branch-and-bound searches; a true return aborts the
+	// check with a Budget outcome. This is the cooperative-interrupt hook: a
+	// signal handler flips a flag, the engine winds down at the next poll
+	// and partial results survive.
 	Stop func() bool
+	// Workers sets the number of concurrent schema solvers used by full
+	// enumeration (0 or 1 = sequential). Schemas are independent LIA
+	// queries, so the enumeration tree is embarrassingly parallel; results
+	// are deterministic regardless of the worker count — same outcome, same
+	// schema count, and the lexicographically-least counterexample context
+	// (see parallel.go for the argument).
+	Workers int
 	// ExtraPasses adds safety-margin passes to staged schemas (default 1).
 	ExtraPasses int
 }
@@ -103,6 +109,11 @@ type Counterexample struct {
 	Params map[expr.Sym]int64
 	Run    counter.Run
 	System *counter.System
+	// Schema, for full-enumeration counterexamples, is the ordered guard
+	// context (guard keys in unlock order) of the schema that produced the
+	// violation — deterministically the lexicographically-least violating
+	// context. Staged-mode counterexamples leave it nil.
+	Schema []string
 }
 
 // Format renders the counterexample for humans.
@@ -116,13 +127,16 @@ func (ce *Counterexample) Format() string {
 }
 
 // Engine checks queries against one automaton. Check is safe for
-// concurrent use: parallel property checks only share the automaton (whose
-// symbol table is concurrency-safe) and the atomic name counter.
+// concurrent use: parallel property checks only share the automaton, whose
+// symbol table is concurrency-safe and read-only during checks — every
+// encoding interns its fresh variables into a private snapshot (see
+// newEncoding), which is also what makes solver effort statistics
+// deterministic under parallel enumeration.
 type Engine struct {
 	ta   *ta.TA // one-round
 	opts Options
 
-	nonce atomic.Int64 // uniquifies per-check symbol names
+	baseSyms int // symbol-table length at construction: the snapshot prefix
 }
 
 // New builds an engine for the automaton (round-switch rules are stripped
@@ -148,7 +162,7 @@ func New(a *ta.TA, opts Options) (*Engine, error) {
 		// Negative margins would undercut the staged soundness bound.
 		opts.ExtraPasses = 1
 	}
-	return &Engine{ta: oneRound, opts: opts}, nil
+	return &Engine{ta: oneRound, opts: opts, baseSyms: oneRound.Table.Len()}, nil
 }
 
 // TA returns the (one-round) automaton the engine checks.

@@ -14,155 +14,64 @@ import (
 // fire accelerated factors in topological order.
 //
 // Because the number of ordered subsets grows super-exponentially with the
-// alphabet, the enumeration is preceded by a structural counting pass with
-// the MaxSchemas cutoff: exceeding it reports spec.Budget, reproducing the
-// fate of the naive consensus automaton in Table 2 (>100,000 schemas,
-// >24h) without burning the time.
+// alphabet, the enumeration carries the MaxSchemas cutoff: exceeding it
+// reports spec.Budget, reproducing the fate of the naive consensus automaton
+// in Table 2 (>100,000 schemas, >24h) without burning the time.
+//
+// The check runs in two phases sharing one traversal budget:
+//
+//  1. a structural pass materializes every schema context in preorder
+//     (no solving — the cutoff fires here, fast, for exploding automata);
+//  2. the contexts are solved from an ordered work queue by opts.Workers
+//     concurrent solvers (see parallel.go), each with its own encoder and
+//     SMT state, cancelling early on the first counterexample.
+//
+// The result is deterministic regardless of the worker count: the same
+// outcome, the same schema count, and the preorder-least (equivalently,
+// lexicographically-least by alphabet position) counterexample context.
 func (e *Engine) checkFull(q *spec.Query, res *Result, start time.Time) error {
 	an, err := e.analyze(q)
 	if err != nil {
 		return err
 	}
-
-	// The enumeration alphabet: guards that gate at least one rule.
-	gatingSet := make(map[int]bool)
-	for i := range an.rules {
-		for _, gi := range an.ruleGuards[i] {
-			gatingSet[gi] = true
-		}
-	}
-	var alphabet []int
-	for gi := range an.guards {
-		if gatingSet[gi] {
-			alphabet = append(alphabet, gi)
-		}
+	var deadline time.Time
+	if e.opts.Timeout > 0 {
+		deadline = start.Add(e.opts.Timeout)
 	}
 
-	// Phase 1: structural count with cutoff.
-	count := e.countSchemas(an, alphabet)
-	res.Schemas = count
-	if count > e.opts.MaxSchemas {
+	ctxs, enum := e.enumerateContexts(an)
+	if enum.exceeded {
+		// Structural budget: same count the sequential counting pass used to
+		// report (it stopped at exactly limit+1 nodes).
 		res.Outcome = spec.Budget
+		res.Schemas = e.opts.MaxSchemas + 1
+		return nil
+	}
+	if enum.interrupted {
+		res.Outcome = spec.Budget
+		res.Schemas = len(ctxs)
 		return nil
 	}
 
-	// Phase 2: enumerate, encode and solve every schema.
-	w := &fullWalk{e: e, an: an, alphabet: alphabet, start: start}
-	err = w.walk(nil, make(map[int]bool))
+	out, err := e.solveContexts(an, ctxs, deadline)
 	if err != nil {
 		return err
 	}
-	res.Schemas = w.solved
-	if w.solved > 0 {
-		res.AvgLen = float64(w.totalLen) / float64(w.solved)
+	res.Schemas = out.solved
+	if out.solved > 0 {
+		res.AvgLen = float64(out.totalLen) / float64(out.solved)
 	}
-	res.Solver = w.stats
+	res.Solver = out.stats
 	switch {
-	case w.ce != nil:
+	case out.ce != nil:
 		res.Outcome = spec.Violated
-		res.CE = w.ce
-	case w.timedOut || w.unknown:
+		res.CE = out.ce
+	case out.timedOut || out.unknown:
 		res.Outcome = spec.Budget
 	default:
 		res.Outcome = spec.Holds
 	}
 	return nil
-}
-
-type fullWalk struct {
-	e        *Engine
-	an       *analysis
-	alphabet []int
-	start    time.Time
-
-	solved   int
-	totalLen int
-	ce       *Counterexample
-	timedOut bool
-	unknown  bool
-	stats    smt.Stats
-}
-
-// walk visits every ordered subset of the alphabet reachable under the
-// unlockability relation, solving the schema at each node (including the
-// empty one). It stops early on a counterexample or timeout.
-func (w *fullWalk) walk(ctx []int, unlocked map[int]bool) error {
-	if w.ce != nil || w.timedOut {
-		return nil
-	}
-	if w.e.opts.Timeout > 0 && time.Since(w.start) > w.e.opts.Timeout {
-		w.timedOut = true
-		return nil
-	}
-	if w.e.opts.Stop != nil && w.e.opts.Stop() {
-		w.timedOut = true // interrupted: same Budget outcome as a timeout
-		return nil
-	}
-
-	st, ce, slots, stats, err := w.e.solveSchema(w.an, ctx)
-	if err != nil {
-		return err
-	}
-	w.solved++
-	w.totalLen += slots
-	w.stats.LPChecks += stats.LPChecks
-	w.stats.Pivots += stats.Pivots
-	w.stats.Rebuilds += stats.Rebuilds
-	w.stats.BBNodes += stats.BBNodes
-	w.stats.CaseSplit += stats.CaseSplit
-	switch st {
-	case smt.Sat:
-		w.ce = ce
-		return nil
-	case smt.Unknown:
-		w.unknown = true
-	}
-
-	for _, gi := range w.alphabet {
-		if unlocked[gi] {
-			continue
-		}
-		if !w.e.unlockable(w.an, unlocked, gi) {
-			continue
-		}
-		unlocked[gi] = true
-		err := w.walk(append(ctx, gi), unlocked)
-		delete(unlocked, gi)
-		if err != nil {
-			return err
-		}
-		if w.ce != nil || w.timedOut {
-			return nil
-		}
-	}
-	return nil
-}
-
-// countSchemas counts the nodes of the enumeration tree, stopping once the
-// count exceeds MaxSchemas.
-func (e *Engine) countSchemas(an *analysis, alphabet []int) int {
-	limit := e.opts.MaxSchemas
-	count := 0
-	var rec func(unlocked map[int]bool)
-	rec = func(unlocked map[int]bool) {
-		count++
-		if count > limit {
-			return
-		}
-		for _, gi := range alphabet {
-			if unlocked[gi] || !e.unlockable(an, unlocked, gi) {
-				continue
-			}
-			unlocked[gi] = true
-			rec(unlocked)
-			delete(unlocked, gi)
-			if count > limit {
-				return
-			}
-		}
-	}
-	rec(make(map[int]bool))
-	return count
 }
 
 // reachUnder computes the locations reachable from the initial locations via
@@ -229,11 +138,15 @@ func (e *Engine) unlockable(an *analysis, unlocked map[int]bool, gi int) bool {
 }
 
 // solveSchema encodes and solves the schema for one ordered guard context.
-func (e *Engine) solveSchema(an *analysis, ctx []int) (smt.Status, *Counterexample, int, smt.Stats, error) {
+// The deadline (zero = none) is threaded into the SMT limits so that a long
+// branch-and-bound solve honors the engine timeout mid-solve instead of only
+// being checked between schemas.
+func (e *Engine) solveSchema(an *analysis, ctx []int, deadline time.Time) (smt.Status, *Counterexample, int, smt.Stats, error) {
 	enc, err := e.newEncoding(an)
 	if err != nil {
 		return 0, nil, 0, smt.Stats{}, err
 	}
+	enc.deadline = deadline
 	unlocked := make(map[int]bool, len(ctx))
 
 	addSegment := func() error {
@@ -278,5 +191,10 @@ func (e *Engine) solveSchema(an *analysis, ctx []int) (smt.Status, *Counterexamp
 		return 0, nil, 0, smt.Stats{}, err
 	}
 	st, ce, err := enc.solve()
+	if ce != nil {
+		for _, gi := range ctx {
+			ce.Schema = append(ce.Schema, an.guards[gi].key)
+		}
+	}
 	return st, ce, len(enc.slots), enc.solver.Stats, err
 }

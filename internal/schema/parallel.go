@@ -1,0 +1,343 @@
+package schema
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/smt"
+)
+
+// This file implements the parallel full-enumeration machinery: a fused
+// structural pass that materializes the ordered-guard-context tree in
+// preorder (with the MaxSchemas cutoff), and an ordered work queue that
+// shards the materialized schemas across a pool of solvers.
+//
+// Determinism argument. The structural pass always produces the same context
+// list: the tree is fixed by the analysis, the frontier split preserves
+// preorder (a subtree task is replaced by its root node followed by its
+// child subtrees in alphabet order), and per-task outputs are concatenated
+// in task order, so the global list is the DFS preorder of the sequential
+// walk. The solve phase claims indices from a monotonically increasing
+// counter, so when a counterexample is found at index i every index j < i
+// has already been claimed; the join waits for those solves and reports the
+// MINIMUM Sat index — the preorder-least, i.e. lexicographically-least (by
+// alphabet position, prefix-first) counterexample context. Aggregates
+// (schema count, average length, solver stats) are folded over exactly the
+// prefix [0, minSat] from per-index records, never from racing worker
+// totals, so they are byte-identical to a workers=1 run. Work performed
+// beyond the winning index by in-flight workers is discarded.
+
+// enumTask is one work item of the structural pass: either a single node
+// (its context only) or a whole subtree rooted at the context.
+type enumTask struct {
+	ctx      []int
+	unlocked map[int]bool
+	subtree  bool
+	out      [][]int
+}
+
+// enumOutcome reports how the structural pass ended.
+type enumOutcome struct {
+	exceeded    bool // tree has more than MaxSchemas nodes
+	interrupted bool // opts.Stop fired mid-enumeration
+}
+
+// enumerateContexts materializes every schema context of the enumeration
+// tree in preorder, stopping as soon as the node count exceeds MaxSchemas.
+// With Workers > 1 the tree is split into subtree tasks (keyed by the first
+// unlocked guards) that a worker pool drains; a skewed tree cannot idle
+// workers because tasks are split well below the worker count granularity
+// and claimed from a shared queue.
+func (e *Engine) enumerateContexts(an *analysis) ([][]int, enumOutcome) {
+	workers := e.opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	tasks := e.splitFrontier(an, workers)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	limit := e.opts.MaxSchemas
+
+	var total atomic.Int64
+	var next atomic.Int64
+	var exceeded, interrupted atomic.Bool
+	run := func() {
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= len(tasks) || exceeded.Load() || interrupted.Load() {
+				return
+			}
+			e.enumTaskRun(an, tasks[i], limit, &total, &exceeded, &interrupted)
+		}
+	}
+	if workers == 1 {
+		run()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				run()
+			}()
+		}
+		wg.Wait()
+	}
+	if exceeded.Load() {
+		return nil, enumOutcome{exceeded: true}
+	}
+	var ctxs [][]int
+	for _, t := range tasks {
+		ctxs = append(ctxs, t.out...)
+	}
+	return ctxs, enumOutcome{interrupted: interrupted.Load()}
+}
+
+// splitFrontier decomposes the context tree into tasks in global preorder.
+// Splitting a subtree yields its root as a node task followed by one subtree
+// task per first unlocked guard (in alphabet order); repeating breadth-first
+// until there are comfortably more tasks than workers keeps skewed subtrees
+// from serializing the pass.
+func (e *Engine) splitFrontier(an *analysis, workers int) []*enumTask {
+	tasks := []*enumTask{{unlocked: make(map[int]bool), subtree: true}}
+	if workers <= 1 {
+		return tasks
+	}
+	target := 16 * workers
+	for depth := 0; depth < 8 && len(tasks) < target; depth++ {
+		split := false
+		next := make([]*enumTask, 0, len(tasks))
+		for _, t := range tasks {
+			if !t.subtree || len(next) >= target {
+				next = append(next, t)
+				continue
+			}
+			var children []int
+			for _, gi := range an.alphabet {
+				if !t.unlocked[gi] && e.unlockable(an, t.unlocked, gi) {
+					children = append(children, gi)
+				}
+			}
+			next = append(next, &enumTask{ctx: t.ctx, unlocked: t.unlocked})
+			for _, gi := range children {
+				ctx := make([]int, len(t.ctx)+1)
+				copy(ctx, t.ctx)
+				ctx[len(t.ctx)] = gi
+				unlocked := make(map[int]bool, len(t.unlocked)+1)
+				for k := range t.unlocked {
+					unlocked[k] = true
+				}
+				unlocked[gi] = true
+				next = append(next, &enumTask{ctx: ctx, unlocked: unlocked, subtree: true})
+			}
+			if len(children) > 0 {
+				split = true
+			}
+		}
+		tasks = next
+		if !split {
+			break
+		}
+	}
+	return tasks
+}
+
+// enumTaskRun expands one task, appending the visited contexts to t.out in
+// DFS preorder. Every emitted context is a fresh slice: branches must never
+// share a backing array with their siblings (the sequential walk used to
+// pass append(ctx, gi) down, which aliases the parent's array across
+// iterations — latent sequentially, a data race and output corruption once
+// contexts outlive the visit, as they do here).
+func (e *Engine) enumTaskRun(an *analysis, t *enumTask, limit int, total *atomic.Int64, exceeded, interrupted *atomic.Bool) {
+	emit := func(ctx []int) bool {
+		if total.Add(1) > int64(limit) {
+			exceeded.Store(true)
+			return false
+		}
+		t.out = append(t.out, ctx)
+		return true
+	}
+	if !emit(t.ctx) {
+		return
+	}
+	if !t.subtree {
+		return
+	}
+	visited := 0
+	var rec func(ctx []int, unlocked map[int]bool) bool
+	rec = func(ctx []int, unlocked map[int]bool) bool {
+		for _, gi := range an.alphabet {
+			if unlocked[gi] || !e.unlockable(an, unlocked, gi) {
+				continue
+			}
+			visited++
+			if visited&255 == 0 {
+				if exceeded.Load() || interrupted.Load() {
+					return false
+				}
+				if e.opts.Stop != nil && e.opts.Stop() {
+					interrupted.Store(true)
+					return false
+				}
+			}
+			child := make([]int, len(ctx)+1)
+			copy(child, ctx)
+			child[len(ctx)] = gi
+			if !emit(child) {
+				return false
+			}
+			unlocked[gi] = true
+			ok := rec(child, unlocked)
+			delete(unlocked, gi)
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec(t.ctx, t.unlocked)
+}
+
+// solveRec is the per-schema record of the solve phase; keeping results by
+// preorder index (rather than racing shared accumulators) is what makes the
+// join deterministic.
+type solveRec struct {
+	done   bool
+	status smt.Status
+	slots  int
+	stats  smt.Stats
+	ce     *Counterexample
+	err    error
+}
+
+// fullOutcome aggregates the solve phase for checkFull.
+type fullOutcome struct {
+	solved   int
+	totalLen int
+	stats    smt.Stats
+	ce       *Counterexample
+	timedOut bool
+	unknown  bool
+}
+
+// solveContexts discharges the materialized schemas with opts.Workers
+// concurrent solvers, each with its own encoder and SMT state. The first
+// Sat cancels all later work; deadline and Stop cancel everything.
+func (e *Engine) solveContexts(an *analysis, ctxs [][]int, deadline time.Time) (fullOutcome, error) {
+	workers := e.opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(ctxs) {
+		workers = len(ctxs)
+	}
+	recs := make([]solveRec, len(ctxs))
+
+	var next atomic.Int64
+	var minSat, minErr atomic.Int64
+	minSat.Store(math.MaxInt64)
+	minErr.Store(math.MaxInt64)
+	var timedOut atomic.Bool
+
+	casMin := func(a *atomic.Int64, v int64) {
+		for {
+			cur := a.Load()
+			if v >= cur || a.CompareAndSwap(cur, v) {
+				return
+			}
+		}
+	}
+
+	run := func() {
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= len(ctxs) {
+				return
+			}
+			if timedOut.Load() || minErr.Load() < math.MaxInt64 {
+				return
+			}
+			if int64(i) > minSat.Load() {
+				// minSat only decreases: every index this worker would claim
+				// next is even larger, so nothing is left for it to do.
+				return
+			}
+			if e.opts.Stop != nil && e.opts.Stop() {
+				timedOut.Store(true) // interrupted: same Budget outcome as a timeout
+				return
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				timedOut.Store(true)
+				return
+			}
+			st, ce, slots, stats, err := e.solveSchema(an, ctxs[i], deadline)
+			if err != nil {
+				recs[i].err = err
+				casMin(&minErr, int64(i))
+				return
+			}
+			recs[i] = solveRec{done: true, status: st, slots: slots, stats: stats, ce: ce}
+			if st == smt.Sat {
+				casMin(&minSat, int64(i))
+			}
+		}
+	}
+	if workers <= 1 {
+		run()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				run()
+			}()
+		}
+		wg.Wait()
+	}
+
+	if mi := minErr.Load(); mi < math.MaxInt64 {
+		// Deterministic error reporting: the preorder-least failing schema.
+		return fullOutcome{}, recs[mi].err
+	}
+
+	var out fullOutcome
+	fold := func(i int) {
+		out.solved++
+		out.totalLen += recs[i].slots
+		out.stats.Add(recs[i].stats)
+		if recs[i].status == smt.Unknown {
+			out.unknown = true
+		}
+	}
+
+	if ms := minSat.Load(); ms < math.MaxInt64 {
+		// All indices below the winner were claimed before it; unless a
+		// timeout raced in and skipped some, they completed, and the verdict
+		// covers exactly the prefix a sequential walk would have solved.
+		complete := true
+		for i := int64(0); i <= ms; i++ {
+			if !recs[i].done {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			for i := int64(0); i <= ms; i++ {
+				fold(int(i))
+			}
+			out.ce = recs[ms].ce
+			return out, nil
+		}
+	}
+	for i := range recs {
+		if recs[i].done {
+			fold(i)
+		}
+	}
+	out.timedOut = timedOut.Load()
+	return out, nil
+}

@@ -135,7 +135,7 @@ func (s *Solver) checkClausesRec(clauses []Clause, limits ClauseLimits, splits *
 				}
 			}
 		}
-		st, m, err := s.CheckInteger(limits.MaxBBNodes)
+		st, m, err := s.CheckIntegerLimits(limits)
 		s.Pop()
 		if err != nil {
 			return 0, nil, err

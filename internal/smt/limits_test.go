@@ -1,0 +1,74 @@
+package smt
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/expr"
+)
+
+// TestCheckIntegerLimitsStop: a fired stop flag must abort branch-and-bound
+// at the first node with Unknown — this is how the engine timeout reaches
+// into a long integer solve instead of waiting for it between schemas.
+func TestCheckIntegerLimitsStop(t *testing.T) {
+	tab := expr.NewTable()
+	s := NewSolver(tab)
+	x := tab.Intern("x")
+	// 2x = 1: rationally feasible (x = 1/2), integrally infeasible — the
+	// solver must branch to find out, so the limit paths are exercised.
+	s.Assert(eq(t, lin(map[expr.Sym]int64{x: 2}, 0), expr.NewLin(1)))
+
+	st, _, err := s.CheckIntegerLimits(ClauseLimits{Stop: func() bool { return true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unknown {
+		t.Errorf("status with fired stop = %v, want Unknown", st)
+	}
+
+	st, _, err = s.CheckIntegerLimits(ClauseLimits{Deadline: time.Now().Add(-time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unknown {
+		t.Errorf("status with expired deadline = %v, want Unknown", st)
+	}
+
+	// Sanity: without limits the same problem resolves (to Unsat).
+	st, _, err = s.CheckIntegerLimits(ClauseLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unsat {
+		t.Errorf("status without limits = %v, want Unsat", st)
+	}
+}
+
+// TestCheckIntegerLimitsMatchesCheckInteger: the wrapper and the limits path
+// agree on a feasible problem.
+func TestCheckIntegerLimitsMatchesCheckInteger(t *testing.T) {
+	tab := expr.NewTable()
+	s := NewSolver(tab)
+	x := tab.Intern("x")
+	y := tab.Intern("y")
+	s.Assert(ge(t, lin(map[expr.Sym]int64{x: 1, y: 1}, 0), expr.NewLin(3)))
+	s.Assert(le(t, lin(map[expr.Sym]int64{x: 2, y: 1}, 0), expr.NewLin(5)))
+
+	st1, m1, err := s.CheckInteger(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, m2, err := s.CheckIntegerLimits(ClauseLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != Sat || st2 != Sat {
+		t.Fatalf("statuses %v/%v, want Sat/Sat", st1, st2)
+	}
+	if err := s.Verify(m1); err != nil {
+		t.Error(err)
+	}
+	if err := s.Verify(m2); err != nil {
+		t.Error(err)
+	}
+}

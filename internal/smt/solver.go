@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"time"
 
 	"repro/internal/expr"
 )
@@ -79,6 +80,17 @@ type Stats struct {
 	Rebuilds  int // full phase-one solves (vs warm-started dual restores)
 	BBNodes   int // branch-and-bound nodes
 	CaseSplit int // lazy disjunction branches explored
+}
+
+// Add accumulates another solver's effort into st. The parallel schema
+// enumeration keeps per-schema Stats and merges them at join, so the
+// aggregate is independent of worker scheduling.
+func (st *Stats) Add(o Stats) {
+	st.LPChecks += o.LPChecks
+	st.Pivots += o.Pivots
+	st.Rebuilds += o.Rebuilds
+	st.BBNodes += o.BBNodes
+	st.CaseSplit += o.CaseSplit
 }
 
 // NewSolver returns an empty solver over tab.
@@ -223,16 +235,30 @@ func (s *Solver) CheckRational() (Status, RatModel, error) {
 // branch-and-bound with at most maxNodes LP relaxations. If the budget is
 // exhausted it returns Unknown.
 func (s *Solver) CheckInteger(maxNodes int) (Status, Model, error) {
-	if maxNodes <= 0 {
-		maxNodes = 1 << 20
+	return s.CheckIntegerLimits(ClauseLimits{MaxBBNodes: maxNodes})
+}
+
+// CheckIntegerLimits is CheckInteger with the full limit set: besides the
+// node budget it polls Deadline and Stop at every branch-and-bound node, so
+// a long integer search honors a timeout or a cooperative interrupt instead
+// of running to its node budget. Exceeding any limit returns Unknown.
+func (s *Solver) CheckIntegerLimits(limits ClauseLimits) (Status, Model, error) {
+	if limits.MaxBBNodes <= 0 {
+		limits.MaxBBNodes = 1 << 20
 	}
 	nodes := 0
-	st, m, err := s.branchAndBound(maxNodes, &nodes)
+	st, m, err := s.branchAndBound(limits, &nodes)
 	return st, m, err
 }
 
-func (s *Solver) branchAndBound(maxNodes int, nodes *int) (Status, Model, error) {
-	if *nodes >= maxNodes {
+func (s *Solver) branchAndBound(limits ClauseLimits, nodes *int) (Status, Model, error) {
+	if *nodes >= limits.MaxBBNodes {
+		return Unknown, nil, nil
+	}
+	if !limits.Deadline.IsZero() && time.Now().After(limits.Deadline) {
+		return Unknown, nil, nil
+	}
+	if limits.Stop != nil && limits.Stop() {
 		return Unknown, nil, nil
 	}
 	*nodes++
@@ -274,7 +300,7 @@ func (s *Solver) branchAndBound(maxNodes int, nodes *int) (Status, Model, error)
 		return 0, nil, err
 	}
 	s.Assert(le)
-	st, m, err := s.branchAndBound(maxNodes, nodes)
+	st, m, err := s.branchAndBound(limits, nodes)
 	s.Pop()
 	if err != nil || st == Sat {
 		return st, m, err
@@ -289,7 +315,7 @@ func (s *Solver) branchAndBound(maxNodes int, nodes *int) (Status, Model, error)
 		return 0, nil, err
 	}
 	s.Assert(ge)
-	st, m, err = s.branchAndBound(maxNodes, nodes)
+	st, m, err = s.branchAndBound(limits, nodes)
 	s.Pop()
 	if err != nil || st == Sat {
 		return st, m, err

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sort"
 
 	"repro/internal/expr"
 )
@@ -123,8 +124,17 @@ func (t *tableau) basicRowOf(id int) int {
 // addGE appends the row for L >= 0, rewriting basic variables through their
 // current dictionary rows.
 func (t *tableau) addGE(l expr.Lin) {
-	// Intern all symbols first so the column layout is stable.
+	// Intern all symbols first, in symbol order, so the column layout is
+	// stable. Ranging over the coefficient map here would randomize the
+	// layout per run — and with it Bland's-rule pivot choices and which
+	// optimal vertex the relaxation lands on, making solver effort (and
+	// branch-and-bound paths) differ between identical solves.
+	syms := make([]expr.Sym, 0, len(l.Coeffs))
 	for s := range l.Coeffs {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	for _, s := range syms {
 		t.colFor(s)
 	}
 	rowConst := ratInt(l.Const)

@@ -16,6 +16,9 @@ go build ./...
 echo "==> go test -race ./internal/wal"
 go test -race ./internal/wal
 
+echo "==> go test -race ./internal/schema ./internal/core (parallel enumeration determinism)"
+go test -race ./internal/schema ./internal/core
+
 echo "==> go test -race ./..."
 go test -race ./...
 
