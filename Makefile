@@ -19,3 +19,13 @@ bench:
 .PHONY: bench-baseline
 bench-baseline:
 	go run ./cmd/holistic bench -out BENCH_schema.json
+
+# Observability smoke: regenerate the fast Table 2 block with tracing and a
+# metric report enabled, then validate both artifacts with obscheck.
+.PHONY: trace-smoke
+trace-smoke:
+	rm -rf .trace-smoke && mkdir -p .trace-smoke
+	go run ./cmd/holistic table2 -skip-naive -j 2 \
+		-trace .trace-smoke/table2.jsonl -report .trace-smoke/table2.json
+	go run ./cmd/obscheck -trace .trace-smoke/table2.jsonl .trace-smoke/table2.json
+	rm -rf .trace-smoke

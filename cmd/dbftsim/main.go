@@ -15,6 +15,11 @@
 //	dbftsim -torture -torture-seeds 200 -n 4 -t 1 -seed 1
 //	dbftsim -plan '{"n":4,"t":1,...}'   (or -plan @scenario.json)
 //
+// The campaign modes accept the observability flags -trace out.jsonl (one
+// JSONL event per seed), -report out.json (campaign metric snapshot),
+// -pprof addr and -progress 2s; an interrupted campaign still flushes a
+// valid partial report and exits non-zero.
+//
 // SIGINT/SIGTERM interrupt a campaign gracefully: the current seed finishes,
 // partial results are printed, and the resume seed is reported. A second
 // signal force-exits.
@@ -74,7 +79,7 @@ func run(args []string) error {
 	maxRounds := fs.Int("rounds", 12, "round cap")
 	maxSteps := fs.Int("steps", 500000, "delivery budget")
 	lemma7 := fs.Bool("lemma7", false, "replay the Appendix B non-termination execution")
-	trace := fs.Int("trace", 0, "print the first N message deliveries and a delivery summary")
+	printTrace := fs.Int("print-trace", 0, "print the first N message deliveries and a delivery summary")
 	chaos := fs.Bool("chaos", false, "run a randomized fault-injection campaign (uses -n, -t, -seed, -rounds, -steps, -tick)")
 	chaosSeeds := fs.Int("chaos-seeds", 200, "number of seeds in the -chaos campaign")
 	tick := fs.Int("tick", 25, "retransmission tick interval in steps (-chaos, -torture and -plan)")
@@ -84,6 +89,7 @@ func run(args []string) error {
 	tortureV := fs.Bool("torture-v", false, "print one line per -torture run")
 	plan := fs.String("plan", "", "replay one chaos scenario: inline JSON or @file")
 	workers := fs.Int("j", runtime.NumCPU(), "campaign worker count for -chaos and -torture (results are deterministic at any count)")
+	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,10 +101,10 @@ func run(args []string) error {
 		return runPlan(*plan)
 	}
 	if *chaos {
-		return runChaos(*chaosSeeds, *seed, *n, *t, *maxRounds, *maxSteps, *tick, *workers, *chaosV)
+		return runChaos(*chaosSeeds, *seed, *n, *t, *maxRounds, *maxSteps, *tick, *workers, *chaosV, of)
 	}
 	if *torture {
-		return runTorture(*tortureSeeds, *seed, *n, *t, *maxRounds, *tick, *workers, *tortureV)
+		return runTorture(*tortureSeeds, *seed, *n, *t, *maxRounds, *tick, *workers, *tortureV, of)
 	}
 
 	ins, err := parseInputs(*inputs)
@@ -154,14 +160,14 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	sys.RecordTrace = *trace > 0
+	sys.RecordTrace = *printTrace > 0
 	steps, done, err := fairness.RunToDecision(sys, correct, *maxSteps)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("n=%d t=%d f=%d scheduler=%s steps=%d\n", *n, *t, len(strategies), *sched, steps)
-	if *trace > 0 {
-		fmt.Print(network.FormatTrace(sys.Trace, *trace))
+	if *printTrace > 0 {
+		fmt.Print(network.FormatTrace(sys.Trace, *printTrace))
 		fmt.Println(network.SummarizeTrace(sys.Trace).Format())
 	}
 	fmt.Print(dbft.Describe(correct))
@@ -200,8 +206,14 @@ func parseInputs(s string) ([]int, error) {
 
 // runChaos executes a randomized fault-injection campaign and exits non-zero
 // on any safety/termination violation, printing each violation's seed and
-// replayable scenario JSON.
-func runChaos(runs int, baseSeed int64, n, t, maxRounds, maxSteps, tick, workers int, verbose bool) error {
+// replayable scenario JSON. An interrupt also exits non-zero, after flushing
+// a partial report covering the completed seed prefix.
+func runChaos(runs int, baseSeed int64, n, t, maxRounds, maxSteps, tick, workers int, verbose bool, of *obsFlags) error {
+	sink, err := of.open("dbftsim chaos")
+	if err != nil {
+		return err
+	}
+	defer sink.Close()
 	c := faults.Campaign{
 		Runs:     runs,
 		BaseSeed: baseSeed,
@@ -214,19 +226,30 @@ func runChaos(runs int, baseSeed int64, n, t, maxRounds, maxSteps, tick, workers
 
 		Stop:    watchInterrupt(),
 		Workers: workers,
+		Trace:   sink.Tracer,
 	}
 	if verbose {
 		c.Verbose = func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		}
 	}
+	stopProgress := of.startProgress(runs, c.Stop)
 	res := c.Run()
+	stopProgress()
+	rep := campaignReport("dbftsim chaos", "chaos", res.Runs, res.Decided,
+		len(res.Violations), res.Events, workers, res.Interrupted)
+	if err := sink.Flush(rep); err != nil {
+		return err
+	}
 	fmt.Println(res.String())
 	if len(res.Violations) > 0 {
 		for _, v := range res.Violations {
 			fmt.Println(v.String())
 		}
 		return fmt.Errorf("%d violations in %d runs", len(res.Violations), res.Runs)
+	}
+	if res.Interrupted {
+		return fmt.Errorf("chaos campaign interrupted after %d/%d seeds; resume with -seed %d", res.Runs, runs, res.NextSeed)
 	}
 	return nil
 }
@@ -237,7 +260,12 @@ func runChaos(runs int, baseSeed int64, n, t, maxRounds, maxSteps, tick, workers
 // Agreement/Validity, post-recovery consistency and byte-identical replay.
 // Exits non-zero on any violation, printing each one's replayable seed and
 // scenario JSON.
-func runTorture(runs int, baseSeed int64, n, t, maxRounds, tick, workers int, verbose bool) error {
+func runTorture(runs int, baseSeed int64, n, t, maxRounds, tick, workers int, verbose bool, of *obsFlags) error {
+	sink, err := of.open("dbftsim torture")
+	if err != nil {
+		return err
+	}
+	defer sink.Close()
 	c := faults.TortureCampaign{
 		Runs:     runs,
 		BaseSeed: baseSeed,
@@ -249,19 +277,30 @@ func runTorture(runs int, baseSeed int64, n, t, maxRounds, tick, workers int, ve
 
 		Stop:    watchInterrupt(),
 		Workers: workers,
+		Trace:   sink.Tracer,
 	}
 	if verbose {
 		c.Verbose = func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		}
 	}
+	stopProgress := of.startProgress(runs, c.Stop)
 	res := c.Run()
+	stopProgress()
+	rep := campaignReport("dbftsim torture", "torture", res.Runs, res.Decided,
+		len(res.Violations), res.Events, workers, res.Interrupted)
+	if err := sink.Flush(rep); err != nil {
+		return err
+	}
 	fmt.Println(res.String())
 	if len(res.Violations) > 0 {
 		for _, v := range res.Violations {
 			fmt.Println(v.String())
 		}
 		return fmt.Errorf("%d violations in %d runs", len(res.Violations), res.Runs)
+	}
+	if res.Interrupted {
+		return fmt.Errorf("torture campaign interrupted after %d/%d seeds; resume with -seed %d", res.Runs, runs, res.NextSeed)
 	}
 	return nil
 }

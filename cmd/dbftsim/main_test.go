@@ -17,7 +17,7 @@ func TestRunScenarios(t *testing.T) {
 	good := [][]string{
 		{"-n", "4", "-t", "1", "-inputs", "0,1,1", "-byz", "silent", "-sched", "fair"},
 		{"-n", "4", "-t", "1", "-inputs", "1,1,1", "-byz", "liar", "-sched", "random", "-seed", "7"},
-		{"-n", "4", "-t", "1", "-inputs", "0,0,1", "-byz", "equivocator", "-sched", "fifo", "-trace", "3"},
+		{"-n", "4", "-t", "1", "-inputs", "0,0,1", "-byz", "equivocator", "-sched", "fifo", "-print-trace", "3"},
 		{"-lemma7", "-rounds", "6"},
 		{"-chaos", "-chaos-seeds", "10", "-seed", "1", "-n", "4", "-t", "1"},
 		{"-plan", `{"n":4,"t":1,"max_rounds":12,"max_steps":120000,"tick":25,` +

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestObsFailurePaths asserts fail-fast validation of the campaign
+// observability flags: bad destinations and a bound pprof port fail before
+// any seed runs, with a one-line diagnostic, and a failed startup removes
+// the report skeleton.
+func TestObsFailurePaths(t *testing.T) {
+	dir := t.TempDir()
+	missing := filepath.Join(dir, "no-such-dir", "out")
+
+	bad := [][]string{
+		{"-chaos", "-chaos-seeds", "5", "-report", missing},
+		{"-chaos", "-chaos-seeds", "5", "-trace", missing},
+		{"-torture", "-torture-seeds", "5", "-report", missing},
+	}
+	for _, args := range bad {
+		err := run(args)
+		if err == nil {
+			t.Errorf("run(%v): expected error", args)
+			continue
+		}
+		if strings.Contains(err.Error(), "\n") {
+			t.Errorf("run(%v): diagnostic spans multiple lines: %q", args, err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	report := filepath.Join(dir, "report.json")
+	if err := run([]string{"-chaos", "-chaos-seeds", "5", "-report", report, "-pprof", ln.Addr().String()}); err == nil {
+		t.Fatal("expected error for an already-bound pprof address")
+	}
+	if _, serr := os.Stat(report); !os.IsNotExist(serr) {
+		t.Errorf("report skeleton survived a failed startup (stat err %v)", serr)
+	}
+}
+
+// TestChaosInterruptFlushesPartialReport interrupts a long campaign with a
+// real SIGINT and asserts the wind-down contract: non-zero exit with a
+// one-line diagnostic, and a flushed, valid partial report (never a
+// zero-byte or skeleton JSON) with the interrupted flag set.
+//
+// Note: exactly one SIGINT may be sent per test binary — every run() call
+// registers a persistent handler that force-exits on its second signal.
+func TestChaosInterruptFlushesPartialReport(t *testing.T) {
+	stdout := os.Stdout
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devNull
+	defer func() { os.Stdout = stdout }()
+
+	report := filepath.Join(t.TempDir(), "chaos.json")
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		syscall.Kill(os.Getpid(), syscall.SIGINT)
+	}()
+	runErr := run([]string{"-chaos", "-chaos-seeds", "50000", "-seed", "1",
+		"-n", "4", "-t", "1", "-j", "2", "-report", report})
+	if runErr == nil {
+		t.Fatal("expected non-zero exit after an interrupt")
+	}
+	if strings.Contains(runErr.Error(), "\n") {
+		t.Errorf("diagnostic spans multiple lines: %q", runErr)
+	}
+	if !strings.Contains(runErr.Error(), "interrupted") {
+		t.Errorf("diagnostic does not mention the interrupt: %q", runErr)
+	}
+
+	fi, err := os.Stat(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("zero-byte report after interrupt")
+	}
+	rep, err := obs.ReadReport(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partial {
+		t.Error("report is still the startup skeleton")
+	}
+	if err := rep.Validate(); err != nil {
+		t.Errorf("partial report does not validate: %v", err)
+	}
+	if !rep.Observational.Interrupted {
+		t.Error("interrupted flag unset")
+	}
+	cm := rep.Deterministic.Campaign
+	if cm == nil {
+		t.Fatal("no campaign aggregate in the report")
+	}
+	if cm.Runs <= 0 || cm.Runs >= 50000 {
+		t.Errorf("campaign runs = %d, want a completed prefix of the 50000 seeds", cm.Runs)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/spec"
 )
 
@@ -41,16 +42,17 @@ type benchReport struct {
 	Mismatches  []string `json:"mismatches,omitempty"`
 }
 
-func benchTable2(workers int, skipNaive bool, naiveTimeout time.Duration, stop func() bool) (benchRun, error) {
+func benchTable2(workers int, skipNaive bool, naiveTimeout time.Duration, stop func() bool, tr *obs.Tracer) (benchRun, []core.Table2Row, error) {
 	start := time.Now()
 	rows, err := core.Table2(core.Table2Options{
 		SkipNaive:    skipNaive,
 		NaiveTimeout: naiveTimeout,
 		Stop:         stop,
 		Workers:      workers,
+		Trace:        tr,
 	})
 	if err != nil {
-		return benchRun{}, err
+		return benchRun{}, nil, err
 	}
 	run := benchRun{Workers: workers, TotalNS: time.Since(start).Nanoseconds()}
 	for _, r := range rows {
@@ -59,7 +61,7 @@ func benchTable2(workers int, skipNaive bool, naiveTimeout time.Duration, stop f
 			Schemas: r.Schemas, ElapsedNS: r.Elapsed.Nanoseconds(),
 		})
 	}
-	return run, nil
+	return run, rows, nil
 }
 
 // crossCheck compares the two runs row by row: same properties in the same
@@ -97,21 +99,30 @@ func cmdBench(args []string) error {
 	out := fs.String("out", "", "write the JSON report to this file (default: stdout)")
 	skipNaive := fs.Bool("skip-naive", true, "skip the naive-consensus block (its rows time out by design)")
 	naiveTimeout := fs.Duration("naive-timeout", 30*time.Second, "budget for the naive block when enabled")
+	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sink, err := of.open("holistic bench")
+	if err != nil {
+		return err
+	}
+	defer sink.Close()
 	stop := watchInterrupt()
+	stopProgress := of.startProgress(stop)
+	defer stopProgress()
 
 	fmt.Fprintf(os.Stderr, "bench: table2 with 1 worker...\n")
-	seq, err := benchTable2(1, *skipNaive, *naiveTimeout, stop)
+	seq, _, err := benchTable2(1, *skipNaive, *naiveTimeout, stop, sink.Tracer)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "bench: table2 with %d workers...\n", *workers)
-	par, err := benchTable2(*workers, *skipNaive, *naiveTimeout, stop)
+	par, parRows, err := benchTable2(*workers, *skipNaive, *naiveTimeout, stop, sink.Tracer)
 	if err != nil {
 		return err
 	}
+	stopProgress()
 	if stop() {
 		return fmt.Errorf("bench interrupted; timings would be meaningless")
 	}
@@ -141,6 +152,14 @@ func cmdBench(args []string) error {
 			*out, rep.Speedup, *workers, rep.Identical)
 	} else {
 		os.Stdout.Write(data)
+	}
+	// The -report payload covers the parallel run: its deterministic section
+	// is byte-identical to the sequential one (that is what crossCheck just
+	// proved row by row), so one copy suffices.
+	obsRep := reportFromRows("holistic bench", parRows)
+	finalizeReport(obsRep, *workers, false)
+	if err := sink.Flush(obsRep); err != nil {
+		return err
 	}
 	if !rep.Identical {
 		return fmt.Errorf("worker counts disagreed: %v", rep.Mismatches)

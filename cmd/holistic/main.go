@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ltl"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/spec"
 	"repro/internal/ta"
@@ -114,6 +115,12 @@ subcommands:
 most subcommands accept -ta <file.ta> to load a user-supplied automaton
 instead of a bundled model, and -j <workers> to set the worker budget
 (results are deterministic at any worker count).
+
+verification subcommands also accept the observability flags:
+  -trace out.jsonl    JSONL span/event trace (ring-buffered)
+  -report out.json    metric snapshot (deterministic + observational sections)
+  -pprof addr         serve net/http/pprof while the run is live
+  -progress 2s        periodic progress line on stderr
 `)
 }
 
@@ -160,6 +167,7 @@ func cmdPipeline(args []string) error {
 	mode := fs.String("mode", "staged", "schema mode: staged or full")
 	asJSON := fs.Bool("json", false, "emit a machine-readable JSON certificate")
 	workers := fs.Int("j", runtime.NumCPU(), "total worker budget (verdicts are deterministic at any count)")
+	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -167,12 +175,31 @@ func cmdPipeline(args []string) error {
 	if err != nil {
 		return err
 	}
-	stop := watchInterrupt()
-	rep, err := core.HolisticVerification(core.Options{Mode: m, Stop: stop, Parallel: *workers})
+	sink, err := of.open("holistic pipeline")
 	if err != nil {
 		return err
 	}
-	if stop() {
+	defer sink.Close()
+	stop := watchInterrupt()
+	stopProgress := of.startProgress(stop)
+	rep, err := core.HolisticVerification(core.Options{Mode: m, Stop: stop, Parallel: *workers, Trace: sink.Tracer})
+	stopProgress()
+	if err != nil {
+		return err
+	}
+	interrupted := stop()
+	obsRep := &obs.Report{Tool: "holistic pipeline"}
+	for _, res := range rep.Inner.Results {
+		addResultMetrics(obsRep, rep.Inner.Model, res)
+	}
+	for _, res := range rep.Outer.Results {
+		addResultMetrics(obsRep, rep.Outer.Model, res)
+	}
+	finalizeReport(obsRep, *workers, interrupted)
+	if err := sink.Flush(obsRep); err != nil {
+		return err
+	}
+	if interrupted {
 		fmt.Fprintln(os.Stderr, "holistic: pipeline interrupted; partial verdicts below (interrupted checks report budget)")
 	}
 	if *asJSON {
@@ -200,6 +227,7 @@ func cmdVerify(args []string) error {
 	stats := fs.Bool("stats", false, "print SMT effort statistics per property")
 	timeout := fs.Duration("timeout", 0, "per-property timeout (0 = none)")
 	workers := fs.Int("j", runtime.NumCPU(), "schema-enumeration workers (verdicts are deterministic at any count)")
+	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -233,11 +261,23 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
-	stop := watchInterrupt()
-	engine, err := schema.New(a, schema.Options{Mode: m, Timeout: *timeout, Stop: stop, Workers: *workers})
+	sink, err := of.open("holistic verify")
 	if err != nil {
 		return err
 	}
+	defer sink.Close()
+	stop := watchInterrupt()
+	stopProgress := of.startProgress(stop)
+	defer stopProgress()
+	engine, err := schema.New(a, schema.Options{Mode: m, Timeout: *timeout, Stop: stop, Workers: *workers, Trace: sink.Tracer})
+	if err != nil {
+		return err
+	}
+	modelName := *model
+	if *taFile != "" {
+		modelName = a.Name
+	}
+	obsRep := &obs.Report{Tool: "holistic verify"}
 	found := false
 	for i := range queries {
 		if *prop != "" && queries[i].Name != *prop {
@@ -252,6 +292,7 @@ func cmdVerify(args []string) error {
 		if err != nil {
 			return err
 		}
+		addResultMetrics(obsRep, modelName, res)
 		fmt.Printf("%-16s %-16s %8d schemas  avg len %6.1f  %v\n",
 			res.Query, res.Outcome, res.Schemas, res.AvgLen, res.Elapsed.Round(time.Millisecond))
 		if *stats {
@@ -262,8 +303,16 @@ func cmdVerify(args []string) error {
 			fmt.Println(res.CE.Format())
 		}
 	}
+	stopProgress()
 	if !found {
 		return fmt.Errorf("no property %q in model %s", *prop, *model)
+	}
+	finalizeReport(obsRep, *workers, stop())
+	if err := sink.Flush(obsRep); err != nil {
+		return err
+	}
+	if stop() {
+		return fmt.Errorf("verify interrupted; completed verdicts were reported")
 	}
 	return nil
 }
@@ -273,18 +322,32 @@ func cmdTable2(args []string) error {
 	skipNaive := fs.Bool("skip-naive", false, "skip the naive-consensus block")
 	naiveTimeout := fs.Duration("naive-timeout", 30*time.Second, "budget for the naive block")
 	workers := fs.Int("j", runtime.NumCPU(), "schema-enumeration workers per row (counts are deterministic at any -j)")
+	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	stop := watchInterrupt()
-	rows, err := core.Table2(core.Table2Options{SkipNaive: *skipNaive, NaiveTimeout: *naiveTimeout, Stop: stop, Workers: *workers})
+	sink, err := of.open("holistic table2")
 	if err != nil {
 		return err
 	}
-	if stop() {
-		fmt.Fprintln(os.Stderr, "holistic: table2 interrupted; interrupted rows report timeout/budget")
+	defer sink.Close()
+	stop := watchInterrupt()
+	stopProgress := of.startProgress(stop)
+	rows, err := core.Table2(core.Table2Options{SkipNaive: *skipNaive, NaiveTimeout: *naiveTimeout, Stop: stop, Workers: *workers, Trace: sink.Tracer})
+	stopProgress()
+	if err != nil {
+		return err
+	}
+	interrupted := stop()
+	rep := reportFromRows("holistic table2", rows)
+	finalizeReport(rep, *workers, interrupted)
+	if err := sink.Flush(rep); err != nil {
+		return err
 	}
 	fmt.Print(core.FormatTable2(rows))
+	if interrupted {
+		return fmt.Errorf("table2 interrupted; completed rows were reported, interrupted rows show timeout/budget")
+	}
 	return nil
 }
 

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/schema"
+	"repro/internal/smt"
+	"repro/internal/spec"
+)
+
+// obsFlags bundles the observability flags shared by the verification
+// subcommands: -trace (JSONL event trace), -report (full metric snapshot),
+// -pprof (net/http/pprof server) and -progress (periodic status line).
+type obsFlags struct {
+	trace    *string
+	report   *string
+	pprof    *string
+	progress *time.Duration
+}
+
+func registerObsFlags(fs *flag.FlagSet) *obsFlags {
+	return &obsFlags{
+		trace:    fs.String("trace", "", "write a JSONL event trace to this file"),
+		report:   fs.String("report", "", "write the metric snapshot as JSON to this file"),
+		pprof:    fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)"),
+		progress: fs.Duration("progress", 0, "print a progress line at this interval (0 = off)"),
+	}
+}
+
+// open validates every requested output up front — a bad path or an
+// already-bound pprof port fails here, before any verification time is
+// spent. The caller owns the sink: Close always, Flush on every exit path
+// that has results (interrupts included).
+func (o *obsFlags) open(tool string) (*obs.Sink, error) {
+	sink, err := obs.OpenSink(obs.SinkOptions{
+		Tool:       tool,
+		TracePath:  *o.trace,
+		ReportPath: *o.report,
+		PprofAddr:  *o.pprof,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if addr := sink.PprofAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "holistic: pprof listening on http://%s/debug/pprof/\n", addr)
+	}
+	return sink, nil
+}
+
+// startProgress begins the periodic schemas/s status line (no-op at
+// interval 0). The returned stop func is idempotent.
+func (o *obsFlags) startProgress(stop func() bool) func() {
+	if *o.progress <= 0 {
+		return func() {}
+	}
+	solved := obs.Default.Counter("schema", "schemas_solved")
+	start := time.Now()
+	return obs.StartProgress(os.Stderr, *o.progress, func() string {
+		return obs.RateLine("schemas", solved.Load(), 0, time.Since(start))
+	}, stop)
+}
+
+// addQueryMetrics appends one check result to the report: the deterministic
+// row (with Budget rows' volatile fields zeroed — a timeout or interrupt
+// cuts the enumeration at a nondeterministic point) and the observational
+// per-phase timing row, which keeps the full values.
+func addQueryMetrics(rep *obs.Report, model, query, mode string, outcome spec.Outcome,
+	schemas int, avgLen float64, solver smt.Stats, elapsed time.Duration, ph schema.PhaseTimings) {
+	qm := obs.QueryMetrics{
+		Model:   model,
+		Query:   query,
+		Mode:    mode,
+		Outcome: outcome.String(),
+		Schemas: schemas,
+		AvgLen:  avgLen,
+		Solver: obs.SolverMetrics{
+			LPChecks:   int64(solver.LPChecks),
+			Pivots:     int64(solver.Pivots),
+			Rebuilds:   int64(solver.Rebuilds),
+			BBNodes:    int64(solver.BBNodes),
+			CaseSplits: int64(solver.CaseSplit),
+		},
+	}
+	if outcome == spec.Budget {
+		qm.Schemas, qm.AvgLen, qm.Solver = 0, 0, obs.SolverMetrics{}
+	}
+	rep.Deterministic.Queries = append(rep.Deterministic.Queries, qm)
+	rep.Observational.Timings = append(rep.Observational.Timings, obs.QueryTimings{
+		Model:     model,
+		Query:     query,
+		ElapsedNS: elapsed.Nanoseconds(),
+		EncodeNS:  ph.Encode.Nanoseconds(),
+		SolveNS:   ph.Solve.Nanoseconds(),
+		FoldNS:    ph.Fold.Nanoseconds(),
+	})
+}
+
+// addResultMetrics is addQueryMetrics for a schema.Result.
+func addResultMetrics(rep *obs.Report, model string, res schema.Result) {
+	addQueryMetrics(rep, model, res.Query, res.Mode.String(), res.Outcome,
+		res.Schemas, res.AvgLen, res.Solver, res.Elapsed, res.Phases)
+}
+
+// reportFromRows builds the -report payload from Table 2 rows.
+func reportFromRows(tool string, rows []core.Table2Row) *obs.Report {
+	rep := &obs.Report{Tool: tool}
+	for _, r := range rows {
+		addQueryMetrics(rep, r.TA, r.Property, r.Mode.String(), r.Outcome,
+			r.Schemas, r.AvgLen, r.Solver, r.Elapsed, r.Phases)
+	}
+	return rep
+}
+
+// finalizeReport stamps the observational envelope: the worker count, the
+// interrupt flag, and the raw process-wide instrument snapshot.
+func finalizeReport(rep *obs.Report, workers int, interrupted bool) {
+	rep.Observational.Workers = workers
+	rep.Observational.Interrupted = interrupted
+	rep.Observational.Registry = obs.Default.Snapshot()
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestObsFailurePaths asserts the fail-fast contract of the observability
+// flags: a bad -trace or -report destination, or an already-bound -pprof
+// port, must fail before any verification work, with a one-line diagnostic.
+func TestObsFailurePaths(t *testing.T) {
+	dir := t.TempDir()
+	missing := filepath.Join(dir, "no-such-dir", "out")
+
+	bad := [][]string{
+		{"table2", "-skip-naive", "-report", missing},
+		{"table2", "-skip-naive", "-trace", missing},
+		{"verify", "-model", "strb", "-report", missing},
+		{"pipeline", "-trace", missing},
+		{"bench", "-report", missing},
+	}
+	for _, args := range bad {
+		err := run(args)
+		if err == nil {
+			t.Errorf("run(%v): expected error", args)
+			continue
+		}
+		if strings.Contains(err.Error(), "\n") {
+			t.Errorf("run(%v): diagnostic spans multiple lines: %q", args, err)
+		}
+	}
+}
+
+// TestObsPprofPortBound asserts that a -pprof address that is already bound
+// fails fast and removes the report skeleton written moments earlier — a
+// run that never started must leave no artifact behind.
+func TestObsPprofPortBound(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	report := filepath.Join(t.TempDir(), "report.json")
+	runErr := run([]string{"table2", "-skip-naive", "-report", report, "-pprof", ln.Addr().String()})
+	if runErr == nil {
+		t.Fatal("expected error for an already-bound pprof address")
+	}
+	if strings.Contains(runErr.Error(), "\n") {
+		t.Errorf("diagnostic spans multiple lines: %q", runErr)
+	}
+	if _, serr := os.Stat(report); !os.IsNotExist(serr) {
+		t.Errorf("report skeleton survived a failed startup (stat err %v)", serr)
+	}
+}
+
+// TestTable2ReportContents runs the fast Table 2 block with -report and
+// asserts the acceptance shape: one deterministic row per query with schema
+// counts, and one observational timing row per query with the per-phase
+// (encode/solve/fold) breakdown.
+func TestTable2ReportContents(t *testing.T) {
+	stdout := os.Stdout
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devNull
+	defer func() { os.Stdout = stdout }()
+
+	path := filepath.Join(t.TempDir(), "table2.json")
+	if err := run([]string{"table2", "-skip-naive", "-j", "2", "-report", path}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := obs.ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Deterministic.Queries) == 0 {
+		t.Fatal("no query rows in the report")
+	}
+	if len(rep.Observational.Timings) != len(rep.Deterministic.Queries) {
+		t.Fatalf("%d timing rows for %d query rows",
+			len(rep.Observational.Timings), len(rep.Deterministic.Queries))
+	}
+	for _, q := range rep.Deterministic.Queries {
+		if q.Outcome != "budget" && q.Schemas == 0 {
+			t.Errorf("%s/%s: no schema count", q.Model, q.Query)
+		}
+	}
+	solved := false
+	for _, tm := range rep.Observational.Timings {
+		if tm.ElapsedNS <= 0 {
+			t.Errorf("%s/%s: no elapsed time", tm.Model, tm.Query)
+		}
+		if tm.SolveNS > 0 {
+			solved = true
+		}
+	}
+	if !solved {
+		t.Error("no timing row has a solve phase > 0")
+	}
+	if rep.Observational.Workers != 2 {
+		t.Errorf("workers = %d, want 2", rep.Observational.Workers)
+	}
+}

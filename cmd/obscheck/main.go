@@ -1,0 +1,124 @@
+// Command obscheck validates observability artifacts produced by the
+// holistic and dbftsim CLIs, and asserts the determinism contract between
+// two reports of the same run at different worker counts.
+//
+// Usage:
+//
+//	obscheck report.json                     validate one report
+//	obscheck r1.json r8.json                 validate both and require their
+//	                                         deterministic sections to be
+//	                                         byte-identical
+//	obscheck -trace t.jsonl [reports...]     also validate a JSONL trace
+//
+// scripts/verify.sh runs the two-report form against `holistic table2
+// -j 1` vs `-j 8`: everything under the reports' "deterministic" key must
+// be byte-identical, while the "observational" sections are allowed — and
+// expected — to differ.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "obscheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("obscheck", flag.ContinueOnError)
+	tracePath := fs.String("trace", "", "validate this JSONL trace file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if *tracePath == "" && len(paths) == 0 {
+		return fmt.Errorf("nothing to check: pass report files and/or -trace")
+	}
+	if len(paths) > 2 {
+		return fmt.Errorf("at most two reports (got %d): the second is compared against the first", len(paths))
+	}
+
+	if *tracePath != "" {
+		events, err := checkTrace(*tracePath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("obscheck: %s: %d events, valid\n", *tracePath, events)
+	}
+
+	var det [][]byte
+	for _, p := range paths {
+		rep, err := obs.ReadReport(p)
+		if err != nil {
+			return err
+		}
+		if err := rep.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		d, err := rep.DeterministicJSON()
+		if err != nil {
+			return err
+		}
+		det = append(det, d)
+		fmt.Printf("obscheck: %s: valid (%s, %d query rows, campaign=%v)\n",
+			p, rep.Tool, len(rep.Deterministic.Queries), rep.Deterministic.Campaign != nil)
+	}
+	if len(det) == 2 {
+		if !bytes.Equal(det[0], det[1]) {
+			return fmt.Errorf("deterministic sections differ between %s and %s:\n--- %s\n%s\n--- %s\n%s",
+				paths[0], paths[1], paths[0], det[0], paths[1], det[1])
+		}
+		fmt.Printf("obscheck: deterministic sections are byte-identical (%d bytes)\n", len(det[0]))
+	}
+	return nil
+}
+
+// checkTrace validates a JSONL trace: every line must decode into an
+// obs.Event with a non-empty kind, and the file must end with the
+// "trace_end" trailer (proof the writer flushed the whole ring).
+func checkTrace(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	n := 0
+	last := ""
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev obs.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return n, fmt.Errorf("%s line %d: %w", path, n+1, err)
+		}
+		if ev.Kind == "" {
+			return n, fmt.Errorf("%s line %d: event has no kind", path, n+1)
+		}
+		n++
+		last = ev.Kind
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("%s: empty trace", path)
+	}
+	if last != "trace_end" {
+		return n, fmt.Errorf("%s: missing trace_end trailer (last event kind %q)", path, last)
+	}
+	return n, nil
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/spec"
 	"repro/internal/ta"
@@ -46,9 +47,13 @@ type Options struct {
 	// paper ran ByMC MPI-parallel on 64 cores; here the budget is split
 	// between the two levels of parallelism so they never oversubscribe the
 	// machine: up to min(Parallel, #queries) properties check concurrently,
-	// and each engine gets Parallel / that many schema-enumeration workers
-	// (schema.Options.Workers). Verdicts are deterministic at any budget.
+	// with the budget divided between those slots as schema-enumeration
+	// workers (schema.Options.Workers). Verdicts are deterministic at any
+	// budget.
 	Parallel int
+	// Trace, when non-nil, receives structured span events from every
+	// engine (see schema.Options.Trace). Observational only.
+	Trace *obs.Tracer
 }
 
 func (o Options) engine(a *ta.TA, schemaWorkers int) (*schema.Engine, error) {
@@ -58,22 +63,36 @@ func (o Options) engine(a *ta.TA, schemaWorkers int) (*schema.Engine, error) {
 		Timeout:    o.Timeout,
 		Stop:       o.Stop,
 		Workers:    schemaWorkers,
+		Trace:      o.Trace,
 	})
 }
 
 // splitBudget divides the total worker budget between query-level
 // concurrency and per-query schema workers: queries first (they are the
 // coarser, better-isolated unit), remaining capacity to the enumeration.
-func splitBudget(budget, queries int) (queryPar, schemaWorkers int) {
+// It returns one slot per concurrently-checked query; slot i's value is the
+// schema-worker count of the engine serving it. The values always sum to
+// the (min-1-clamped) budget: the old floor division stranded the remainder
+// — budget 6 over 4 queries ran 4 slots of 1 worker each and idled 2 cores
+// — so the remainder is now spread one extra worker over the first slots.
+func splitBudget(budget, queries int) []int {
 	if budget < 1 {
 		budget = 1
 	}
-	queryPar = budget
-	if queries >= 1 && queryPar > queries {
-		queryPar = queries
+	slots := budget
+	if queries >= 1 && slots > queries {
+		slots = queries
 	}
-	schemaWorkers = budget / queryPar
-	return queryPar, schemaWorkers
+	base := budget / slots
+	rem := budget % slots
+	out := make([]int, slots)
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
 }
 
 // Report collects the verdicts for one automaton.
@@ -124,25 +143,36 @@ func safeCheck(c checker, q *spec.Query) (res schema.Result, err error) {
 
 func runQueries(a *ta.TA, queries []spec.Query, opts Options) (Report, error) {
 	start := time.Now()
-	queryPar, schemaWorkers := splitBudget(opts.Parallel, len(queries))
-	engine, err := opts.engine(a, schemaWorkers)
-	if err != nil {
-		return Report{}, err
+	slots := splitBudget(opts.Parallel, len(queries))
+	// One engine per slot, each sized to its slot's schema-worker share, so
+	// the whole budget is in play even when it doesn't divide evenly. Which
+	// slot a query lands on cannot affect its verdict: results are
+	// deterministic at any worker count (see internal/schema/parallel.go).
+	engines := make([]*schema.Engine, len(slots))
+	for si, w := range slots {
+		var err error
+		engines[si], err = opts.engine(a, w)
+		if err != nil {
+			return Report{}, err
+		}
 	}
 	rep := Report{Model: a.Name, Size: a.Size()}
 	results := make([]schema.Result, len(queries))
 	errs := make([]error, len(queries))
 
-	sem := make(chan struct{}, queryPar)
+	slotCh := make(chan int, len(slots))
+	for si := range slots {
+		slotCh <- si
+	}
 	var wg sync.WaitGroup
 	for i := range queries {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
+		si := <-slotCh
+		go func(i, si int) {
 			defer wg.Done()
-			defer func() { <-sem }()
-			results[i], errs[i] = safeCheck(engine, &queries[i])
-		}(i)
+			defer func() { slotCh <- si }()
+			results[i], errs[i] = safeCheck(engines[si], &queries[i])
+		}(i, si)
 	}
 	wg.Wait()
 	for i, err := range errs {

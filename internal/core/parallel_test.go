@@ -46,6 +46,52 @@ func TestParallelMatchesSequential(t *testing.T) {
 	compare("outer", seq.Outer, par.Outer)
 }
 
+// TestSplitBudgetUsesWholeBudget sweeps budgets 1..16 against query counts
+// 1..8 and requires the slot worker counts to sum to exactly the budget:
+// the old floor division stranded budget mod slots workers (budget 6 over 4
+// queries used only 4). Also pins the shape invariants the scheduler relies
+// on: at most one slot per query, every slot at least one worker, and the
+// remainder spread so slot sizes differ by at most one.
+func TestSplitBudgetUsesWholeBudget(t *testing.T) {
+	for budget := 0; budget <= 16; budget++ {
+		for queries := 1; queries <= 8; queries++ {
+			slots := splitBudget(budget, queries)
+			want := budget
+			if want < 1 {
+				want = 1
+			}
+			sum := 0
+			for _, w := range slots {
+				if w < 1 {
+					t.Errorf("budget=%d queries=%d: slot with %d workers", budget, queries, w)
+				}
+				sum += w
+			}
+			if sum != want {
+				t.Errorf("budget=%d queries=%d: slots %v sum to %d, want %d", budget, queries, slots, sum, want)
+			}
+			if len(slots) > queries {
+				t.Errorf("budget=%d queries=%d: %d slots exceed query count", budget, queries, len(slots))
+			}
+			if len(slots) == 0 {
+				t.Fatalf("budget=%d queries=%d: no slots", budget, queries)
+			}
+			min, max := slots[0], slots[0]
+			for _, w := range slots {
+				if w < min {
+					min = w
+				}
+				if w > max {
+					max = w
+				}
+			}
+			if max-min > 1 {
+				t.Errorf("budget=%d queries=%d: uneven slots %v", budget, queries, slots)
+			}
+		}
+	}
+}
+
 // TestParallelRace exercises the concurrent path under -race (the dedicated
 // race run happens in CI via `go test -race`); here we simply ensure a
 // heavily parallel run stays correct.

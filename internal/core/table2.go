@@ -6,12 +6,16 @@ import (
 	"time"
 
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/schema"
+	"repro/internal/smt"
 	"repro/internal/spec"
 	"repro/internal/ta"
 )
 
-// Table2Row is one line of the paper's Table 2.
+// Table2Row is one line of the paper's Table 2, extended with the solver
+// effort behind the verdict and the per-phase wall-clock breakdown (the
+// latter observational: see schema.PhaseTimings).
 type Table2Row struct {
 	TA       string
 	Size     ta.Size
@@ -21,6 +25,8 @@ type Table2Row struct {
 	AvgLen   float64
 	Elapsed  time.Duration
 	Mode     schema.Mode
+	Solver   smt.Stats
+	Phases   schema.PhaseTimings
 }
 
 // Table2Options selects which blocks to run.
@@ -38,6 +44,8 @@ type Table2Options struct {
 	// meaningful; the enumeration inside each row parallelizes, with
 	// deterministic schema counts and outcomes.
 	Workers int
+	// Trace, when non-nil, receives span events from every check.
+	Trace *obs.Tracer
 }
 
 // Table2 regenerates the paper's Table 2:
@@ -55,7 +63,7 @@ func Table2(opts Table2Options) ([]Table2Row, error) {
 	var rows []Table2Row
 
 	add := func(a *ta.TA, queries []spec.Query, names []string, mode schema.Mode, timeout time.Duration) error {
-		engine, err := schema.New(a, schema.Options{Mode: mode, Timeout: timeout, Stop: opts.Stop, Workers: opts.Workers})
+		engine, err := schema.New(a, schema.Options{Mode: mode, Timeout: timeout, Stop: opts.Stop, Workers: opts.Workers, Trace: opts.Trace})
 		if err != nil {
 			return err
 		}
@@ -71,6 +79,7 @@ func Table2(opts Table2Options) ([]Table2Row, error) {
 			rows = append(rows, Table2Row{
 				TA: a.Name, Size: size, Property: res.Query, Outcome: res.Outcome,
 				Schemas: res.Schemas, AvgLen: res.AvgLen, Elapsed: res.Elapsed, Mode: mode,
+				Solver: res.Solver, Phases: res.Phases,
 			})
 		}
 		return nil

@@ -396,6 +396,7 @@ func (p *Process) OnTick(step int, send network.Sender) {
 
 // Retransmit immediately re-broadcasts every recorded logical broadcast.
 func (p *Process) Retransmit(send network.Sender) {
+	obsRetransmissions.Inc()
 	for _, m := range p.outbox {
 		network.Broadcast(send, p.all, m)
 	}

@@ -1,0 +1,8 @@
+package dbft
+
+import "repro/internal/obs"
+
+// obsRetransmissions counts outbox re-broadcasts across every process in
+// the process (observational only — campaign verdicts fold per-seed event
+// counts deterministically, see internal/faults).
+var obsRetransmissions = obs.Default.Counter("dbft", "retransmissions")

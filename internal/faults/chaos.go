@@ -10,6 +10,7 @@ import (
 	"repro/internal/dbft"
 	"repro/internal/fairness"
 	"repro/internal/network"
+	"repro/internal/obs"
 )
 
 // Scenario is one fully replayable chaos run: the consensus parameters, the
@@ -276,6 +277,10 @@ type Campaign struct {
 	// and the resume seed after an interrupt — is identical to a sequential
 	// campaign. Verbose lines may interleave across seeds.
 	Workers int
+
+	// Trace, when non-nil, receives one "chaos" event per executed seed
+	// (steps, decided, failed). Observational only.
+	Trace *obs.Tracer
 }
 
 // Violation is one failed assertion, carrying everything needed to replay
@@ -448,8 +453,11 @@ func (c Campaign) Run() CampaignResult {
 	}
 	recs, nextIdx, interrupted := runIndexed(c.Runs, c.Workers, c.Stop, func(i int) chaosRun {
 		seed := c.BaseSeed + int64(i)
+		obsCurrentSeed.Set(seed)
 		sc := c.RandomScenario(seed)
 		out := sc.Run()
+		obsSeedsRun.Inc()
+		traceSeed(c.Trace, "chaos", seed, &out)
 		if c.Verbose != nil {
 			c.Verbose("seed %d: steps=%d decided=%v fair=%v faults=%v",
 				seed, out.Steps, out.Decided, sc.Plan.FairDelivery(), CountEvents(out.Events))
@@ -475,6 +483,7 @@ func (c Campaign) Run() CampaignResult {
 			res.Events[k] += n
 		}
 		fail := func(reason string) {
+			obsSeedsFailed.Inc()
 			res.Violations = append(res.Violations, Violation{Seed: seed, Scenario: r.sc, Reason: reason})
 		}
 		switch {

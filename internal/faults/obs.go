@@ -1,0 +1,37 @@
+package faults
+
+import "repro/internal/obs"
+
+// Observational-only instrumentation (see internal/obs). Campaign verdicts
+// and aggregates come from the seed-ordered prefix fold in parallel.go,
+// never from these racing counters.
+var (
+	// obsSeedsRun counts scenario executions across all campaigns;
+	// obsSeedsFailed counts the ones folded as violations.
+	obsSeedsRun    = obs.Default.Counter("faults", "seeds_run")
+	obsSeedsFailed = obs.Default.Counter("faults", "seeds_failed")
+	// obsCurrentSeed holds the most recently started seed — what a progress
+	// line or a post-mortem snapshot reports as "where the campaign was".
+	obsCurrentSeed = obs.Default.Gauge("faults", "current_seed")
+)
+
+// traceSeed emits one per-seed trace event (nil tracer = no-op).
+func traceSeed(tr *obs.Tracer, kind string, seed int64, out *Outcome) {
+	if tr == nil {
+		return
+	}
+	decided := int64(0)
+	if out.Decided {
+		decided = 1
+	}
+	failed := int64(0)
+	if out.Err != nil || out.AgreementErr != nil || out.ValidityErr != nil {
+		failed = 1
+	}
+	tr.Emit(kind, "seed", map[string]int64{
+		"seed":    seed,
+		"steps":   int64(out.Steps),
+		"decided": decided,
+		"failed":  failed,
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/network"
+	"repro/internal/obs"
 )
 
 // TortureCampaign drives seeded kill/corrupt/restart schedules against
@@ -36,6 +37,10 @@ type TortureCampaign struct {
 	// aggregate — and the NextSeed resume point — is the same at any worker
 	// count. Verbose lines may interleave.
 	Workers int
+
+	// Trace, when non-nil, receives one "torture" event per executed seed
+	// (steps, decided, failed). Observational only.
+	Trace *obs.Tracer
 }
 
 // TortureResult aggregates a torture campaign.
@@ -195,8 +200,11 @@ func (c TortureCampaign) Run() TortureResult {
 	}
 	recs, nextIdx, interrupted := runIndexed(c.Runs, c.Workers, c.Stop, func(i int) tortureRun {
 		seed := c.BaseSeed + int64(i)
+		obsCurrentSeed.Set(seed)
 		sc := c.RandomScenario(seed)
 		out := sc.Run()
+		obsSeedsRun.Inc()
+		traceSeed(c.Trace, "torture", seed, &out)
 		if c.Verbose != nil {
 			c.Verbose("seed %d: steps=%d decided=%v quarantined=%v replayChecked=%d faults=%v",
 				seed, out.Steps, out.Decided, out.Quarantined, out.ReplayChecked, CountEvents(out.Events))
@@ -218,6 +226,7 @@ func (c TortureCampaign) Run() TortureResult {
 			res.Events[k] += n
 		}
 		fail := func(reason string) {
+			obsSeedsFailed.Inc()
 			res.Violations = append(res.Violations, Violation{Seed: seed, Scenario: r.sc, Reason: reason})
 		}
 		switch {

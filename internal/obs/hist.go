@@ -1,0 +1,73 @@
+package obs
+
+import "sync/atomic"
+
+// histBuckets is the number of power-of-two histogram buckets. Bucket i
+// counts observations v with 2^(i-1) <= v < 2^i (bucket 0 counts v <= 0 and
+// v == 1 lands in bucket 1); 63 buckets cover the whole int64 range, so
+// nanosecond latencies from tens of ns to hours resolve to ~2x precision.
+const histBuckets = 63
+
+// Histogram is a lock-free power-of-two-bucket histogram, intended for
+// latency observations in nanoseconds. The zero value is ready to use; all
+// methods are concurrency- and nil-receiver safe. Histograms are
+// observational by the package determinism rule: concurrent observers race,
+// and wall-clock inputs differ run to run.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf maps an observation to its bucket index: the number of bits
+// needed to represent v (0 for v <= 0).
+func bucketOf(v int64) int {
+	b := 0
+	for v > 0 {
+		b++
+		v >>= 1
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// HistogramBucket is one non-empty bucket of a snapshot: Count observations
+// were < Lt (the exclusive upper bound, a power of two).
+type HistogramBucket struct {
+	Lt    int64 `json:"lt"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is the serializable point-in-time state.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram. Counts and sum may be mutually slightly
+// stale under concurrent Observe calls; fine for an observational dump.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	snap := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			snap.Buckets = append(snap.Buckets, HistogramBucket{Lt: 1 << i, Count: n})
+		}
+	}
+	return snap
+}

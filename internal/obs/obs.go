@@ -1,0 +1,222 @@
+// Package obs is the zero-dependency observability plane of the
+// verification stack: cheap atomic counters, gauges and histograms
+// registered per subsystem, a structured span/event tracer (ring buffer,
+// off by default), a serializable metric report with an explicit
+// determinism segregation, and the runtime hooks (pprof server, periodic
+// progress line) the CLIs expose.
+//
+// The paper's headline result is a wall-clock table; this package exists so
+// a Table 2 row can be decomposed from one run: where the time went across
+// the SMT solver, the schema enumeration and the campaign engines, instead
+// of a single opaque Elapsed.
+//
+// Determinism rule. Metrics come in two classes, and the Report type keeps
+// them apart structurally:
+//
+//   - deterministic: values that feed verdicts (outcomes, schema counts,
+//     folded solver effort). These are computed from per-index records
+//     joined in preorder — never from the racing global counters below —
+//     and must be byte-identical at any worker count.
+//   - observational: everything the registry holds (raw counters, queue
+//     depths, timings, poll counts). Workers race on these, discarded
+//     work still counts, and two runs of the same query legitimately
+//     differ. They must never be compared for equality across runs.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotone atomic counter. The zero value is ready to use;
+// all methods are safe for concurrent use and nil-receiver safe so call
+// sites need no guards.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current value.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic last-write-wins value (queue depths, current seed).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry holds the named instruments, keyed subsystem/name. Lookup is
+// mutex-guarded (instrument handles are meant to be grabbed once, at
+// package init or setup time); the instruments themselves are lock-free.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]map[string]*Counter
+	gauges     map[string]map[string]*Gauge
+	histograms map[string]map[string]*Histogram
+}
+
+// Default is the process-wide registry the subsystems register into.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]map[string]*Counter{},
+		gauges:     map[string]map[string]*Gauge{},
+		histograms: map[string]map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(subsystem, name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.counters[subsystem]
+	if m == nil {
+		m = map[string]*Counter{}
+		r.counters[subsystem] = m
+	}
+	c := m[name]
+	if c == nil {
+		c = &Counter{}
+		m[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(subsystem, name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.gauges[subsystem]
+	if m == nil {
+		m = map[string]*Gauge{}
+		r.gauges[subsystem] = m
+	}
+	g := m[name]
+	if g == nil {
+		g = &Gauge{}
+		m[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(subsystem, name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.histograms[subsystem]
+	if m == nil {
+		m = map[string]*Histogram{}
+		r.histograms[subsystem] = m
+	}
+	h := m[name]
+	if h == nil {
+		h = &Histogram{}
+		m[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of a registry, in the shape the report
+// serializes. All snapshot content is observational by the package rule.
+type Snapshot struct {
+	Counters   map[string]map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies every instrument's current value. Concurrent updates may
+// land between reads; the snapshot is consistent per instrument only (which
+// is all an observational dump needs).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{}
+	if len(r.counters) > 0 {
+		snap.Counters = map[string]map[string]int64{}
+		for sub, m := range r.counters {
+			out := make(map[string]int64, len(m))
+			for name, c := range m {
+				out[name] = c.Load()
+			}
+			snap.Counters[sub] = out
+		}
+	}
+	if len(r.gauges) > 0 {
+		snap.Gauges = map[string]map[string]int64{}
+		for sub, m := range r.gauges {
+			out := make(map[string]int64, len(m))
+			for name, g := range m {
+				out[name] = g.Load()
+			}
+			snap.Gauges[sub] = out
+		}
+	}
+	if len(r.histograms) > 0 {
+		snap.Histograms = map[string]map[string]HistogramSnapshot{}
+		for sub, m := range r.histograms {
+			out := make(map[string]HistogramSnapshot, len(m))
+			for name, h := range m {
+				out[name] = h.Snapshot()
+			}
+			snap.Histograms[sub] = out
+		}
+	}
+	return snap
+}
+
+// Subsystems lists the subsystems with at least one instrument, sorted.
+func (r *Registry) Subsystems() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := map[string]bool{}
+	for sub := range r.counters {
+		seen[sub] = true
+	}
+	for sub := range r.gauges {
+		seen[sub] = true
+	}
+	for sub := range r.histograms {
+		seen[sub] = true
+	}
+	out := make([]string, 0, len(seen))
+	for sub := range seen {
+		out = append(out, sub)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers on DefaultServeMux
+)
+
+// ServePprof starts the net/http/pprof debug server on addr (e.g.
+// "localhost:6060", or ":0" for an ephemeral port) and returns the bound
+// address plus a shutdown func. Binding failures (port already in use, bad
+// address) are returned immediately so a CLI can fail fast with a one-line
+// diagnostic instead of silently running unprofiled.
+func ServePprof(addr string) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: pprof listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on shutdown
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// StartProgress emits status() to w every interval until the returned stop
+// func is called (long campaigns print "current seed, rate, ETA" lines with
+// it). The loop also honors the cooperative-interrupt hook: when stopHook
+// (may be nil) reports true the loop falls silent, so a graceful wind-down
+// is not interleaved with progress chatter. The returned func is idempotent
+// and waits for the loop goroutine to exit.
+func StartProgress(w io.Writer, interval time.Duration, status func() string, stopHook func() bool) (stop func()) {
+	if interval <= 0 || status == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				if stopHook != nil && stopHook() {
+					return
+				}
+				fmt.Fprintln(w, status())
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}
+
+// RateLine formats the standard progress line: done/total units, the
+// current rate, and the ETA extrapolated from elapsed wall clock. It is a
+// plain helper so the CLIs render campaign seeds and schema enumerations
+// the same way.
+func RateLine(what string, done, total int64, elapsed time.Duration) string {
+	rate := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		rate = float64(done) / s
+	}
+	if total <= 0 {
+		return fmt.Sprintf("progress: %d %s, %.1f/s", done, what, rate)
+	}
+	eta := "?"
+	if rate > 0 && done < total {
+		eta = (time.Duration(float64(total-done)/rate*float64(time.Second)) / time.Second * time.Second).String()
+	} else if done >= total {
+		eta = "0s"
+	}
+	return fmt.Sprintf("progress: %d/%d %s (%.0f%%), %.1f/s, ETA %s",
+		done, total, what, 100*float64(done)/float64(total), rate, eta)
+}

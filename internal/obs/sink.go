@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// Sink owns the CLI-side lifecycle of the observability outputs. Opening
+// validates every destination up front — a bad -trace or -report path, or a
+// -pprof port that is already bound, fails before hours of verification are
+// spent — and Flush writes the final artifacts on every exit path,
+// including a graceful interrupt, so a stopped campaign still leaves a
+// valid partial report behind (never a zero-byte JSON file).
+type Sink struct {
+	// Tracer is non-nil iff a trace path was given; thread it into the
+	// engines. A nil Sink has a nil Tracer, so callers need no guards.
+	Tracer *Tracer
+
+	tracePath  string
+	reportPath string
+	pprofAddr  string
+	stopPprof  func()
+}
+
+// SinkOptions configures OpenSink; empty fields disable the corresponding
+// output.
+type SinkOptions struct {
+	Tool        string // report producer name, e.g. "holistic table2"
+	TracePath   string // JSONL event trace destination
+	ReportPath  string // metric report destination
+	PprofAddr   string // net/http/pprof listen address
+	TraceEvents int    // ring capacity (0 = DefaultTraceEvents)
+}
+
+// OpenSink validates and opens every requested output. The report file is
+// seeded with a valid "partial" skeleton immediately, so no code path —
+// crash included — leaves a zero-byte file at the path.
+func OpenSink(o SinkOptions) (*Sink, error) {
+	s := &Sink{tracePath: o.TracePath, reportPath: o.ReportPath}
+	if o.TracePath != "" {
+		f, err := os.Create(o.TracePath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		s.Tracer = NewTracer(o.TraceEvents)
+	}
+	if o.ReportPath != "" {
+		skeleton := &Report{Tool: o.Tool, Partial: true}
+		if err := writeReportFile(o.ReportPath, skeleton); err != nil {
+			return nil, fmt.Errorf("obs: report: %w", err)
+		}
+	}
+	if o.PprofAddr != "" {
+		addr, stop, err := ServePprof(o.PprofAddr)
+		if err != nil {
+			s.removeSkeleton()
+			return nil, err
+		}
+		s.pprofAddr = addr
+		s.stopPprof = stop
+	}
+	return s, nil
+}
+
+// removeSkeleton drops the partial report written by OpenSink when a later
+// setup step fails: the run never started, so no artifact should remain.
+func (s *Sink) removeSkeleton() {
+	if s.reportPath != "" {
+		os.Remove(s.reportPath)
+	}
+}
+
+// PprofAddr returns the bound pprof address ("" when disabled).
+func (s *Sink) PprofAddr() string {
+	if s == nil {
+		return ""
+	}
+	return s.pprofAddr
+}
+
+// Flush writes the final report (when rep is non-nil and a report path was
+// given) and dumps the trace ring. Call it on every exit path that has
+// results — including after an interrupt, where rep carries the completed
+// prefix with Observational.Interrupted set.
+func (s *Sink) Flush(rep *Report) error {
+	if s == nil {
+		return nil
+	}
+	if s.reportPath != "" && rep != nil {
+		rep.Partial = false
+		if rep.Observational.GeneratedAt == "" {
+			rep.Observational.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+		}
+		if err := writeReportFile(s.reportPath, rep); err != nil {
+			return fmt.Errorf("obs: report: %w", err)
+		}
+	}
+	if s.tracePath != "" && s.Tracer != nil {
+		f, err := os.Create(s.tracePath)
+		if err != nil {
+			return fmt.Errorf("obs: trace: %w", err)
+		}
+		if err := s.Tracer.WriteJSONL(f); err != nil {
+			f.Close()
+			return fmt.Errorf("obs: trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("obs: trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close shuts the pprof server down. Safe on nil and after Flush.
+func (s *Sink) Close() {
+	if s == nil || s.stopPprof == nil {
+		return
+	}
+	s.stopPprof()
+	s.stopPprof = nil
+}

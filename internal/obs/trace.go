@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured trace record. Timestamps are nanoseconds since
+// the tracer was created, so a trace file is self-contained and two traces
+// of the same run shape align without wall-clock skew.
+type Event struct {
+	TS   int64 `json:"ts_ns"`
+	Dur  int64 `json:"dur_ns,omitempty"`
+	Kind string `json:"kind"`
+	Name string `json:"name"`
+	// Attrs carries small numeric payloads (schema index, slot count, SMT
+	// effort deltas). Integer-valued so the JSONL form is stable.
+	Attrs map[string]int64 `json:"attrs,omitempty"`
+}
+
+// Tracer records events into a fixed-size ring buffer: tracing a
+// 100,000-schema enumeration must cost bounded memory, so the oldest events
+// are overwritten and reported as dropped. A nil *Tracer is the off switch —
+// every method no-ops — which is what keeps the instrumented hot paths at a
+// single pointer check when tracing is disabled.
+type Tracer struct {
+	mu      sync.Mutex
+	start   time.Time
+	ring    []Event
+	next    int
+	wrapped bool
+	dropped int64
+}
+
+// DefaultTraceEvents is the ring capacity when NewTracer gets n <= 0.
+const DefaultTraceEvents = 1 << 16
+
+// NewTracer returns a tracer with capacity for n events (n <= 0 selects
+// DefaultTraceEvents).
+func NewTracer(n int) *Tracer {
+	if n <= 0 {
+		n = DefaultTraceEvents
+	}
+	return &Tracer{start: time.Now(), ring: make([]Event, n)}
+}
+
+func (t *Tracer) emit(ev Event) {
+	t.mu.Lock()
+	if t.wrapped {
+		t.dropped++
+	}
+	t.ring[t.next] = ev
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.wrapped = true
+	}
+	t.mu.Unlock()
+}
+
+// Emit records an instantaneous event.
+func (t *Tracer) Emit(kind, name string, attrs map[string]int64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{TS: time.Since(t.start).Nanoseconds(), Kind: kind, Name: name, Attrs: attrs})
+}
+
+// Start opens a span: the returned func records the event with its duration
+// (and the attrs passed at completion). Safe to call on a nil tracer — the
+// returned func is a no-op then.
+func (t *Tracer) Start(kind, name string) func(attrs map[string]int64) {
+	if t == nil {
+		return func(map[string]int64) {}
+	}
+	ts := time.Since(t.start).Nanoseconds()
+	return func(attrs map[string]int64) {
+		t.emit(Event{
+			TS:   ts,
+			Dur:  time.Since(t.start).Nanoseconds() - ts,
+			Kind: kind, Name: name, Attrs: attrs,
+		})
+	}
+}
+
+// Events returns the buffered events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.wrapped {
+		return append([]Event(nil), t.ring[:t.next]...)
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dropped counts events overwritten by ring wrap-around.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// WriteJSONL dumps the buffered events one JSON object per line, followed
+// by a trailer line (kind "trace_end") carrying the emitted/dropped totals
+// so a consumer can tell a truncated trace from a short one.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	events := t.Events()
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	trailer := Event{
+		TS:   time.Since(t.start).Nanoseconds(),
+		Kind: "trace_end",
+		Name: "trace_end",
+		Attrs: map[string]int64{
+			"events":  int64(len(events)),
+			"dropped": t.Dropped(),
+		},
+	}
+	if err := enc.Encode(trailer); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

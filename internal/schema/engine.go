@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/counter"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/smt"
 	"repro/internal/spec"
 	"repro/internal/ta"
@@ -83,6 +84,11 @@ type Options struct {
 	Workers int
 	// ExtraPasses adds safety-margin passes to staged schemas (default 1).
 	ExtraPasses int
+	// Trace, when non-nil, receives structured span events: one "query"
+	// span per Check, one "schema" event per discharged schema with encode
+	// and solve durations. Purely observational — a nil tracer costs one
+	// pointer check per emission point and tracing never affects verdicts.
+	Trace *obs.Tracer
 }
 
 // Result reports the verdict for one query.
@@ -102,6 +108,27 @@ type Result struct {
 	// Solver aggregates the SMT effort behind the verdict (LP runs, simplex
 	// pivots, warm-start rebuilds, branch-and-bound nodes, case splits).
 	Solver smt.Stats
+	// Phases breaks the check into encode/solve/fold wall-clock time. The
+	// values are observational: with Workers > 1 the encode and solve
+	// components sum concurrent work across workers and vary run to run, so
+	// they must never feed a verdict or a deterministic report field.
+	Phases PhaseTimings
+}
+
+// PhaseTimings is the per-phase wall-clock breakdown of one check: Encode
+// covers schema construction (enumeration plus constraint emission), Solve
+// the SMT searches, Fold the deterministic prefix join.
+type PhaseTimings struct {
+	Encode time.Duration
+	Solve  time.Duration
+	Fold   time.Duration
+}
+
+// Add accumulates another check's phase breakdown into t.
+func (t *PhaseTimings) Add(o PhaseTimings) {
+	t.Encode += o.Encode
+	t.Solve += o.Solve
+	t.Fold += o.Fold
 }
 
 // Counterexample is a concrete violating execution.
@@ -175,6 +202,7 @@ func (e *Engine) Check(q *spec.Query) (Result, error) {
 		return Result{}, err
 	}
 	res := Result{Query: q.Name, Mode: e.opts.Mode}
+	endSpan := e.opts.Trace.Start("query", q.Name)
 	var err error
 	switch e.opts.Mode {
 	case FullEnumeration:
@@ -185,6 +213,11 @@ func (e *Engine) Check(q *spec.Query) (Result, error) {
 		err = fmt.Errorf("schema: unknown mode %v", e.opts.Mode)
 	}
 	res.Elapsed = time.Since(start)
+	endSpan(map[string]int64{
+		"outcome": int64(res.Outcome),
+		"schemas": int64(res.Schemas),
+		"solve_ns": int64(res.Phases.Solve),
+	})
 	if err != nil {
 		return Result{}, err
 	}

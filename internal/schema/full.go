@@ -39,7 +39,9 @@ func (e *Engine) checkFull(q *spec.Query, res *Result, start time.Time) error {
 		deadline = start.Add(e.opts.Timeout)
 	}
 
+	enumStart := time.Now()
 	ctxs, enum := e.enumerateContexts(an)
+	res.Phases.Encode = time.Since(enumStart)
 	if enum.exceeded {
 		// Structural budget: same count the sequential counting pass used to
 		// report (it stopped at exactly limit+1 nodes).
@@ -57,6 +59,7 @@ func (e *Engine) checkFull(q *spec.Query, res *Result, start time.Time) error {
 	if err != nil {
 		return err
 	}
+	res.Phases.Add(out.phases)
 	res.Schemas = out.solved
 	if out.solved > 0 {
 		res.AvgLen = float64(out.totalLen) / float64(out.solved)
@@ -140,8 +143,10 @@ func (e *Engine) unlockable(an *analysis, unlocked map[int]bool, gi int) bool {
 // solveSchema encodes and solves the schema for one ordered guard context.
 // The deadline (zero = none) is threaded into the SMT limits so that a long
 // branch-and-bound solve honors the engine timeout mid-solve instead of only
-// being checked between schemas.
-func (e *Engine) solveSchema(an *analysis, ctx []int, deadline time.Time) (smt.Status, *Counterexample, int, smt.Stats, error) {
+// being checked between schemas. idx is the preorder index (trace labeling
+// only); acc receives the encode/solve wall-clock split.
+func (e *Engine) solveSchema(an *analysis, ctx []int, idx int, deadline time.Time, acc *phaseAcc) (smt.Status, *Counterexample, int, smt.Stats, error) {
+	encStart := time.Now()
 	enc, err := e.newEncoding(an)
 	if err != nil {
 		return 0, nil, 0, smt.Stats{}, err
@@ -190,7 +195,21 @@ func (e *Engine) solveSchema(an *analysis, ctx []int, deadline time.Time) (smt.S
 	if err := enc.assertQueryConditions(); err != nil {
 		return 0, nil, 0, smt.Stats{}, err
 	}
+	encodeDur := time.Since(encStart)
+	acc.encode.Add(encodeDur.Nanoseconds())
+
+	solveStart := time.Now()
 	st, ce, err := enc.solve()
+	solveDur := time.Since(solveStart)
+	acc.solve.Add(solveDur.Nanoseconds())
+	e.opts.Trace.Emit("schema", "solve", map[string]int64{
+		"index":     int64(idx),
+		"slots":     int64(len(enc.slots)),
+		"status":    int64(st),
+		"encode_ns": encodeDur.Nanoseconds(),
+		"solve_ns":  solveDur.Nanoseconds(),
+		"bb_nodes":  int64(enc.solver.Stats.BBNodes),
+	})
 	if ce != nil {
 		for _, gi := range ctx {
 			ce.Schema = append(ce.Schema, an.guards[gi].key)

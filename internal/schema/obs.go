@@ -1,0 +1,25 @@
+package schema
+
+import "repro/internal/obs"
+
+// Observational-only instrumentation (see internal/obs): racing global
+// counters and gauges, never folded into verdicts or deterministic report
+// fields — those come from the per-index record fold in parallel.go.
+var (
+	// obsSchemasEnumerated counts contexts materialized by the structural
+	// pass; obsSchemasSolved counts contexts actually discharged (the two
+	// diverge when a counterexample cancels in-flight work).
+	obsSchemasEnumerated = obs.Default.Counter("schema", "schemas_enumerated")
+	obsSchemasSolved     = obs.Default.Counter("schema", "schemas_solved")
+	// obsTreeSplits counts frontier-split events of the parallel structural
+	// pass (subtree tasks fissioned for load balance).
+	obsTreeSplits = obs.Default.Counter("schema", "tree_splits")
+	// obsDeadlinePolls counts Deadline/Stop consultations of the solve
+	// queue's claim loop (strided; the per-node SMT polls are counted
+	// separately under the smt subsystem).
+	obsDeadlinePolls = obs.Default.Counter("schema", "deadline_polls")
+	// obsQueueDepth tracks the schemas still unclaimed in the solve queue.
+	obsQueueDepth = obs.Default.Gauge("schema", "queue_depth")
+	// obsFoldNS records the duration of each deterministic prefix fold.
+	obsFoldNS = obs.Default.Histogram("schema", "fold_ns")
+)

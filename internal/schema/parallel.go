@@ -135,6 +135,7 @@ func (e *Engine) splitFrontier(an *analysis, workers int) []*enumTask {
 			}
 			if len(children) > 0 {
 				split = true
+				obsTreeSplits.Inc()
 			}
 		}
 		tasks = next
@@ -157,6 +158,7 @@ func (e *Engine) enumTaskRun(an *analysis, t *enumTask, limit int, total *atomic
 			exceeded.Store(true)
 			return false
 		}
+		obsSchemasEnumerated.Inc()
 		t.out = append(t.out, ctx)
 		return true
 	}
@@ -221,7 +223,23 @@ type fullOutcome struct {
 	ce       *Counterexample
 	timedOut bool
 	unknown  bool
+	phases   PhaseTimings
 }
+
+// phaseAcc accumulates per-schema encode/solve durations across workers.
+// Being summed from racing atomic adds, the totals are observational only.
+type phaseAcc struct {
+	encode atomic.Int64
+	solve  atomic.Int64
+}
+
+// claimPollStride is how many queue claims elapse between Deadline/Stop
+// consultations in the solve loop. Claims are far coarser than SMT search
+// events, and the deadline is also threaded into every solve's ClauseLimits
+// (where it is polled on the smt stride), so a small stride here suffices:
+// each worker polls on its first claim — an expired deadline stops a fresh
+// worker immediately — then every claimPollStride-th.
+const claimPollStride = 16
 
 // solveContexts discharges the materialized schemas with opts.Workers
 // concurrent solvers, each with its own encoder and SMT state. The first
@@ -251,7 +269,9 @@ func (e *Engine) solveContexts(an *analysis, ctxs [][]int, deadline time.Time) (
 		}
 	}
 
+	var acc phaseAcc
 	run := func() {
+		claims := 0
 		for {
 			i := int(next.Add(1) - 1)
 			if i >= len(ctxs) {
@@ -265,20 +285,29 @@ func (e *Engine) solveContexts(an *analysis, ctxs [][]int, deadline time.Time) (
 				// next is even larger, so nothing is left for it to do.
 				return
 			}
-			if e.opts.Stop != nil && e.opts.Stop() {
-				timedOut.Store(true) // interrupted: same Budget outcome as a timeout
-				return
+			obsQueueDepth.Set(int64(len(ctxs) - i))
+			claims++
+			if claims%claimPollStride == 1 || claimPollStride == 1 {
+				// Strided: the old code called time.Now() on every claim,
+				// which shows up when schemas are tiny. Expiry mid-solve is
+				// still caught by the smt-level strided poll.
+				obsDeadlinePolls.Inc()
+				if e.opts.Stop != nil && e.opts.Stop() {
+					timedOut.Store(true) // interrupted: same Budget outcome as a timeout
+					return
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					timedOut.Store(true)
+					return
+				}
 			}
-			if !deadline.IsZero() && time.Now().After(deadline) {
-				timedOut.Store(true)
-				return
-			}
-			st, ce, slots, stats, err := e.solveSchema(an, ctxs[i], deadline)
+			st, ce, slots, stats, err := e.solveSchema(an, ctxs[i], i, deadline, &acc)
 			if err != nil {
 				recs[i].err = err
 				casMin(&minErr, int64(i))
 				return
 			}
+			obsSchemasSolved.Inc()
 			recs[i] = solveRec{done: true, status: st, slots: slots, stats: stats, ce: ce}
 			if st == smt.Sat {
 				casMin(&minSat, int64(i))
@@ -304,6 +333,7 @@ func (e *Engine) solveContexts(an *analysis, ctxs [][]int, deadline time.Time) (
 		return fullOutcome{}, recs[mi].err
 	}
 
+	foldStart := time.Now()
 	var out fullOutcome
 	fold := func(i int) {
 		out.solved++
@@ -312,6 +342,16 @@ func (e *Engine) solveContexts(an *analysis, ctxs [][]int, deadline time.Time) (
 		if recs[i].status == smt.Unknown {
 			out.unknown = true
 		}
+	}
+	finish := func() fullOutcome {
+		fd := time.Since(foldStart)
+		obsFoldNS.Observe(fd.Nanoseconds())
+		out.phases = PhaseTimings{
+			Encode: time.Duration(acc.encode.Load()),
+			Solve:  time.Duration(acc.solve.Load()),
+			Fold:   fd,
+		}
+		return out
 	}
 
 	if ms := minSat.Load(); ms < math.MaxInt64 {
@@ -330,7 +370,7 @@ func (e *Engine) solveContexts(an *analysis, ctxs [][]int, deadline time.Time) (
 				fold(int(i))
 			}
 			out.ce = recs[ms].ce
-			return out, nil
+			return finish(), nil
 		}
 	}
 	for i := range recs {
@@ -338,6 +378,15 @@ func (e *Engine) solveContexts(an *analysis, ctxs [][]int, deadline time.Time) (
 			fold(i)
 		}
 	}
+	if ms := minSat.Load(); ms < math.MaxInt64 {
+		// A timeout raced in and skipped indices below the winner, so the
+		// prefix aggregates are incomplete — but the counterexample itself is
+		// real (it is replayed and certified downstream). The old code
+		// dropped it here and reported Budget; surfacing the violation is
+		// strictly more informative, and the Budget-style caveat on the
+		// aggregates is preserved by timedOut.
+		out.ce = recs[ms].ce
+	}
 	out.timedOut = timedOut.Load()
-	return out, nil
+	return finish(), nil
 }

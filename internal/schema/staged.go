@@ -18,6 +18,7 @@ import (
 // clause "factor = 0 OR guard holds here", so a single schema covers every
 // unlock order.
 func (e *Engine) checkStaged(q *spec.Query, res *Result, start time.Time) error {
+	encStart := time.Now()
 	an, err := e.analyze(q)
 	if err != nil {
 		return err
@@ -58,11 +59,19 @@ func (e *Engine) checkStaged(q *spec.Query, res *Result, start time.Time) error 
 	if err := enc.assertQueryConditions(); err != nil {
 		return err
 	}
+	res.Phases.Encode = time.Since(encStart)
 
+	solveStart := time.Now()
 	st, ce, err := enc.solve()
+	res.Phases.Solve = time.Since(solveStart)
 	if err != nil {
 		return err
 	}
+	e.opts.Trace.Emit("schema", "staged", map[string]int64{
+		"slots":    int64(len(enc.slots)),
+		"status":   int64(st),
+		"solve_ns": res.Phases.Solve.Nanoseconds(),
+	})
 	res.Schemas = enc.solver.Stats.CaseSplit
 	res.AvgLen = float64(len(enc.slots))
 	res.Solver = enc.solver.Stats

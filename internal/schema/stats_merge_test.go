@@ -1,0 +1,74 @@
+package schema
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/spec"
+)
+
+// TestStatsMergeParallel is the focused audit of the Result stats merge
+// under parallel enumeration: every verdict-relevant field — Outcome,
+// Schemas, AvgLen, and each smt.Stats component — must be identical between
+// a sequential and an 8-worker run. Observational fields (Elapsed, Phases)
+// are deliberately excluded: they are wall-clock and scheduling dependent.
+// The internal-consistency assertions pin the two easy merge mistakes:
+// rebuild double-counting (each schema solves on a fresh encoding, so the
+// aggregate must show at least one rebuild per schema but not wildly more
+// LP checks than rebuilds would imply) and AvgLen computed from a racing
+// counter rather than the post-fold schema count.
+func TestStatsMergeParallel(t *testing.T) {
+	a := models.BVBroadcast()
+	qs, err := models.BVQueries(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		seq := fullCheckAt(t, a, q, 1, 0)
+		par := fullCheckAt(t, a, q, 8, 0)
+
+		if par.Outcome != seq.Outcome {
+			t.Errorf("%s: outcome %v vs %v", q.Name, par.Outcome, seq.Outcome)
+			continue
+		}
+		if par.Schemas != seq.Schemas {
+			t.Errorf("%s: schemas %d vs %d", q.Name, par.Schemas, seq.Schemas)
+		}
+		if par.AvgLen != seq.AvgLen {
+			t.Errorf("%s: avg len %v vs %v", q.Name, par.AvgLen, seq.AvgLen)
+		}
+		// Compare every solver counter by name so a future Stats field is
+		// caught by the exhaustive struct equality below going stale.
+		if par.Solver.LPChecks != seq.Solver.LPChecks ||
+			par.Solver.Pivots != seq.Solver.Pivots ||
+			par.Solver.Rebuilds != seq.Solver.Rebuilds ||
+			par.Solver.BBNodes != seq.Solver.BBNodes ||
+			par.Solver.CaseSplit != seq.Solver.CaseSplit {
+			t.Errorf("%s: solver stats %+v vs %+v", q.Name, par.Solver, seq.Solver)
+		}
+		if par.Solver != seq.Solver {
+			t.Errorf("%s: solver stats structs differ: %+v vs %+v", q.Name, par.Solver, seq.Solver)
+		}
+
+		// Internal consistency of the folded aggregate (both runs).
+		for _, r := range []Result{seq, par} {
+			if r.Outcome == spec.Budget {
+				continue
+			}
+			if r.Schemas > 0 && r.AvgLen <= 0 {
+				t.Errorf("%s: %d schemas but avg len %v", q.Name, r.Schemas, r.AvgLen)
+			}
+			// Every schema is solved on a fresh encoding whose first LP check
+			// is a from-scratch build, so a correctly folded aggregate has at
+			// least one rebuild — and at least one LP check — per schema.
+			// Double-folding a record would break the parallel==sequential
+			// equality above; folding zero records breaks this floor.
+			if r.Schemas > 0 && r.Solver.Rebuilds < r.Schemas {
+				t.Errorf("%s: %d rebuilds for %d schemas, want >= one per schema", q.Name, r.Solver.Rebuilds, r.Schemas)
+			}
+			if r.Solver.LPChecks < r.Solver.Rebuilds {
+				t.Errorf("%s: %d LP checks < %d rebuilds", q.Name, r.Solver.LPChecks, r.Solver.Rebuilds)
+			}
+		}
+	}
+}

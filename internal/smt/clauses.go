@@ -40,10 +40,12 @@ type ClauseLimits struct {
 	// MaxBBNodes bounds branch-and-bound nodes per leaf (0 = default).
 	MaxBBNodes int
 	// Deadline, when nonzero, aborts the search with Unknown once passed.
+	// It is consulted once every pollStride search events, not at every
+	// node, so expiry is detected within pollStride events.
 	Deadline time.Time
-	// Stop, when set, is polled at every split; a true return aborts the
-	// search with Unknown (the cooperative-interrupt hook signal handlers
-	// use to stop a long check cleanly).
+	// Stop, when set, aborts the search with Unknown on a true return (the
+	// cooperative-interrupt hook signal handlers use to stop a long check
+	// cleanly). Polled on the same stride as Deadline.
 	Stop func() bool
 }
 
@@ -55,6 +57,51 @@ func (l ClauseLimits) withDefaults() ClauseLimits {
 		l.MaxBBNodes = 1 << 12
 	}
 	return l
+}
+
+// pollStride is how many search events (case splits + branch-and-bound
+// nodes) elapse between consecutive Deadline/Stop consultations. The old
+// code called time.Now() at every node — measurable on the branch-and-bound
+// hot path — so polling is strided: the first event polls (a search that
+// starts past its deadline dies immediately), then every pollStride-th.
+// An expired deadline is therefore honored within pollStride events.
+const pollStride = 256
+
+// poller tracks the strided Deadline/Stop polling for one search. It is
+// shared between the case-splitting and branch-and-bound layers so the
+// stride counts their events as a single stream.
+type poller struct {
+	limits  ClauseLimits
+	events  int
+	stopped bool
+}
+
+func newPoller(limits ClauseLimits) *poller {
+	return &poller{limits: limits}
+}
+
+// aborted reports whether the search must wind down with Unknown. With no
+// Deadline and no Stop configured it is a pair of nil checks — the
+// unlimited hot path stays free of clock reads and counter traffic.
+func (p *poller) aborted() bool {
+	if p.stopped {
+		return true
+	}
+	if p.limits.Deadline.IsZero() && p.limits.Stop == nil {
+		return false
+	}
+	p.events++
+	if p.events%pollStride != 1 && pollStride > 1 {
+		return false
+	}
+	obsDeadlinePolls.Inc()
+	if !p.limits.Deadline.IsZero() && time.Now().After(p.limits.Deadline) {
+		p.stopped = true
+	}
+	if !p.stopped && p.limits.Stop != nil && p.limits.Stop() {
+		p.stopped = true
+	}
+	return p.stopped
 }
 
 // CheckClauses decides integer satisfiability of the asserted constraints
@@ -69,7 +116,7 @@ func (l ClauseLimits) withDefaults() ClauseLimits {
 func (s *Solver) CheckClauses(clauses []Clause, limits ClauseLimits) (Status, Model, error) {
 	limits = limits.withDefaults()
 	splits := 0
-	return s.checkClausesRec(clauses, limits, &splits)
+	return s.checkClausesRec(clauses, limits, &splits, newPoller(limits))
 }
 
 func (s *Solver) assertLit(l Lit) {
@@ -77,18 +124,16 @@ func (s *Solver) assertLit(l Lit) {
 	s.AssertAll(l.Implied)
 }
 
-func (s *Solver) checkClausesRec(clauses []Clause, limits ClauseLimits, splits *int) (Status, Model, error) {
+func (s *Solver) checkClausesRec(clauses []Clause, limits ClauseLimits, splits *int, p *poller) (Status, Model, error) {
 	if *splits >= limits.MaxSplits {
 		return Unknown, nil, nil
 	}
-	if !limits.Deadline.IsZero() && time.Now().After(limits.Deadline) {
-		return Unknown, nil, nil
-	}
-	if limits.Stop != nil && limits.Stop() {
+	if p.aborted() {
 		return Unknown, nil, nil
 	}
 	*splits++
 	s.Stats.CaseSplit++
+	obsCaseSplits.Inc()
 
 	st, rm, err := s.CheckRational()
 	if err != nil {
@@ -135,7 +180,7 @@ func (s *Solver) checkClausesRec(clauses []Clause, limits ClauseLimits, splits *
 				}
 			}
 		}
-		st, m, err := s.CheckIntegerLimits(limits)
+		st, m, err := s.checkIntegerWith(limits, p)
 		s.Pop()
 		if err != nil {
 			return 0, nil, err
@@ -160,7 +205,7 @@ func (s *Solver) checkClausesRec(clauses []Clause, limits ClauseLimits, splits *
 	for _, l := range clause {
 		s.Push()
 		s.assertLit(l)
-		st, m, err := s.checkClausesRec(rest, limits, splits)
+		st, m, err := s.checkClausesRec(rest, limits, splits, p)
 		s.Pop()
 		if err != nil {
 			return 0, nil, err

@@ -1,0 +1,16 @@
+package smt
+
+import "repro/internal/obs"
+
+// Observational-only counters (see internal/obs: racing global accumulators,
+// never folded into verdicts). Each increments alongside the per-solver
+// Stats field of the same name; deadline_polls counts actual Deadline/Stop
+// consultations, i.e. search events divided by pollStride.
+var (
+	obsLPChecks      = obs.Default.Counter("smt", "lp_checks")
+	obsPivots        = obs.Default.Counter("smt", "pivots")
+	obsRebuilds      = obs.Default.Counter("smt", "rebuilds")
+	obsBBNodes       = obs.Default.Counter("smt", "bb_nodes")
+	obsCaseSplits    = obs.Default.Counter("smt", "case_splits")
+	obsDeadlinePolls = obs.Default.Counter("smt", "deadline_polls")
+)

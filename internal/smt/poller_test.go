@@ -1,0 +1,146 @@
+package smt
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/expr"
+)
+
+// hardIntegerInstance builds Jeroslow's branch-and-bound-killer: n variables
+// (n odd) each bounded by 1, with sum of 2*x_i forced to exactly n. The
+// left side is even for any integer assignment, so the problem is Unsat,
+// but the target sits mid-range: fixing any variable to 0 or 1 leaves the
+// LP relaxation feasible, so infeasibility surfaces only at full depth and
+// the tree is exponential in n — enough search events to exercise the
+// strided Deadline/Stop polling.
+func hardIntegerInstance(t *testing.T, n int) *Solver {
+	t.Helper()
+	if n%2 == 0 {
+		t.Fatalf("hardIntegerInstance needs odd n, got %d", n)
+	}
+	tab := expr.NewTable()
+	s := NewSolver(tab)
+	sum := map[expr.Sym]int64{}
+	for i := 0; i < n; i++ {
+		x := tab.Intern(fmt.Sprintf("x%d", i))
+		s.Assert(le(t, expr.Var(x), expr.NewLin(1)))
+		sum[x] = 2
+	}
+	s.Assert(eq(t, lin(sum, 0), expr.NewLin(int64(n))))
+	return s
+}
+
+// TestStridedStopFiresWithinTolerance: a Stop hook is consulted on a stride,
+// not per node, so after it first reports true the search must wind down
+// within one stride's worth of branch-and-bound nodes — not run to budget.
+func TestStridedStopFiresWithinTolerance(t *testing.T) {
+	s := hardIntegerInstance(t, 13)
+
+	// Sanity: the unrestricted search needs well over a stride of nodes, so
+	// an early abort is distinguishable from a natural finish.
+	st, _, err := s.CheckIntegerLimits(ClauseLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unsat {
+		t.Fatalf("unrestricted status = %v, want Unsat", st)
+	}
+	if s.Stats.BBNodes <= 2*pollStride {
+		t.Fatalf("instance too easy: %d nodes, need > %d", s.Stats.BBNodes, 2*pollStride)
+	}
+
+	// Stop returns true from the second poll on: the first poll (event 1)
+	// lets the search start, the second lands at most pollStride events
+	// later, and abortion must follow immediately.
+	polls := 0
+	stop := func() bool {
+		polls++
+		return polls >= 2
+	}
+	s.Stats = Stats{}
+	st, _, err = s.CheckIntegerLimits(ClauseLimits{Stop: stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unknown {
+		t.Errorf("status with stop = %v, want Unknown", st)
+	}
+	if polls != 2 {
+		t.Errorf("stop polled %d times after firing, want exactly 2", polls)
+	}
+	// The search saw at most pollStride+1 events before the fatal poll and
+	// none after (every later aborted() short-circuits on the cached flag).
+	if s.Stats.BBNodes > pollStride+1 {
+		t.Errorf("search ran %d nodes past a fired stop, want <= %d", s.Stats.BBNodes, pollStride+1)
+	}
+}
+
+// TestStridedDeadlineFiresWithinTolerance: same property for Deadline — an
+// already-expired deadline kills the search on its first poll, i.e. before
+// the second branch-and-bound node.
+func TestStridedDeadlineFiresWithinTolerance(t *testing.T) {
+	s := hardIntegerInstance(t, 13)
+	st, _, err := s.CheckIntegerLimits(ClauseLimits{Deadline: time.Now().Add(-time.Minute)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unknown {
+		t.Errorf("status with expired deadline = %v, want Unknown", st)
+	}
+	if s.Stats.BBNodes != 0 {
+		t.Errorf("expired deadline still ran %d nodes, want 0", s.Stats.BBNodes)
+	}
+}
+
+// TestStridedPollingPreservesVerdict: configuring a generous Deadline must
+// not change the verdict or any effort statistic relative to the unlimited
+// search — the stride only affects when limits are noticed, never what the
+// search does between polls.
+func TestStridedPollingPreservesVerdict(t *testing.T) {
+	plain := hardIntegerInstance(t, 11)
+	stPlain, _, err := plain.CheckIntegerLimits(ClauseLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	timed := hardIntegerInstance(t, 11)
+	stTimed, _, err := timed.CheckIntegerLimits(ClauseLimits{Deadline: time.Now().Add(time.Hour)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if stPlain != stTimed {
+		t.Errorf("verdict changed under deadline: %v vs %v", stPlain, stTimed)
+	}
+	if plain.Stats != timed.Stats {
+		t.Errorf("stats changed under deadline: %+v vs %+v", plain.Stats, timed.Stats)
+	}
+}
+
+// TestStridedPollingClauses: the clause search shares the poller with its
+// leaf integer searches, so a fired stop aborts case splitting within one
+// stride of combined events as well.
+func TestStridedPollingClauses(t *testing.T) {
+	s := hardIntegerInstance(t, 13)
+	// A trivial tautological clause (constants only) forces the
+	// clause-search entry path without touching the solver's symbols.
+	cl := ClauseOf(ge(t, expr.NewLin(1), expr.NewLin(0)))
+
+	polls := 0
+	stop := func() bool {
+		polls++
+		return polls >= 2
+	}
+	st, _, err := s.CheckClauses([]Clause{cl}, ClauseLimits{Stop: stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unknown {
+		t.Errorf("status with stop = %v, want Unknown", st)
+	}
+	if total := s.Stats.BBNodes + s.Stats.CaseSplit; total > pollStride+2 {
+		t.Errorf("combined search ran %d events past a fired stop, want <= %d", total, pollStride+2)
+	}
+}

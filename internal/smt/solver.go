@@ -17,7 +17,6 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
-	"time"
 
 	"repro/internal/expr"
 )
@@ -185,6 +184,7 @@ func (m RatModel) ToInt() (Model, error) {
 // warm-started from the previous feasible basis with dual-simplex pivots.
 func (s *Solver) CheckRational() (Status, RatModel, error) {
 	s.Stats.LPChecks++
+	obsLPChecks.Inc()
 
 	if s.lp.tab != nil && s.lp.count <= len(s.constraints) {
 		t := s.lp.tab
@@ -196,6 +196,7 @@ func (s *Solver) CheckRational() (Status, RatModel, error) {
 		s.lp.count = len(s.constraints)
 		feasible, pivots, err := t.dualRestore()
 		s.Stats.Pivots += pivots
+		obsPivots.Add(int64(pivots))
 		if err == nil {
 			if !feasible {
 				// Leave the state invalid; the caller Pops back to the
@@ -212,6 +213,7 @@ func (s *Solver) CheckRational() (Status, RatModel, error) {
 	}
 
 	s.Stats.Rebuilds++
+	obsRebuilds.Inc()
 	t := newTableau()
 	for _, c := range s.constraints {
 		if err := t.addConstraint(c); err != nil {
@@ -220,6 +222,7 @@ func (s *Solver) CheckRational() (Status, RatModel, error) {
 	}
 	feasible, pivots, err := t.solveFresh()
 	s.Stats.Pivots += pivots
+	obsPivots.Add(int64(pivots))
 	if err != nil {
 		return 0, nil, err
 	}
@@ -239,30 +242,36 @@ func (s *Solver) CheckInteger(maxNodes int) (Status, Model, error) {
 }
 
 // CheckIntegerLimits is CheckInteger with the full limit set: besides the
-// node budget it polls Deadline and Stop at every branch-and-bound node, so
-// a long integer search honors a timeout or a cooperative interrupt instead
+// node budget it honors Deadline and Stop — consulted once every pollStride
+// branch-and-bound nodes, so a long integer search winds down within a
+// bounded number of nodes of a timeout or a cooperative interrupt instead
 // of running to its node budget. Exceeding any limit returns Unknown.
 func (s *Solver) CheckIntegerLimits(limits ClauseLimits) (Status, Model, error) {
 	if limits.MaxBBNodes <= 0 {
 		limits.MaxBBNodes = 1 << 20
 	}
+	return s.checkIntegerWith(limits, newPoller(limits))
+}
+
+// checkIntegerWith is CheckIntegerLimits sharing the caller's poller, so a
+// case-splitting search and its leaf branch-and-bound runs stride their
+// Deadline/Stop polls over one combined event stream.
+func (s *Solver) checkIntegerWith(limits ClauseLimits, p *poller) (Status, Model, error) {
 	nodes := 0
-	st, m, err := s.branchAndBound(limits, &nodes)
+	st, m, err := s.branchAndBound(limits, &nodes, p)
 	return st, m, err
 }
 
-func (s *Solver) branchAndBound(limits ClauseLimits, nodes *int) (Status, Model, error) {
+func (s *Solver) branchAndBound(limits ClauseLimits, nodes *int, p *poller) (Status, Model, error) {
 	if *nodes >= limits.MaxBBNodes {
 		return Unknown, nil, nil
 	}
-	if !limits.Deadline.IsZero() && time.Now().After(limits.Deadline) {
-		return Unknown, nil, nil
-	}
-	if limits.Stop != nil && limits.Stop() {
+	if p.aborted() {
 		return Unknown, nil, nil
 	}
 	*nodes++
 	s.Stats.BBNodes++
+	obsBBNodes.Inc()
 
 	st, rm, err := s.CheckRational()
 	if err != nil {
@@ -300,7 +309,7 @@ func (s *Solver) branchAndBound(limits ClauseLimits, nodes *int) (Status, Model,
 		return 0, nil, err
 	}
 	s.Assert(le)
-	st, m, err := s.branchAndBound(limits, nodes)
+	st, m, err := s.branchAndBound(limits, nodes, p)
 	s.Pop()
 	if err != nil || st == Sat {
 		return st, m, err
@@ -315,7 +324,7 @@ func (s *Solver) branchAndBound(limits ClauseLimits, nodes *int) (Status, Model,
 		return 0, nil, err
 	}
 	s.Assert(ge)
-	st, m, err = s.branchAndBound(limits, nodes)
+	st, m, err = s.branchAndBound(limits, nodes, p)
 	s.Pop()
 	if err != nil || st == Sat {
 		return st, m, err

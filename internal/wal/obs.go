@@ -1,0 +1,12 @@
+package wal
+
+import "repro/internal/obs"
+
+// Observational-only counters (see internal/obs). An atomic add is orders
+// of magnitude below the cost of the write/fsync it sits next to, so these
+// stay on even in benchmarks.
+var (
+	obsAppends   = obs.Default.Counter("wal", "appends")
+	obsFsyncs    = obs.Default.Counter("wal", "fsyncs")
+	obsRotations = obs.Default.Counter("wal", "rotations")
+)

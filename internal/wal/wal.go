@@ -295,6 +295,7 @@ func (l *Log) rotate() error {
 	}
 	l.cur, l.curCount, l.curSize = f, 0, 0
 	l.segments = append(l.segments, segMeta{name: name, first: l.nextIndex})
+	obsRotations.Inc()
 	return nil
 }
 
@@ -328,8 +329,10 @@ func (l *Log) Append(payload []byte) error {
 			l.broken = err
 			return err
 		}
+		obsFsyncs.Inc()
 	}
 	l.nextIndex++
+	obsAppends.Inc()
 	return nil
 }
 
@@ -346,6 +349,7 @@ func (l *Log) Sync() error {
 		l.broken = err
 		return err
 	}
+	obsFsyncs.Inc()
 	return nil
 }
 

@@ -28,6 +28,13 @@ go run ./cmd/dbftsim -chaos -chaos-seeds 25 -seed 1 -n 4 -t 1
 echo "==> storage torture smoke (fixed seed, 10 runs)"
 go run ./cmd/dbftsim -torture -torture-seeds 10 -seed 1 -n 4 -t 1
 
+echo "==> observability determinism (table2 -report at -j 1 vs -j 8)"
+OBSDIR=$(mktemp -d)
+trap 'rm -rf "$OBSDIR"' EXIT
+go run ./cmd/holistic table2 -skip-naive -j 1 -report "$OBSDIR/r1.json" -trace "$OBSDIR/t1.jsonl" > /dev/null
+go run ./cmd/holistic table2 -skip-naive -j 8 -report "$OBSDIR/r8.json" > /dev/null
+go run ./cmd/obscheck -trace "$OBSDIR/t1.jsonl" "$OBSDIR/r1.json" "$OBSDIR/r8.json"
+
 echo "==> WAL append benchmark (fsync-path cost)"
 go test -run '^$' -bench BenchmarkWALAppend -benchmem ./internal/wal
 
