@@ -4,21 +4,34 @@ test:
 	go build ./...
 	go test ./...
 
-# Tier-1+ gate: vet + race detector + fixed-seed chaos/torture smokes +
-# the WAL fsync-path benchmark.
+# Tier-1+ gate: gofmt + vet + race detector + fixed-seed chaos/torture
+# smokes + the service smoke leg + the WAL fsync-path benchmark.
 .PHONY: verify
 verify:
 	sh scripts/verify.sh
+
+# Formatting and static checks only (the fast subset of verify).
+.PHONY: lint
+lint:
+	@UNFORMATTED=$$(gofmt -l .); \
+	if [ -n "$$UNFORMATTED" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$UNFORMATTED"; \
+		exit 1; \
+	fi
+	go vet ./...
 
 .PHONY: bench
 bench:
 	go test -bench=. -benchmem ./...
 
 # Table 2 wall-clock at 1 worker vs all CPUs, with the cross-check that both
-# runs produced identical verdicts and schema counts. Writes BENCH_schema.json.
+# runs produced identical verdicts and schema counts, plus the service
+# cold-vs-warm benchmark. Writes BENCH_schema.json and BENCH_service.json.
 .PHONY: bench-baseline
 bench-baseline:
 	go run ./cmd/holistic bench -out BENCH_schema.json
+	go run ./cmd/holistic loadgen -out BENCH_service.json
 
 # Observability smoke: regenerate the fast Table 2 block with tracing and a
 # metric report enabled, then validate both artifacts with obscheck.

@@ -41,6 +41,7 @@ import (
 	"repro/internal/fairness"
 	"repro/internal/faults"
 	"repro/internal/network"
+	"repro/internal/vcache"
 )
 
 // watchInterrupt converts SIGINT/SIGTERM into a cooperative stop flag the
@@ -89,11 +90,16 @@ func run(args []string) error {
 	tortureV := fs.Bool("torture-v", false, "print one line per -torture run")
 	plan := fs.String("plan", "", "replay one chaos scenario: inline JSON or @file")
 	workers := fs.Int("j", runtime.NumCPU(), "campaign worker count for -chaos and -torture (results are deterministic at any count)")
+	version := fs.Bool("version", false, "print the verification engine version and exit")
 	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *version {
+		fmt.Printf("dbftsim engine %s\n", vcache.EngineVersion)
+		return nil
+	}
 	if *lemma7 {
 		return runLemma7(*maxRounds)
 	}

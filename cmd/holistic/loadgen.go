@@ -1,0 +1,273 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/vcache"
+)
+
+// loadgenResult is the BENCH_service.json schema: cold vs warm latency for
+// the same request set, the warm-phase cache hit ratio, and the shed rate.
+// All latency figures are observational (hardware- and load-dependent); the
+// verdict-identity guarantees are what the service tests pin.
+type loadgenResult struct {
+	Engine         string  `json:"engine_version"`
+	Requests       int     `json:"unique_requests"`
+	WarmPasses     int     `json:"warm_passes"`
+	Concurrency    int     `json:"concurrency"`
+	ColdMedianMS   float64 `json:"cold_median_ms"`
+	ColdP95MS      float64 `json:"cold_p95_ms"`
+	WarmMedianMS   float64 `json:"warm_median_ms"`
+	WarmP95MS      float64 `json:"warm_p95_ms"`
+	MedianSpeedup  float64 `json:"median_speedup"`
+	HeavyRequest   string  `json:"heavy_request"`
+	HeavyColdMS    float64 `json:"heavy_cold_ms"`
+	HeavyWarmMS    float64 `json:"heavy_warm_median_ms"`
+	HeavySpeedup   float64 `json:"heavy_speedup"`
+	WarmHitRatio   float64 `json:"warm_hit_ratio"`
+	ShedRate       float64 `json:"shed_rate"`
+	TotalRequests  int     `json:"total_requests"`
+	TotalSheds     int     `json:"total_sheds"`
+	TotalElapsedMS float64 `json:"total_elapsed_ms"`
+}
+
+// cmdLoadgen drives a verification service with a deterministic request mix
+// and writes BENCH_service.json. With -url it targets a running daemon;
+// without, it starts an in-process server (cache in a temp dir) so the
+// benchmark is self-contained.
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	url := fs.String("url", "", "target service base URL (empty = start an in-process server)")
+	mix := fs.String("models", "simplified,strb,bv", "comma-separated bundled models in the request mix")
+	passes := fs.Int("passes", 3, "warm passes over the request set after the cold pass")
+	conc := fs.Int("c", 8, "client concurrency during warm passes")
+	out := fs.String("out", "BENCH_service.json", "output file")
+	minSpeedup := fs.Float64("min-speedup", 0, "fail unless median cold/warm speedup reaches this (0 = record only)")
+	cacheDir := fs.String("cache-dir", "", "cache directory for the in-process server (default: a temp dir)")
+	workers := fs.Int("j", runtime.NumCPU(), "workers for the in-process server")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base := *url
+	if base == "" {
+		dir := *cacheDir
+		if dir == "" {
+			var err error
+			dir, err = os.MkdirTemp("", "holistic-loadgen-cache-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+		}
+		cache, err := vcache.Open(vcache.Options{Dir: dir})
+		if err != nil {
+			return err
+		}
+		srv := service.New(service.Config{Cache: cache, Workers: *workers})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "holistic: loadgen driving in-process server at %s\n", base)
+	}
+
+	// One request per (model, property): deterministic order, no randomness
+	// needed for a cold-vs-warm comparison.
+	var reqs []service.VerifyRequest
+	for _, m := range strings.Split(*mix, ",") {
+		m = strings.TrimSpace(m)
+		if m == "" {
+			continue
+		}
+		_, queries, err := service.BuiltinModel(m)
+		if err != nil {
+			return err
+		}
+		for i := range queries {
+			reqs = append(reqs, service.VerifyRequest{Model: m, Prop: queries[i].Name})
+		}
+	}
+	if len(reqs) == 0 {
+		return fmt.Errorf("empty request mix")
+	}
+
+	start := time.Now()
+	var sheds int
+	// Cold pass: sequential, so each latency is an isolated solve. Track
+	// per-request latencies too: the heaviest request is where the cache
+	// speedup is meaningful (on trivial rows HTTP overhead dominates).
+	coldMS := make([]float64, 0, len(reqs))
+	coldByReq := make([]float64, len(reqs))
+	for i := range reqs {
+		ms, _, shed, err := fireOne(base, &reqs[i])
+		if err != nil {
+			return err
+		}
+		coldByReq[i] = ms
+		if shed {
+			sheds++
+			continue
+		}
+		coldMS = append(coldMS, ms)
+	}
+
+	// Warm passes: concurrent, hitting the cache (or the singleflight when
+	// two clients collide on a key).
+	var mu sync.Mutex
+	warmMS := make([]float64, 0, len(reqs)**passes)
+	warmByReq := make([][]float64, len(reqs))
+	warmHits, warmTotal := 0, 0
+	sem := make(chan struct{}, max(1, *conc))
+	var wg sync.WaitGroup
+	var firstErr error
+	for p := 0; p < *passes; p++ {
+		for i := range reqs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				ms, hit, shed, err := fireOne(base, &reqs[i])
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				if shed {
+					sheds++
+					return
+				}
+				warmTotal++
+				warmMS = append(warmMS, ms)
+				warmByReq[i] = append(warmByReq[i], ms)
+				if hit {
+					warmHits++
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+
+	res := loadgenResult{
+		Engine:         vcache.EngineVersion,
+		Requests:       len(reqs),
+		WarmPasses:     *passes,
+		Concurrency:    *conc,
+		ColdMedianMS:   percentile(coldMS, 50),
+		ColdP95MS:      percentile(coldMS, 95),
+		WarmMedianMS:   percentile(warmMS, 50),
+		WarmP95MS:      percentile(warmMS, 95),
+		WarmHitRatio:   ratio(warmHits, warmTotal),
+		ShedRate:       ratio(sheds, len(coldMS)+warmTotal+sheds),
+		TotalRequests:  len(coldMS) + warmTotal + sheds,
+		TotalSheds:     sheds,
+		TotalElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
+	}
+	if res.WarmMedianMS > 0 {
+		res.MedianSpeedup = res.ColdMedianMS / res.WarmMedianMS
+	}
+	heavy := 0
+	for i := range coldByReq {
+		if coldByReq[i] > coldByReq[heavy] {
+			heavy = i
+		}
+	}
+	res.HeavyRequest = reqs[heavy].Model + "/" + reqs[heavy].Prop
+	res.HeavyColdMS = coldByReq[heavy]
+	res.HeavyWarmMS = percentile(warmByReq[heavy], 50)
+	if res.HeavyWarmMS > 0 {
+		res.HeavySpeedup = res.HeavyColdMS / res.HeavyWarmMS
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: %d unique requests, cold median %.2fms, warm median %.2fms, heavy %s %.2fms -> %.2fms (%.1fx), hit ratio %.2f, shed rate %.3f -> %s\n",
+		res.Requests, res.ColdMedianMS, res.WarmMedianMS,
+		res.HeavyRequest, res.HeavyColdMS, res.HeavyWarmMS, res.HeavySpeedup,
+		res.WarmHitRatio, res.ShedRate, *out)
+	if *minSpeedup > 0 && res.HeavySpeedup < *minSpeedup {
+		return fmt.Errorf("heavy-request warm speedup %.1fx below required %.1fx (%s: %.2fms cold, %.2fms warm)",
+			res.HeavySpeedup, *minSpeedup, res.HeavyRequest, res.HeavyColdMS, res.HeavyWarmMS)
+	}
+	return nil
+}
+
+// fireOne sends one request and reports (latency ms, all-rows-cached, shed).
+func fireOne(base string, req *service.VerifyRequest) (float64, bool, bool, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, false, false, err
+	}
+	t0 := time.Now()
+	httpResp, err := http.Post(base+"/v1/verify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, false, false, err
+	}
+	defer httpResp.Body.Close()
+	ms := float64(time.Since(t0).Microseconds()) / 1e3
+	if httpResp.StatusCode == http.StatusTooManyRequests {
+		return ms, false, true, nil
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(httpResp.Body).Decode(&eb)
+		return 0, false, false, fmt.Errorf("%s/%s: server returned %d: %s", req.Model, req.Prop, httpResp.StatusCode, eb.Error)
+	}
+	var resp service.VerifyResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return 0, false, false, err
+	}
+	hit := len(resp.Results) > 0
+	for _, r := range resp.Results {
+		if !r.Cached {
+			hit = false
+		}
+	}
+	return ms, hit, false, nil
+}
+
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(p / 100 * float64(len(s)-1))
+	return s[idx]
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

@@ -35,12 +35,13 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ltl"
-	"repro/internal/models"
 	"repro/internal/obs"
 	"repro/internal/schema"
+	"repro/internal/service"
 	"repro/internal/spec"
 	"repro/internal/ta"
 	"repro/internal/taformat"
+	"repro/internal/vcache"
 )
 
 // watchInterrupt converts SIGINT/SIGTERM into the cooperative stop flag the
@@ -90,6 +91,15 @@ func run(args []string) error {
 		return cmdExport(args[1:])
 	case "bench":
 		return cmdBench(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
+	case "loadgen":
+		return cmdLoadgen(args[1:])
+	case "version", "-version", "--version":
+		// The engine version is part of every cache key: entries written by
+		// one version are invisible to every other.
+		fmt.Printf("holistic engine %s\n", vcache.EngineVersion)
+		return nil
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -111,10 +121,18 @@ subcommands:
   spec       compile and check a ByMC-style property file (-model ..., -file ...)
   export     print a model in the textual automaton format (-model ...)
   bench      compare Table 2 wall-clock at 1 worker vs -j workers (-out file.json)
+  serve      run the verification HTTP daemon (-addr, -cache-dir, ...)
+  loadgen    drive a service with a request mix, write BENCH_service.json
+  version    print the engine version embedded in every cache key
 
 most subcommands accept -ta <file.ta> to load a user-supplied automaton
 instead of a bundled model, and -j <workers> to set the worker budget
 (results are deterministic at any worker count).
+
+verification subcommands accept -cache <dir> to reuse verdicts from the
+content-addressed result cache (cached counterexamples are re-certified by
+replay before they are trusted); verify also accepts -remote <url> to send
+the request to a running "holistic serve" daemon instead of solving locally.
 
 verification subcommands also accept the observability flags:
   -trace out.jsonl    JSONL span/event trace (ring-buffered)
@@ -124,31 +142,22 @@ verification subcommands also accept the observability flags:
 `)
 }
 
+// modelByName resolves a bundled model through the same registry the serving
+// plane uses, so local and remote verifications of a name run identical
+// query sets.
 func modelByName(name string) (*ta.TA, []spec.Query, error) {
-	switch name {
-	case "bv", "bvbroadcast":
-		a := models.BVBroadcast()
-		qs, err := models.BVQueries(a)
-		return a, qs, err
-	case "naive":
-		a := models.NaiveConsensus()
-		qs, err := models.NaiveQueries(a)
-		return a, qs, err
-	case "simplified":
-		a := models.SimplifiedConsensus()
-		qs, err := models.SimplifiedQueries(a)
-		return a, qs, err
-	case "strb":
-		a := models.STReliableBroadcast()
-		qs, err := models.STRBQueries(a)
-		return a, qs, err
-	case "bosco":
-		a := models.Bosco()
-		qs, err := models.BoscoQueries(a)
-		return a, qs, err
-	default:
-		return nil, nil, fmt.Errorf("unknown model %q (want bv, naive, simplified, strb or bosco)", name)
+	return service.BuiltinModel(name)
+}
+
+// openCacheFlag opens the -cache directory (empty = caching off). Corrupt
+// entries are logged to stderr and re-verified.
+func openCacheFlag(dir string) (*vcache.Cache, error) {
+	if dir == "" {
+		return nil, nil
 	}
+	return vcache.Open(vcache.Options{Dir: dir, Logf: func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}})
 }
 
 func parseMode(s string) (schema.Mode, error) {
@@ -167,11 +176,16 @@ func cmdPipeline(args []string) error {
 	mode := fs.String("mode", "staged", "schema mode: staged or full")
 	asJSON := fs.Bool("json", false, "emit a machine-readable JSON certificate")
 	workers := fs.Int("j", runtime.NumCPU(), "total worker budget (verdicts are deterministic at any count)")
+	cacheDir := fs.String("cache", "", "reuse verdicts from this result-cache directory")
 	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	m, err := parseMode(*mode)
+	if err != nil {
+		return err
+	}
+	cache, err := openCacheFlag(*cacheDir)
 	if err != nil {
 		return err
 	}
@@ -182,7 +196,7 @@ func cmdPipeline(args []string) error {
 	defer sink.Close()
 	stop := watchInterrupt()
 	stopProgress := of.startProgress(stop)
-	rep, err := core.HolisticVerification(core.Options{Mode: m, Stop: stop, Parallel: *workers, Trace: sink.Tracer})
+	rep, err := core.HolisticVerification(core.Options{Mode: m, Stop: stop, Parallel: *workers, Trace: sink.Tracer, Cache: cache})
 	stopProgress()
 	if err != nil {
 		return err
@@ -227,9 +241,14 @@ func cmdVerify(args []string) error {
 	stats := fs.Bool("stats", false, "print SMT effort statistics per property")
 	timeout := fs.Duration("timeout", 0, "per-property timeout (0 = none)")
 	workers := fs.Int("j", runtime.NumCPU(), "schema-enumeration workers (verdicts are deterministic at any count)")
+	cacheDir := fs.String("cache", "", "reuse verdicts from this result-cache directory")
+	remote := fs.String("remote", "", "send the request to this running service base URL instead of solving locally")
 	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *remote != "" {
+		return runRemoteVerify(*remote, *model, *taFile, *specFile, *prop, *mode, *timeout, *stats, of)
 	}
 	var a *ta.TA
 	var queries []spec.Query
@@ -261,6 +280,10 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
+	cache, err := openCacheFlag(*cacheDir)
+	if err != nil {
+		return err
+	}
 	sink, err := of.open("holistic verify")
 	if err != nil {
 		return err
@@ -288,13 +311,17 @@ func cmdVerify(args []string) error {
 			break
 		}
 		found = true
-		res, err := engine.Check(&queries[i])
+		res, hit, err := core.CachedCheck(cache, engine, &queries[i])
 		if err != nil {
 			return err
 		}
 		addResultMetrics(obsRep, modelName, res)
-		fmt.Printf("%-16s %-16s %8d schemas  avg len %6.1f  %v\n",
-			res.Query, res.Outcome, res.Schemas, res.AvgLen, res.Elapsed.Round(time.Millisecond))
+		marker := ""
+		if hit {
+			marker = " [cached]"
+		}
+		fmt.Printf("%-16s %-16s %8d schemas  avg len %6.1f  %v%s\n",
+			res.Query, res.Outcome, res.Schemas, res.AvgLen, res.Elapsed.Round(time.Millisecond), marker)
 		if *stats {
 			fmt.Printf("    smt: %d LP checks, %d pivots, %d rebuilds, %d B&B nodes, %d case splits\n",
 				res.Solver.LPChecks, res.Solver.Pivots, res.Solver.Rebuilds, res.Solver.BBNodes, res.Solver.CaseSplit)
@@ -322,8 +349,13 @@ func cmdTable2(args []string) error {
 	skipNaive := fs.Bool("skip-naive", false, "skip the naive-consensus block")
 	naiveTimeout := fs.Duration("naive-timeout", 30*time.Second, "budget for the naive block")
 	workers := fs.Int("j", runtime.NumCPU(), "schema-enumeration workers per row (counts are deterministic at any -j)")
+	cacheDir := fs.String("cache", "", "reuse verdicts from this result-cache directory")
 	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cache, err := openCacheFlag(*cacheDir)
+	if err != nil {
 		return err
 	}
 	sink, err := of.open("holistic table2")
@@ -333,7 +365,7 @@ func cmdTable2(args []string) error {
 	defer sink.Close()
 	stop := watchInterrupt()
 	stopProgress := of.startProgress(stop)
-	rows, err := core.Table2(core.Table2Options{SkipNaive: *skipNaive, NaiveTimeout: *naiveTimeout, Stop: stop, Workers: *workers, Trace: sink.Tracer})
+	rows, err := core.Table2(core.Table2Options{SkipNaive: *skipNaive, NaiveTimeout: *naiveTimeout, Stop: stop, Workers: *workers, Trace: sink.Tracer, Cache: cache})
 	stopProgress()
 	if err != nil {
 		return err
@@ -354,10 +386,15 @@ func cmdTable2(args []string) error {
 func cmdCE(args []string) error {
 	fs := flag.NewFlagSet("ce", flag.ContinueOnError)
 	workers := fs.Int("j", runtime.NumCPU(), "schema-enumeration workers (the counterexample is deterministic at any count)")
+	cacheDir := fs.String("cache", "", "reuse verdicts from this result-cache directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, err := core.GenerateInv1Counterexample(core.Options{Stop: watchInterrupt(), Parallel: *workers})
+	cache, err := openCacheFlag(*cacheDir)
+	if err != nil {
+		return err
+	}
+	res, err := core.GenerateInv1Counterexample(core.Options{Stop: watchInterrupt(), Parallel: *workers, Cache: cache})
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/smt"
 	"repro/internal/spec"
+	"repro/internal/vcache"
 )
 
 // obsFlags bundles the observability flags shared by the verification
@@ -75,7 +76,7 @@ func addQueryMetrics(rep *obs.Report, model, query, mode string, outcome spec.Ou
 		Model:   model,
 		Query:   query,
 		Mode:    mode,
-		Outcome: outcome.String(),
+		Outcome: vcache.OutcomeLabel(outcome),
 		Schemas: schemas,
 		AvgLen:  avgLen,
 		Solver: obs.SolverMetrics{

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// runRemoteVerify sends one verification request to a `holistic serve`
+// daemon and renders the response exactly like a local run: same row
+// format (plus a " [cached]" marker on warm verdicts) and an obs report
+// whose deterministic section is byte-identical to the local one's — the
+// server computes the deterministic fields, the client copies them
+// verbatim.
+func runRemoteVerify(baseURL, model, taFile, specFile, prop, mode string,
+	timeout time.Duration, stats bool, of *obsFlags) error {
+	req := service.VerifyRequest{Prop: prop, Mode: mode, TimeoutMS: timeout.Milliseconds()}
+	if taFile != "" {
+		taData, err := os.ReadFile(taFile)
+		if err != nil {
+			return err
+		}
+		if specFile == "" {
+			return fmt.Errorf("-ta requires -spec with the properties to check")
+		}
+		specData, err := os.ReadFile(specFile)
+		if err != nil {
+			return err
+		}
+		req.TA, req.Spec = string(taData), string(specData)
+	} else {
+		req.Model = model
+	}
+
+	sink, err := of.open("holistic verify")
+	if err != nil {
+		return err
+	}
+	defer sink.Close()
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	httpResp, err := http.Post(baseURL+"/v1/verify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("reaching %s: %w", baseURL, err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(httpResp.Body).Decode(&eb)
+		if httpResp.StatusCode == http.StatusTooManyRequests {
+			return fmt.Errorf("server shed the request (Retry-After %ss): %s",
+				httpResp.Header.Get("Retry-After"), eb.Error)
+		}
+		return fmt.Errorf("server returned %d: %s", httpResp.StatusCode, eb.Error)
+	}
+	var resp service.VerifyResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+
+	obsRep := &obs.Report{Tool: "holistic verify"}
+	for _, r := range resp.Results {
+		obsRep.Deterministic.Queries = append(obsRep.Deterministic.Queries, obs.QueryMetrics{
+			Model: r.Model, Query: r.Query, Mode: r.Mode, Outcome: r.Outcome,
+			Schemas: r.Schemas, AvgLen: r.AvgLen, Solver: r.Solver,
+		})
+		obsRep.Observational.Timings = append(obsRep.Observational.Timings, obs.QueryTimings{
+			Model: r.Model, Query: r.Query, ElapsedNS: r.ElapsedNS,
+		})
+		marker := ""
+		if r.Cached {
+			marker = " [cached]"
+		}
+		fmt.Printf("%-16s %-16s %8d schemas  avg len %6.1f  %v%s\n",
+			r.Query, r.Outcome, r.Schemas, r.AvgLen,
+			time.Duration(r.ElapsedNS).Round(time.Millisecond), marker)
+		if stats {
+			fmt.Printf("    smt: %d LP checks, %d pivots, %d rebuilds, %d B&B nodes, %d case splits\n",
+				r.Solver.LPChecks, r.Solver.Pivots, r.Solver.Rebuilds, r.Solver.BBNodes, r.Solver.CaseSplits)
+		}
+		if r.CEText != "" {
+			fmt.Println(r.CEText)
+		}
+	}
+	finalizeReport(obsRep, 0, false)
+	return sink.Flush(obsRep)
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/vcache"
+)
+
+// cmdServe runs the verification HTTP daemon: the batch checker behind
+// POST /v1/verify, backed by the content-addressed result cache, with
+// singleflight dedup, bounded admission, and a graceful SIGTERM drain that
+// flushes the obs report exactly like the batch CLIs do.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8123", "listen address (use :0 for an ephemeral port)")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening")
+	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory (empty = no cache)")
+	cacheEntries := fs.Int("cache-entries", 256, "in-memory LRU entries above the on-disk store")
+	workers := fs.Int("j", runtime.NumCPU(), "schema-enumeration workers per engine run")
+	queue := fs.Int("queue", 64, "admitted-request bound; beyond it requests shed with 429")
+	maxConcurrent := fs.Int("max-concurrent", 2, "engine runs in flight; admitted requests queue on this")
+	deadline := fs.Duration("deadline", 0, "per-request verification deadline (0 = none)")
+	of := registerObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	var cache *vcache.Cache
+	if *cacheDir != "" {
+		var err error
+		cache, err = vcache.Open(vcache.Options{Dir: *cacheDir, MemEntries: *cacheEntries, Logf: logf})
+		if err != nil {
+			return err
+		}
+	}
+	sink, err := of.open("holistic serve")
+	if err != nil {
+		return err
+	}
+	defer sink.Close()
+
+	var draining atomic.Bool
+	srv := service.New(service.Config{
+		Cache:          cache,
+		Workers:        *workers,
+		MaxQueue:       *queue,
+		MaxConcurrent:  *maxConcurrent,
+		RequestTimeout: *deadline,
+		Stop:           draining.Load,
+		Logf:           logf,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	logf("holistic: serving on http://%s (engine %s, cache %s)",
+		ln.Addr(), vcache.EngineVersion, cacheDesc(*cacheDir))
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		// Graceful drain: refuse new work (admission sees Stop), let
+		// in-flight requests finish, then flush the report. A second signal
+		// force-exits.
+		draining.Store(true)
+		logf("holistic: %v received; draining in-flight requests (signal again to force-exit)", s)
+		go func() {
+			<-sig
+			os.Exit(130)
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			logf("holistic: drain timed out: %v", err)
+		}
+	}
+	rep := srv.Report("holistic serve", *workers, false)
+	if len(rep.Deterministic.Queries) == 0 {
+		// A daemon that served nothing has no deterministic payload to
+		// report; flushing a skeleton would fail obs validation downstream.
+		logf("holistic: served no verifications; skipping report flush")
+		return nil
+	}
+	return sink.Flush(rep)
+}
+
+func cacheDesc(dir string) string {
+	if dir == "" {
+		return "off"
+	}
+	return dir
+}

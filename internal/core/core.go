@@ -28,6 +28,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/spec"
 	"repro/internal/ta"
+	"repro/internal/vcache"
 )
 
 // Options tunes the verification back-end.
@@ -54,6 +55,11 @@ type Options struct {
 	// Trace, when non-nil, receives structured span events from every
 	// engine (see schema.Options.Trace). Observational only.
 	Trace *obs.Tracer
+	// Cache, when non-nil, memoizes verdicts content-addressed by the
+	// canonical (automaton, query, engine config, engine version) hash
+	// (internal/vcache). Hits skip the engine entirely after re-certifying
+	// any counterexample by replay; Budget outcomes are never cached.
+	Cache *vcache.Cache
 }
 
 func (o Options) engine(a *ta.TA, schemaWorkers int) (*schema.Engine, error) {
@@ -141,6 +147,37 @@ func safeCheck(c checker, q *spec.Query) (res schema.Result, err error) {
 	return c.Check(q)
 }
 
+// CachedCheck is the single cache lookup/fill path every caller shares
+// (pipeline, verify, table2, the serving plane): consult the cache under the
+// engine's canonical key, fall back to a real check on a miss or a failed
+// re-certification, and fill the cache with any non-Budget verdict. A hit
+// reports the lookup's own (tiny) wall clock in Elapsed; all deterministic
+// fields are the stored ones, so reports built from hits are byte-identical
+// to reports built from cold runs.
+func CachedCheck(cache *vcache.Cache, engine *schema.Engine, q *spec.Query) (schema.Result, bool, error) {
+	if cache == nil {
+		res, err := safeCheck(engine, q)
+		return res, false, err
+	}
+	start := time.Now()
+	key := vcache.Key(engine.TA(), q, vcache.ConfigOf(engine.Opts()), vcache.EngineVersion)
+	if ent, ok := cache.Get(key); ok {
+		if res, err := ent.ToResult(engine.TA(), q); err == nil {
+			res.Elapsed = time.Since(start)
+			return res, true, nil
+		}
+		// Re-certification failed: fall through to a real check, which
+		// overwrites the bad entry.
+	}
+	res, err := safeCheck(engine, q)
+	if err == nil && res.Outcome != spec.Budget {
+		if ent, eerr := vcache.FromResult(engine.TA(), key, res); eerr == nil {
+			_ = cache.Put(ent) // disk failures are logged by the cache; never fail a verdict
+		}
+	}
+	return res, false, err
+}
+
 func runQueries(a *ta.TA, queries []spec.Query, opts Options) (Report, error) {
 	start := time.Now()
 	slots := splitBudget(opts.Parallel, len(queries))
@@ -171,7 +208,7 @@ func runQueries(a *ta.TA, queries []spec.Query, opts Options) (Report, error) {
 		go func(i, si int) {
 			defer wg.Done()
 			defer func() { slotCh <- si }()
-			results[i], errs[i] = safeCheck(engines[si], &queries[i])
+			results[i], _, errs[i] = CachedCheck(opts.Cache, engines[si], &queries[i])
 		}(i, si)
 	}
 	wg.Wait()
@@ -292,7 +329,8 @@ func GenerateInv1Counterexample(opts Options) (schema.Result, error) {
 	if err != nil {
 		return schema.Result{}, err
 	}
-	return engine.Check(&q)
+	res, _, err := CachedCheck(opts.Cache, engine, &q)
+	return res, err
 }
 
 // Format renders a report as text.

@@ -11,6 +11,7 @@ import (
 	"repro/internal/smt"
 	"repro/internal/spec"
 	"repro/internal/ta"
+	"repro/internal/vcache"
 )
 
 // Table2Row is one line of the paper's Table 2, extended with the solver
@@ -46,6 +47,8 @@ type Table2Options struct {
 	Workers int
 	// Trace, when non-nil, receives span events from every check.
 	Trace *obs.Tracer
+	// Cache, when non-nil, memoizes verdicts (see Options.Cache).
+	Cache *vcache.Cache
 }
 
 // Table2 regenerates the paper's Table 2:
@@ -72,7 +75,7 @@ func Table2(opts Table2Options) ([]Table2Row, error) {
 			if names != nil && !contains(names, queries[i].Name) {
 				continue
 			}
-			res, err := engine.Check(&queries[i])
+			res, _, err := CachedCheck(opts.Cache, engine, &queries[i])
 			if err != nil {
 				return fmt.Errorf("core: table2 %s/%s: %w", a.Name, queries[i].Name, err)
 			}

@@ -182,9 +182,9 @@ func TestReportValidate(t *testing.T) {
 	}
 
 	bad := []*Report{
-		{},                          // no tool
-		{Tool: "t"},                 // no deterministic payload
-		{Tool: "t", Partial: true},  // skeleton
+		{},                         // no tool
+		{Tool: "t"},                // no deterministic payload
+		{Tool: "t", Partial: true}, // skeleton
 		{Tool: "t", Deterministic: Deterministic{Queries: []QueryMetrics{{Model: "m", Query: "q", Outcome: "maybe"}}}},
 		{Tool: "t", Deterministic: Deterministic{Queries: []QueryMetrics{{Model: "m", Query: "q", Outcome: "budget", Schemas: 9}}}},
 		{Tool: "t", Deterministic: Deterministic{Queries: []QueryMetrics{{Model: "m", Query: "q", Outcome: "holds", Schemas: -1}}}},

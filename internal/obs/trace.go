@@ -12,8 +12,8 @@ import (
 // the tracer was created, so a trace file is self-contained and two traces
 // of the same run shape align without wall-clock skew.
 type Event struct {
-	TS   int64 `json:"ts_ns"`
-	Dur  int64 `json:"dur_ns,omitempty"`
+	TS   int64  `json:"ts_ns"`
+	Dur  int64  `json:"dur_ns,omitempty"`
 	Kind string `json:"kind"`
 	Name string `json:"name"`
 	// Attrs carries small numeric payloads (schema index, slot count, SMT

@@ -6,6 +6,7 @@ import (
 	"repro/internal/counter"
 	"repro/internal/expr"
 	"repro/internal/spec"
+	"repro/internal/ta"
 )
 
 // certify re-checks every condition of the query against a concrete replayed
@@ -87,4 +88,29 @@ func certify(sys *counter.System, q *spec.Query, trace []counter.Config) error {
 		}
 	}
 	return nil
+}
+
+// Certify replays a counterexample run on the concrete counter system of the
+// (one-round) automaton and re-checks every condition of the query against
+// the trace, exactly as the engine does before reporting a violation. The
+// result cache runs it on every cached Violated entry before trusting it: a
+// corrupted or stale counterexample fails the replay and the entry is
+// treated as a miss — a wrong verdict can never be served from disk.
+func Certify(a *ta.TA, q *spec.Query, params map[expr.Sym]int64, run counter.Run) (*counter.System, error) {
+	sysTA := a
+	if q.RelaxResilience != nil {
+		sysTA = a.WithResilience(q.RelaxResilience)
+	}
+	sys, err := counter.NewSystem(sysTA, params)
+	if err != nil {
+		return nil, err
+	}
+	trace, err := sys.Replay(run)
+	if err != nil {
+		return nil, err
+	}
+	if err := certify(sys, q, trace); err != nil {
+		return nil, err
+	}
+	return sys, nil
 }

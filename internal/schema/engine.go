@@ -195,6 +195,11 @@ func New(a *ta.TA, opts Options) (*Engine, error) {
 // TA returns the (one-round) automaton the engine checks.
 func (e *Engine) TA() *ta.TA { return e.ta }
 
+// Opts returns the engine's resolved options (defaults applied by New).
+// The result cache derives its keys from the verdict-relevant fields, so
+// two engines with the same resolved options are interchangeable.
+func (e *Engine) Opts() Options { return e.opts }
+
 // Check decides the query.
 func (e *Engine) Check(q *spec.Query) (Result, error) {
 	start := time.Now()
@@ -214,8 +219,8 @@ func (e *Engine) Check(q *spec.Query) (Result, error) {
 	}
 	res.Elapsed = time.Since(start)
 	endSpan(map[string]int64{
-		"outcome": int64(res.Outcome),
-		"schemas": int64(res.Schemas),
+		"outcome":  int64(res.Outcome),
+		"schemas":  int64(res.Schemas),
 		"solve_ns": int64(res.Phases.Solve),
 	})
 	if err != nil {

@@ -1,0 +1,96 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/ltl"
+	"repro/internal/models"
+	"repro/internal/spec"
+	"repro/internal/ta"
+	"repro/internal/taformat"
+)
+
+// BuiltinModel resolves a bundled model name to its automaton and property
+// set — the single registry shared by the holistic CLI and the serving
+// plane, so a remote verification of "simplified" runs exactly the queries a
+// local one does.
+func BuiltinModel(name string) (*ta.TA, []spec.Query, error) {
+	switch name {
+	case "bv", "bvbroadcast":
+		a := models.BVBroadcast()
+		qs, err := models.BVQueries(a)
+		return a, qs, err
+	case "naive":
+		a := models.NaiveConsensus()
+		qs, err := models.NaiveQueries(a)
+		return a, qs, err
+	case "simplified":
+		a := models.SimplifiedConsensus()
+		qs, err := models.SimplifiedQueries(a)
+		return a, qs, err
+	case "strb":
+		a := models.STReliableBroadcast()
+		qs, err := models.STRBQueries(a)
+		return a, qs, err
+	case "bosco":
+		a := models.Bosco()
+		qs, err := models.BoscoQueries(a)
+		return a, qs, err
+	default:
+		return nil, nil, fmt.Errorf("unknown model %q (want bv, naive, simplified, strb or bosco)", name)
+	}
+}
+
+// resolveRequest turns a VerifyRequest into the automaton, model label and
+// query list to check. Exactly one of Model and TA must be set; TA requires
+// Spec (the LTL property file text to compile against it).
+func resolveRequest(req *VerifyRequest) (*ta.TA, string, []spec.Query, error) {
+	var (
+		a       *ta.TA
+		queries []spec.Query
+		label   string
+		err     error
+	)
+	switch {
+	case req.Model != "" && req.TA != "":
+		return nil, "", nil, fmt.Errorf("request sets both model and ta; pick one")
+	case req.Model != "":
+		label = req.Model
+		a, queries, err = BuiltinModel(req.Model)
+		if err != nil {
+			return nil, "", nil, err
+		}
+	case req.TA != "":
+		if req.Spec == "" {
+			return nil, "", nil, fmt.Errorf("a ta payload requires a spec payload with the properties to check")
+		}
+		a, err = taformat.Parse(req.TA)
+		if err != nil {
+			return nil, "", nil, fmt.Errorf("parsing ta: %w", err)
+		}
+		label = a.Name
+		pf, perr := ltl.ParseFile(req.Spec)
+		if perr != nil {
+			return nil, "", nil, fmt.Errorf("parsing spec: %w", perr)
+		}
+		queries, err = ltl.CompileFile(pf, a)
+		if err != nil {
+			return nil, "", nil, fmt.Errorf("compiling spec: %w", err)
+		}
+	default:
+		return nil, "", nil, fmt.Errorf("request names no model and carries no ta")
+	}
+	if req.Prop != "" {
+		var filtered []spec.Query
+		for i := range queries {
+			if queries[i].Name == req.Prop {
+				filtered = append(filtered, queries[i])
+			}
+		}
+		if len(filtered) == 0 {
+			return nil, "", nil, fmt.Errorf("no property %q in model %s", req.Prop, label)
+		}
+		queries = filtered
+	}
+	return a, label, queries, nil
+}

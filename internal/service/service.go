@@ -1,0 +1,566 @@
+// Package service is the HTTP serving plane of the verification stack: it
+// turns the batch checker into a daemon (`holistic serve`) that answers
+// spec-verification requests over a loopback or LAN socket, backed by the
+// content-addressed result cache of internal/vcache.
+//
+// The request path is: admission (bounded queue, load-shedding with 429 +
+// Retry-After beyond it) → cache lookup (internal/core.CachedCheck) →
+// singleflight dedup (concurrent identical requests share one engine run) →
+// engine run under a concurrency semaphore, with the per-request deadline
+// mapped onto the engine's cooperative Stop/Timeout hooks. Responses carry
+// exactly the deterministic fields of the obs report schema, so a remote
+// verification's report is byte-identical to a local one's.
+//
+// Endpoints:
+//
+//	POST /v1/verify            synchronous verify; body: VerifyRequest JSON
+//	POST /v1/jobs              submit an async job; returns {"id": ...}
+//	GET  /v1/jobs/{id}         job status
+//	GET  /v1/jobs/{id}/result  job result (409 until done)
+//	GET  /healthz              liveness + drain state
+//	GET  /metricsz             obs registry snapshot (JSON)
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/schema"
+	"repro/internal/spec"
+	"repro/internal/ta"
+	"repro/internal/vcache"
+)
+
+// Metrics (observational).
+var (
+	mRequests   = obs.Default.Counter("service", "requests")
+	mShed       = obs.Default.Counter("service", "shed")
+	mEngineRuns = obs.Default.Counter("service", "engine_runs")
+	mDedup      = obs.Default.Counter("service", "singleflight_shared")
+	mQueueDepth = obs.Default.Gauge("service", "queue_depth")
+	mRequestNS  = obs.Default.Histogram("service", "request_ns")
+	mCheckNS    = obs.Default.Histogram("service", "check_ns")
+)
+
+// Config tunes the server.
+type Config struct {
+	// Cache backs verdict reuse (nil = every request solves from scratch).
+	Cache *vcache.Cache
+	// Workers is the schema-enumeration worker budget per engine run
+	// (0 = sequential). Verdicts are deterministic at any value.
+	Workers int
+	// MaxQueue bounds admitted-but-unfinished requests; beyond it requests
+	// are shed with 429 + Retry-After (default 64).
+	MaxQueue int
+	// MaxConcurrent bounds engine runs in flight (default 2): verification
+	// is CPU-bound, so admitted requests queue on this semaphore.
+	MaxConcurrent int
+	// RequestTimeout caps one request's verification wall clock (0 = none);
+	// a client-supplied timeout_ms may tighten but never extend it.
+	RequestTimeout time.Duration
+	// Stop, when set, marks the process as draining: new requests are
+	// rejected with 503 while in-flight ones finish (SIGTERM wiring).
+	Stop func() bool
+	// Logf receives one line per notable event (default: silent).
+	Logf func(format string, args ...any)
+}
+
+// VerifyRequest is the POST /v1/verify and POST /v1/jobs payload. Exactly
+// one of Model (bundled) and TA (textual automaton, with Spec holding the
+// LTL property file) must be set.
+type VerifyRequest struct {
+	Model string `json:"model,omitempty"`
+	TA    string `json:"ta,omitempty"`
+	Spec  string `json:"spec,omitempty"`
+	// Prop restricts the check to one named property (default: all).
+	Prop string `json:"prop,omitempty"`
+	// Mode is "staged" (default) or "full".
+	Mode string `json:"mode,omitempty"`
+	// TimeoutMS bounds each property check; capped by the server's
+	// RequestTimeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// QueryResult is one property verdict. The deterministic fields (model,
+// query, mode, outcome, schemas, avg_len, solver) carry exactly the obs
+// report schema values — budget rows arrive with volatile fields zeroed —
+// so clients can reconstruct a report whose deterministic section is
+// byte-identical to a local run's.
+type QueryResult struct {
+	Model   string            `json:"model"`
+	Query   string            `json:"query"`
+	Mode    string            `json:"mode"`
+	Outcome string            `json:"outcome"`
+	Schemas int               `json:"schemas"`
+	AvgLen  float64           `json:"avg_len"`
+	Solver  obs.SolverMetrics `json:"solver"`
+	// Cached marks a verdict served from the result cache; Shared marks one
+	// that joined a concurrent identical run. Observational.
+	Cached bool `json:"cached,omitempty"`
+	Shared bool `json:"shared,omitempty"`
+	// ElapsedNS is this server's wall clock for the check. Observational.
+	ElapsedNS int64 `json:"elapsed_ns"`
+	// CEText is the formatted counterexample when Outcome == "violated".
+	CEText string `json:"ce_text,omitempty"`
+}
+
+// VerifyResponse is the /v1/verify response body.
+type VerifyResponse struct {
+	Engine    string        `json:"engine_version"`
+	Results   []QueryResult `json:"results"`
+	ElapsedNS int64         `json:"elapsed_ns"`
+}
+
+// errorBody is every non-2xx JSON payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Server handles the verification endpoints. Create with New, mount via
+// Handler.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	sem   chan struct{}
+	group *flightGroup
+
+	admitted atomic.Int64
+
+	jobsMu  sync.Mutex
+	jobs    map[string]*job
+	jobSeq  int
+	started time.Time
+
+	// engineRuns counts real engine invocations (not cache hits, not
+	// singleflight followers); the race test pins it to exactly one for N
+	// concurrent identical requests.
+	engineRuns atomic.Int64
+
+	// reportMu guards the deterministic rows accumulated for the drain-time
+	// obs report: one row per unique verification key served, in insertion
+	// order replaced by sorted order at flush.
+	reportMu   sync.Mutex
+	reportRows map[string]obs.QueryMetrics
+}
+
+type job struct {
+	ID      string    `json:"id"`
+	State   string    `json:"state"` // queued | running | done | error
+	Created time.Time `json:"created"`
+	Total   int       `json:"total_queries"`
+	Done    int       `json:"done_queries"`
+	Err     string    `json:"error,omitempty"`
+
+	resp *VerifyResponse
+}
+
+// New builds a server.
+func New(cfg Config) *Server {
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.Stop == nil {
+		cfg.Stop = func() bool { return false }
+	}
+	s := &Server{
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		sem:        make(chan struct{}, cfg.MaxConcurrent),
+		group:      newFlightGroup(),
+		jobs:       make(map[string]*job),
+		started:    time.Now(),
+		reportRows: make(map[string]obs.QueryMetrics),
+	}
+	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// EngineRuns reports the number of real engine invocations so far.
+func (s *Server) EngineRuns() int64 { return s.engineRuns.Load() }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		// Unreachable for the plain structs served here.
+		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+		return
+	}
+	w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// admit reserves an admission slot, shedding with 429 beyond MaxQueue and
+// refusing with 503 while draining. The returned release func must be
+// called exactly once; ok=false means the response has been written.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	if s.cfg.Stop() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return nil, false
+	}
+	depth := s.admitted.Add(1)
+	mQueueDepth.Set(depth)
+	if depth > int64(s.cfg.MaxQueue) {
+		s.admitted.Add(-1)
+		mQueueDepth.Set(s.admitted.Load())
+		mShed.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "admission queue full (%d in flight); retry later", s.cfg.MaxQueue)
+		return nil, false
+	}
+	return func() {
+		mQueueDepth.Set(s.admitted.Add(-1))
+	}, true
+}
+
+func decodeRequest(w http.ResponseWriter, r *http.Request) (*VerifyRequest, bool) {
+	var req VerifyRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return nil, false
+	}
+	return &req, true
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	mRequests.Inc()
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	resp, status, err := s.verify(r.Context(), req)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// verify runs one request end to end. It returns an HTTP status alongside
+// any error so handlers map failures consistently.
+func (s *Server) verify(ctx context.Context, req *VerifyRequest) (*VerifyResponse, int, error) {
+	start := time.Now()
+	defer func() { mRequestNS.Observe(time.Since(start).Nanoseconds()) }()
+
+	a, label, queries, err := resolveRequest(req)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	mode := schema.Staged
+	switch req.Mode {
+	case "", "staged":
+	case "full":
+		mode = schema.FullEnumeration
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want staged or full)", req.Mode)
+	}
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		t := time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout == 0 || t < timeout {
+			timeout = t
+		}
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	resp := &VerifyResponse{Engine: vcache.EngineVersion}
+	for i := range queries {
+		qr, err := s.checkOne(ctx, label, a, &queries[i], mode, timeout)
+		if err != nil {
+			return nil, http.StatusInternalServerError, fmt.Errorf("checking %s/%s: %w", label, queries[i].Name, err)
+		}
+		resp.Results = append(resp.Results, qr)
+	}
+	resp.ElapsedNS = time.Since(start).Nanoseconds()
+	return resp, http.StatusOK, nil
+}
+
+// checkOne decides one property: cache first, then singleflight, then a real
+// engine run under the concurrency semaphore with the request deadline
+// mapped onto the engine's Stop hook.
+func (s *Server) checkOne(ctx context.Context, label string, a *ta.TA, q *spec.Query, mode schema.Mode, timeout time.Duration) (QueryResult, error) {
+	start := time.Now()
+	stop := func() bool {
+		if s.cfg.Stop() {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
+	engine, err := schema.New(a, schema.Options{
+		Mode:    mode,
+		Timeout: timeout,
+		Stop:    stop,
+		Workers: s.cfg.Workers,
+	})
+	if err != nil {
+		return QueryResult{}, err
+	}
+	key := vcache.Key(engine.TA(), q, vcache.ConfigOf(engine.Opts()), vcache.EngineVersion)
+
+	var cached, shared bool
+	var res schema.Result
+	if s.cfg.Cache != nil {
+		// Fast path outside the singleflight: a warm hit never queues.
+		if ent, ok := s.cfg.Cache.Get(key); ok {
+			if r, cerr := ent.ToResult(engine.TA(), q); cerr == nil {
+				res, cached = r, true
+			}
+		}
+	}
+	if !cached {
+		res, shared, err = s.group.do(key, func() (schema.Result, error) {
+			// The semaphore bounds concurrent engine runs; an expired
+			// deadline while queuing surfaces as a budget outcome, exactly
+			// like one that fires mid-solve via the Stop hook.
+			select {
+			case s.sem <- struct{}{}:
+			case <-ctx.Done():
+				return schema.Result{Query: q.Name, Mode: mode, Outcome: spec.Budget}, nil
+			}
+			defer func() { <-s.sem }()
+			s.engineRuns.Add(1)
+			mEngineRuns.Inc()
+			r, _, cerr := core.CachedCheck(s.cfg.Cache, engine, q)
+			return r, cerr
+		})
+		if err != nil {
+			return QueryResult{}, err
+		}
+		if shared {
+			mDedup.Inc()
+		}
+	}
+	elapsed := time.Since(start)
+	mCheckNS.Observe(elapsed.Nanoseconds())
+
+	qr := QueryResult{
+		Model:   label,
+		Query:   res.Query,
+		Mode:    res.Mode.String(),
+		Outcome: vcache.OutcomeLabel(res.Outcome),
+		Schemas: res.Schemas,
+		AvgLen:  res.AvgLen,
+		Solver: obs.SolverMetrics{
+			LPChecks:   int64(res.Solver.LPChecks),
+			Pivots:     int64(res.Solver.Pivots),
+			Rebuilds:   int64(res.Solver.Rebuilds),
+			BBNodes:    int64(res.Solver.BBNodes),
+			CaseSplits: int64(res.Solver.CaseSplit),
+		},
+		Cached:    cached,
+		Shared:    shared,
+		ElapsedNS: elapsed.Nanoseconds(),
+	}
+	if res.Outcome == spec.Budget {
+		// Zero the volatile fields exactly as local reports do: a timeout
+		// cuts the search at a wall-clock-dependent point.
+		qr.Schemas, qr.AvgLen, qr.Solver = 0, 0, obs.SolverMetrics{}
+	}
+	if res.CE != nil {
+		qr.CEText = res.CE.Format()
+	}
+	s.recordReportRow(key, qr)
+	return qr, nil
+}
+
+// recordReportRow accumulates one deterministic report row per unique
+// verification key, for the drain-time obs report.
+func (s *Server) recordReportRow(key string, qr QueryResult) {
+	s.reportMu.Lock()
+	defer s.reportMu.Unlock()
+	if len(s.reportRows) >= 10_000 {
+		// Unbounded daemons must not grow the report forever; the registry
+		// snapshot still covers totals.
+		return
+	}
+	s.reportRows[key] = obs.QueryMetrics{
+		Model: qr.Model, Query: qr.Query, Mode: qr.Mode, Outcome: qr.Outcome,
+		Schemas: qr.Schemas, AvgLen: qr.AvgLen, Solver: qr.Solver,
+	}
+}
+
+// Report assembles the daemon's obs report: one deterministic row per unique
+// verification served (sorted, so two servers that served the same set of
+// keys flush byte-identical deterministic sections) plus the registry
+// snapshot.
+func (s *Server) Report(tool string, workers int, interrupted bool) *obs.Report {
+	s.reportMu.Lock()
+	keys := make([]string, 0, len(s.reportRows))
+	for k := range s.reportRows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := s.reportRows[keys[i]], s.reportRows[keys[j]]
+		if a.Model != b.Model {
+			return a.Model < b.Model
+		}
+		if a.Query != b.Query {
+			return a.Query < b.Query
+		}
+		return keys[i] < keys[j]
+	})
+	rep := &obs.Report{Tool: tool}
+	for _, k := range keys {
+		rep.Deterministic.Queries = append(rep.Deterministic.Queries, s.reportRows[k])
+	}
+	s.reportMu.Unlock()
+	rep.Observational.Workers = workers
+	rep.Observational.Interrupted = interrupted
+	rep.Observational.Registry = obs.Default.Snapshot()
+	return rep
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	mRequests.Inc()
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		release()
+		return
+	}
+	// Validate before accepting so submit errors surface synchronously.
+	_, _, queries, err := resolveRequest(req)
+	if err != nil {
+		release()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.jobsMu.Lock()
+	s.jobSeq++
+	j := &job{
+		ID:      fmt.Sprintf("job-%06d", s.jobSeq),
+		State:   "queued",
+		Created: time.Now().UTC(),
+		Total:   len(queries),
+	}
+	s.jobs[j.ID] = j
+	envelope := *j
+	s.jobsMu.Unlock()
+
+	go func() {
+		defer release()
+		s.setJobState(j, "running")
+		// The job holds its admission slot for its whole life, so queued
+		// jobs count against MaxQueue exactly like synchronous requests.
+		resp, _, err := s.verify(context.Background(), req)
+		s.jobsMu.Lock()
+		defer s.jobsMu.Unlock()
+		if err != nil {
+			j.State, j.Err = "error", err.Error()
+			return
+		}
+		j.State, j.resp, j.Done = "done", resp, len(resp.Results)
+	}()
+	writeJSON(w, http.StatusAccepted, envelope)
+}
+
+func (s *Server) setJobState(j *job, state string) {
+	s.jobsMu.Lock()
+	j.State = state
+	s.jobsMu.Unlock()
+}
+
+func (s *Server) jobByID(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	j, ok := s.jobs[r.PathValue("id")]
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(w, r)
+	if !ok {
+		return
+	}
+	s.jobsMu.Lock()
+	cp := *j
+	s.jobsMu.Unlock()
+	cp.resp = nil
+	writeJSON(w, http.StatusOK, cp)
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(w, r)
+	if !ok {
+		return
+	}
+	s.jobsMu.Lock()
+	state, resp, jerr := j.State, j.resp, j.Err
+	s.jobsMu.Unlock()
+	switch state {
+	case "done":
+		writeJSON(w, http.StatusOK, resp)
+	case "error":
+		writeError(w, http.StatusInternalServerError, "%s", jerr)
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "job %s is %s; retry later", j.ID, state)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.cfg.Stop() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":         status,
+		"engine_version": vcache.EngineVersion,
+		"uptime_ms":      time.Since(s.started).Milliseconds(),
+		"queue_depth":    s.admitted.Load(),
+		"max_queue":      s.cfg.MaxQueue,
+	})
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, obs.Default.Snapshot())
+}

@@ -1,0 +1,351 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/vcache"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postVerify(t *testing.T, url string, req VerifyRequest) (*VerifyResponse, *http.Response) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	httpResp, err := http.Post(url+"/v1/verify", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		var eb errorBody
+		json.NewDecoder(httpResp.Body).Decode(&eb)
+		t.Fatalf("verify returned %d: %s", httpResp.StatusCode, eb.Error)
+	}
+	var resp VerifyResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	return &resp, httpResp
+}
+
+func memCache(t *testing.T) *vcache.Cache {
+	t.Helper()
+	c, err := vcache.Open(vcache.Options{MemEntries: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// N concurrent identical requests must cost exactly one engine run: either a
+// follower joins the leader's in-flight solve (singleflight), or it arrives
+// after the leader finished and hits the cache. Run with -race.
+func TestSingleflightConcurrentIdenticalRequests(t *testing.T) {
+	s, ts := newTestServer(t, Config{Cache: memCache(t), MaxQueue: 64, MaxConcurrent: 4})
+	req := VerifyRequest{Model: "simplified", Prop: "Inv1_0"}
+
+	const n = 12
+	var wg sync.WaitGroup
+	results := make([]*VerifyResponse, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _ = postVerify(t, ts.URL, req)
+		}(i)
+	}
+	wg.Wait()
+
+	if runs := s.EngineRuns(); runs != 1 {
+		t.Fatalf("%d identical concurrent requests cost %d engine runs, want exactly 1", n, runs)
+	}
+	want := results[0].Results[0]
+	for i, r := range results {
+		if len(r.Results) != 1 {
+			t.Fatalf("request %d: %d results, want 1", i, len(r.Results))
+		}
+		got := r.Results[0]
+		if got.Outcome != want.Outcome || got.Schemas != want.Schemas ||
+			got.AvgLen != want.AvgLen || got.Solver != want.Solver {
+			t.Fatalf("request %d verdict differs:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestCacheHitOnRepeat(t *testing.T) {
+	s, ts := newTestServer(t, Config{Cache: memCache(t)})
+	req := VerifyRequest{Model: "simplified", Prop: "Inv2_0"}
+
+	cold, _ := postVerify(t, ts.URL, req)
+	if cold.Results[0].Cached {
+		t.Fatal("first request reported as cached")
+	}
+	runsAfterCold := s.EngineRuns()
+	warm, _ := postVerify(t, ts.URL, req)
+	if !warm.Results[0].Cached {
+		t.Fatal("second identical request not served from cache")
+	}
+	if s.EngineRuns() != runsAfterCold {
+		t.Fatal("warm request triggered an engine run")
+	}
+	if warm.Results[0].Outcome != cold.Results[0].Outcome ||
+		warm.Results[0].Schemas != cold.Results[0].Schemas ||
+		warm.Results[0].Solver != cold.Results[0].Solver {
+		t.Fatalf("cached verdict differs from cold verdict:\n cold %+v\n warm %+v",
+			cold.Results[0], warm.Results[0])
+	}
+	if warm.Engine != vcache.EngineVersion {
+		t.Fatalf("engine version %q, want %q", warm.Engine, vcache.EngineVersion)
+	}
+}
+
+// Admission beyond MaxQueue sheds with 429 + Retry-After; draining refuses
+// with 503.
+func TestAdmissionSheddingAndDrain(t *testing.T) {
+	s := New(Config{MaxQueue: 1})
+	w1 := httptest.NewRecorder()
+	release, ok := s.admit(w1)
+	if !ok {
+		t.Fatal("first admission refused")
+	}
+	w2 := httptest.NewRecorder()
+	if _, ok := s.admit(w2); ok {
+		t.Fatal("admission beyond MaxQueue accepted")
+	}
+	if w2.Code != http.StatusTooManyRequests {
+		t.Fatalf("shed status %d, want 429", w2.Code)
+	}
+	if w2.Header().Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	release()
+	w3 := httptest.NewRecorder()
+	if release3, ok := s.admit(w3); !ok {
+		t.Fatal("admission after release refused")
+	} else {
+		release3()
+	}
+
+	draining := New(Config{Stop: func() bool { return true }})
+	w4 := httptest.NewRecorder()
+	if _, ok := draining.admit(w4); ok {
+		t.Fatal("draining server admitted a request")
+	}
+	if w4.Code != http.StatusServiceUnavailable {
+		t.Fatalf("drain status %d, want 503", w4.Code)
+	}
+}
+
+// A tiny per-request deadline must cut the check via the engine's Stop hook
+// and surface as a budget outcome — and budget outcomes stay out of the
+// cache, so a later request with a real budget still solves.
+func TestRequestDeadlineMapsToBudget(t *testing.T) {
+	s, ts := newTestServer(t, Config{Cache: memCache(t)})
+	resp, _ := postVerify(t, ts.URL, VerifyRequest{Model: "simplified", TimeoutMS: 1})
+	budget := 0
+	for _, r := range resp.Results {
+		if r.Outcome == "budget" {
+			budget++
+			if r.Schemas != 0 || r.AvgLen != 0 || r.Cached {
+				t.Fatalf("budget row carries volatile or cached fields: %+v", r)
+			}
+		}
+	}
+	if budget == 0 {
+		t.Skip("machine solved every simplified property in under 1ms; nothing to assert")
+	}
+	// The timed-out verdicts must not have been cached.
+	full, _ := postVerify(t, ts.URL, VerifyRequest{Model: "simplified", Prop: "Inv1_0"})
+	if full.Results[0].Outcome == "budget" {
+		t.Fatal("untimed request returned budget")
+	}
+	if full.Results[0].Cached {
+		t.Fatal("budget outcome leaked into the cache")
+	}
+	_ = s
+}
+
+func TestJobsLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{Cache: memCache(t)})
+	body, _ := json.Marshal(VerifyRequest{Model: "simplified", Prop: "Inv1_1"})
+	httpResp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if httpResp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit returned %d, want 202", httpResp.StatusCode)
+	}
+	var j job
+	json.NewDecoder(httpResp.Body).Decode(&j)
+	httpResp.Body.Close()
+	if j.ID == "" || j.Total != 1 {
+		t.Fatalf("bad job envelope: %+v", j)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := http.Get(ts.URL + "/v1/jobs/" + j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur job
+		json.NewDecoder(st.Body).Decode(&cur)
+		st.Body.Close()
+		if cur.State == "done" {
+			break
+		}
+		if cur.State == "error" {
+			t.Fatalf("job failed: %s", cur.Err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %q", cur.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	res, err := http.Get(ts.URL + "/v1/jobs/" + j.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("result returned %d, want 200", res.StatusCode)
+	}
+	var resp VerifyResponse
+	json.NewDecoder(res.Body).Decode(&resp)
+	if len(resp.Results) != 1 || resp.Results[0].Query != "Inv1_1" {
+		t.Fatalf("bad job result: %+v", resp)
+	}
+
+	if st, _ := http.Get(ts.URL + "/v1/jobs/no-such-job"); st.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job returned %d, want 404", st.StatusCode)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"both model and ta", `{"model":"simplified","ta":"x"}`},
+		{"neither", `{}`},
+		{"unknown model", `{"model":"nope"}`},
+		{"unknown mode", `{"model":"simplified","mode":"warp"}`},
+		{"unknown prop", `{"model":"simplified","prop":"NoSuchProp"}`},
+		{"unknown field", `{"model":"simplified","frobnicate":1}`},
+		{"garbage", `{`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/verify", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+func TestHealthzAndMetricsz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz returned %d", resp.StatusCode)
+	}
+	var h map[string]any
+	json.NewDecoder(resp.Body).Decode(&h)
+	if h["status"] != "ok" || h["engine_version"] != vcache.EngineVersion {
+		t.Fatalf("bad healthz body: %v", h)
+	}
+
+	m, err := http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Body.Close()
+	if m.StatusCode != http.StatusOK {
+		t.Fatalf("metricsz returned %d", m.StatusCode)
+	}
+	var snap map[string]any
+	if err := json.NewDecoder(m.Body).Decode(&snap); err != nil {
+		t.Fatalf("metricsz not JSON: %v", err)
+	}
+
+	draining, tsd := newTestServer(t, Config{Stop: func() bool { return true }})
+	_ = draining
+	hd, err := http.Get(tsd.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd.Body.Close()
+	if hd.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz returned %d, want 503", hd.StatusCode)
+	}
+}
+
+// The daemon report must be deterministic: rows deduped by verification key
+// and sorted, so the same served set yields the same deterministic section.
+func TestServerReportDeterministic(t *testing.T) {
+	s, ts := newTestServer(t, Config{Cache: memCache(t)})
+	for _, prop := range []string{"Inv2_1", "Inv1_0", "Inv2_1", "Inv1_0"} {
+		postVerify(t, ts.URL, VerifyRequest{Model: "simplified", Prop: prop})
+	}
+	rep := s.Report("holistic-serve", 0, false)
+	qs := rep.Deterministic.Queries
+	if len(qs) != 2 {
+		t.Fatalf("report has %d rows, want 2 (deduped): %+v", len(qs), qs)
+	}
+	for i := 1; i < len(qs); i++ {
+		if qs[i-1].Query > qs[i].Query {
+			t.Fatalf("report rows not sorted: %q before %q", qs[i-1].Query, qs[i].Query)
+		}
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("server report failed validation: %v", err)
+	}
+}
+
+func TestVerifyRequestTAInline(t *testing.T) {
+	// An inline TA + LTL spec payload (the bundled strb pair, shipped as
+	// text) must verify exactly like a spec file fed to the local CLI.
+	taText, err := os.ReadFile(filepath.Join("..", "..", "specs", "strb.ta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specText, err := os.ReadFile(filepath.Join("..", "..", "specs", "strb.ltl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{})
+	resp, _ := postVerify(t, ts.URL, VerifyRequest{TA: string(taText), Spec: string(specText), Prop: "unforgeability"})
+	if len(resp.Results) != 1 {
+		t.Fatalf("inline TA produced %d results, want 1", len(resp.Results))
+	}
+	r := resp.Results[0]
+	if r.Model != "st-reliable-broadcast" || r.Query != "unforgeability" {
+		t.Fatalf("row labeled %s/%s, want st-reliable-broadcast/unforgeability", r.Model, r.Query)
+	}
+	if r.Outcome != "holds" {
+		t.Fatalf("unforgeability outcome %q, want holds", r.Outcome)
+	}
+}

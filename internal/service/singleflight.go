@@ -1,0 +1,50 @@
+package service
+
+import (
+	"sync"
+
+	"repro/internal/schema"
+)
+
+// flightGroup deduplicates concurrent identical verification runs: all
+// callers presenting the same content-address share one engine run and
+// receive the same result. This is the request-coalescing layer above the
+// cache — the cache deduplicates across time, the group across concurrency,
+// so a thundering herd of identical submissions costs one solve.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  schema.Result
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do runs fn under the key, or waits for the in-flight run of the same key.
+// The second return reports whether the caller shared another caller's run
+// (false for the leader).
+func (g *flightGroup) do(key string, fn func() (schema.Result, error)) (schema.Result, bool, error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.res, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.res, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.res, false, c.err
+}

@@ -1,0 +1,197 @@
+package vcache
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Metrics (observational, process-wide): exported through /metricsz and the
+// -report registry snapshot.
+var (
+	mHits      = obs.Default.Counter("vcache", "hits")
+	mMisses    = obs.Default.Counter("vcache", "misses")
+	mPuts      = obs.Default.Counter("vcache", "puts")
+	mEvictions = obs.Default.Counter("vcache", "evictions")
+	mCorrupt   = obs.Default.Counter("vcache", "corrupt_entries")
+	mDiskHits  = obs.Default.Counter("vcache", "disk_hits")
+	mMemAlive  = obs.Default.Gauge("vcache", "mem_entries")
+)
+
+// Options configures a Cache.
+type Options struct {
+	// Dir is the on-disk store directory ("" = memory-only). Created if
+	// missing.
+	Dir string
+	// MemEntries bounds the in-memory LRU (default 256 entries). Disk is
+	// unbounded: entries are a few hundred bytes and verification is seconds.
+	MemEntries int
+	// Logf, when set, receives one line per notable event (corrupt entry
+	// dropped, disk write failure). Default: silent.
+	Logf func(format string, args ...any)
+}
+
+// Cache is a content-addressed verdict store: an in-memory LRU over an
+// on-disk directory of CRC-framed entries written with the atomic-rename
+// discipline (write temp, fsync, rename), so a crash mid-write leaves
+// either the old entry or a temp file — never a torn entry at the
+// addressable path. A torn or bit-flipped entry that does appear (storage
+// fault) fails frame validation on read and is deleted and treated as a
+// miss: the cache can cost re-verification time, never a wrong verdict.
+type Cache struct {
+	opts Options
+
+	mu    sync.Mutex
+	lru   *list.List // front = most recently used; values are *Entry
+	byKey map[string]*list.Element
+}
+
+var keyRE = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// Open creates the cache, creating the directory when configured.
+func Open(opts Options) (*Cache, error) {
+	if opts.MemEntries <= 0 {
+		opts.MemEntries = 256
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("vcache: %w", err)
+		}
+	}
+	return &Cache{
+		opts:  opts,
+		lru:   list.New(),
+		byKey: make(map[string]*list.Element),
+	}, nil
+}
+
+// Dir returns the on-disk store directory ("" for memory-only caches).
+func (c *Cache) Dir() string { return c.opts.Dir }
+
+func (c *Cache) entryPath(key string) string {
+	return filepath.Join(c.opts.Dir, key+".vce")
+}
+
+// Get looks the key up, memory first, then disk. A disk hit is validated
+// (frame CRC, stored key, engine version) before being promoted into the
+// LRU; any validation failure deletes the file and reports a miss.
+func (c *Cache) Get(key string) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		mHits.Inc()
+		return el.Value.(*Entry), true
+	}
+	if c.opts.Dir == "" || !keyRE.MatchString(key) {
+		mMisses.Inc()
+		return nil, false
+	}
+	path := c.entryPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		mMisses.Inc()
+		return nil, false
+	}
+	e, err := DecodeEntry(data)
+	if err == nil && e.Key != key {
+		err = fmt.Errorf("%w: stored key %s does not match path", ErrCorrupt, e.Key)
+	}
+	if err == nil && e.Engine != EngineVersion {
+		// Unreachable through Key() (the version is hashed into the key);
+		// defends against hand-copied entry files.
+		err = fmt.Errorf("%w: entry from engine %s, want %s", ErrCorrupt, e.Engine, EngineVersion)
+	}
+	if err != nil {
+		mCorrupt.Inc()
+		mMisses.Inc()
+		c.opts.Logf("vcache: corrupt entry %s treated as miss, re-verifying: %v", filepath.Base(path), err)
+		os.Remove(path)
+		return nil, false
+	}
+	mHits.Inc()
+	mDiskHits.Inc()
+	c.insertLocked(key, e)
+	return e, true
+}
+
+// Put stores the entry in memory and, when configured, on disk. Disk write
+// failures are logged and ignored: the cache is an accelerator, not a
+// durability contract.
+func (c *Cache) Put(e *Entry) error {
+	if e == nil || e.Key == "" {
+		return fmt.Errorf("vcache: entry has no key")
+	}
+	mPuts.Inc()
+	c.mu.Lock()
+	c.insertLocked(e.Key, e)
+	c.mu.Unlock()
+	if c.opts.Dir == "" {
+		return nil
+	}
+	data, err := e.Encode()
+	if err != nil {
+		return err
+	}
+	if err := atomicWrite(c.opts.Dir, c.entryPath(e.Key), data); err != nil {
+		c.opts.Logf("vcache: disk write for %s failed: %v", e.Key, err)
+		return err
+	}
+	return nil
+}
+
+// insertLocked adds or refreshes the LRU slot, evicting beyond capacity.
+func (c *Cache) insertLocked(key string, e *Entry) {
+	if el, ok := c.byKey[key]; ok {
+		el.Value = e
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(e)
+	for c.lru.Len() > c.opts.MemEntries {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*Entry).Key)
+		mEvictions.Inc()
+	}
+	mMemAlive.Set(int64(c.lru.Len()))
+}
+
+// Len reports the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// atomicWrite writes data to path via a temp file in the same directory,
+// fsyncing before the rename so the addressable name never exposes a
+// partially-written frame.
+func atomicWrite(dir, path string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, ".vce-tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmpName, path)
+}

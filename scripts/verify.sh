@@ -7,6 +7,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> gofmt check"
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt: the following files need formatting:"
+    echo "$UNFORMATTED"
+    exit 1
+fi
+
 echo "==> go vet ./..."
 go vet ./...
 
@@ -34,6 +42,47 @@ trap 'rm -rf "$OBSDIR"' EXIT
 go run ./cmd/holistic table2 -skip-naive -j 1 -report "$OBSDIR/r1.json" -trace "$OBSDIR/t1.jsonl" > /dev/null
 go run ./cmd/holistic table2 -skip-naive -j 8 -report "$OBSDIR/r8.json" > /dev/null
 go run ./cmd/obscheck -trace "$OBSDIR/t1.jsonl" "$OBSDIR/r1.json" "$OBSDIR/r8.json"
+
+echo "==> service smoke (serve + verify -remote + cache semantics)"
+SVC="$OBSDIR/svc"
+mkdir -p "$SVC"
+go build -o "$SVC/holistic" ./cmd/holistic
+go build -o "$SVC/obscheck" ./cmd/obscheck
+"$SVC/holistic" serve -addr 127.0.0.1:0 -addr-file "$SVC/addr" \
+    -cache-dir "$SVC/cache" -report "$SVC/serve_report.json" 2> "$SVC/serve.log" &
+SRV=$!
+for _ in $(seq 1 100); do [ -s "$SVC/addr" ] && break; sleep 0.1; done
+[ -s "$SVC/addr" ] || { echo "service smoke: daemon never bound"; cat "$SVC/serve.log"; exit 1; }
+ADDR=$(head -n1 "$SVC/addr")
+# Remote vs local: the deterministic report sections must be byte-identical.
+"$SVC/holistic" verify -model simplified -report "$SVC/local.json" > /dev/null
+"$SVC/holistic" verify -model simplified -remote "http://$ADDR" -report "$SVC/remote_cold.json" > "$SVC/cold.out"
+"$SVC/obscheck" "$SVC/local.json" "$SVC/remote_cold.json"
+grep -q '\[cached\]' "$SVC/cold.out" && { echo "service smoke: cold run claimed cache hits"; exit 1; }
+# The warm repeat must be served from the cache and still byte-match.
+"$SVC/holistic" verify -model simplified -remote "http://$ADDR" -report "$SVC/remote_warm.json" > "$SVC/warm.out"
+grep -q '\[cached\]' "$SVC/warm.out" || { echo "service smoke: warm run not served from cache"; exit 1; }
+"$SVC/obscheck" "$SVC/local.json" "$SVC/remote_warm.json"
+# Graceful SIGTERM drain must flush a valid report.
+kill -TERM "$SRV"
+wait "$SRV" || { echo "service smoke: daemon exited non-zero on drain"; cat "$SVC/serve.log"; exit 1; }
+"$SVC/obscheck" "$SVC/serve_report.json"
+# Truncate every cache entry: a fresh daemon must detect the damage, log it,
+# and re-verify rather than serve a torn verdict.
+for f in "$SVC/cache"/*.vce; do
+    head -c 21 "$f" > "$f.t" && mv "$f.t" "$f"
+done
+"$SVC/holistic" serve -addr 127.0.0.1:0 -addr-file "$SVC/addr2" -cache-dir "$SVC/cache" 2> "$SVC/serve2.log" &
+SRV2=$!
+for _ in $(seq 1 100); do [ -s "$SVC/addr2" ] && break; sleep 0.1; done
+ADDR2=$(head -n1 "$SVC/addr2")
+"$SVC/holistic" verify -model simplified -prop Inv2_0 -remote "http://$ADDR2" > "$SVC/corrupt.out"
+grep -q '\[cached\]' "$SVC/corrupt.out" && { echo "service smoke: truncated entry served as a hit"; exit 1; }
+grep -q 'corrupt entry' "$SVC/serve2.log" || { echo "service smoke: corruption not logged"; cat "$SVC/serve2.log"; exit 1; }
+kill -TERM "$SRV2"
+wait "$SRV2" || true
+# Warm-vs-cold latency through the service: >= 10x on the heaviest row.
+"$SVC/holistic" loadgen -models simplified -passes 2 -min-speedup 10 -out "$SVC/BENCH_service.json" > /dev/null
 
 echo "==> WAL append benchmark (fsync-path cost)"
 go test -run '^$' -bench BenchmarkWALAppend -benchmem ./internal/wal
