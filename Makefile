@@ -27,11 +27,16 @@ bench:
 
 # Table 2 wall-clock at 1 worker vs all CPUs, with the cross-check that both
 # runs produced identical verdicts and schema counts, plus the service
-# cold-vs-warm benchmark. Writes BENCH_schema.json and BENCH_service.json.
+# cold-vs-warm benchmark and the cluster scaling curve that pushes the naive
+# automaton past its single-box 100k-schema budget. Writes BENCH_schema.json,
+# BENCH_service.json and BENCH_cluster.json. The cluster leg solves >100k
+# naive schemas for real, so it dominates the wall clock (tens of minutes on
+# one CPU); trim with e.g. CLUSTERBENCH_FLAGS='-truncate 4000'.
 .PHONY: bench-baseline
 bench-baseline:
 	go run ./cmd/holistic bench -out BENCH_schema.json
 	go run ./cmd/holistic loadgen -out BENCH_service.json
+	go run ./cmd/holistic clusterbench $(CLUSTERBENCH_FLAGS) -out BENCH_cluster.json
 
 # Observability smoke: regenerate the fast Table 2 block with tracing and a
 # metric report enabled, then validate both artifacts with obscheck.

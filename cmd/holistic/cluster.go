@@ -1,0 +1,517 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ltl"
+	"repro/internal/obs"
+	"repro/internal/schema"
+	"repro/internal/service"
+	"repro/internal/spec"
+	"repro/internal/taformat"
+	"repro/internal/vcache"
+)
+
+// clusterPayloads expands the cluster CLI's model/ta/spec/prop flags into one
+// JobPayload per property, resolving the query list locally first so the
+// submission order (and hence the printed row order) matches `holistic
+// verify`.
+func clusterPayloads(model, taFile, specFile, prop string, maxSchemas, truncate int) ([]cluster.JobPayload, error) {
+	base := cluster.JobPayload{MaxSchemas: maxSchemas, Truncate: truncate}
+	switch {
+	case taFile != "":
+		if specFile == "" {
+			return nil, fmt.Errorf("-ta requires -spec with the properties to check")
+		}
+		taText, err := os.ReadFile(taFile)
+		if err != nil {
+			return nil, err
+		}
+		specText, err := os.ReadFile(specFile)
+		if err != nil {
+			return nil, err
+		}
+		base.TA, base.Spec = string(taText), string(specText)
+	default:
+		base.Model = model
+	}
+	names, err := clusterQueryNames(&base)
+	if err != nil {
+		return nil, err
+	}
+	var payloads []cluster.JobPayload
+	for _, name := range names {
+		if prop != "" && name != prop {
+			continue
+		}
+		p := base
+		p.Prop = name
+		payloads = append(payloads, p)
+	}
+	if len(payloads) == 0 {
+		return nil, fmt.Errorf("no property %q in the selected model", prop)
+	}
+	return payloads, nil
+}
+
+// clusterQueryNames lists the property names a payload's model/spec defines.
+func clusterQueryNames(base *cluster.JobPayload) ([]string, error) {
+	if base.Model != "" {
+		_, queries, err := service.BuiltinModel(base.Model)
+		if err != nil {
+			return nil, err
+		}
+		names := make([]string, len(queries))
+		for i := range queries {
+			names[i] = queries[i].Name
+		}
+		return names, nil
+	}
+	// Inline ta/spec: compile once locally to list the properties — the same
+	// parse the coordinator and every worker will repeat from the payload.
+	a, err := taformat.Parse(base.TA)
+	if err != nil {
+		return nil, err
+	}
+	pf, err := ltl.ParseFile(base.Spec)
+	if err != nil {
+		return nil, err
+	}
+	queries, err := ltl.CompileFile(pf, a)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(queries))
+	for i := range queries {
+		names[i] = queries[i].Name
+	}
+	return names, nil
+}
+
+// stopContext cancels the returned context as soon as the cooperative stop
+// flag trips (the CLI's signal handler owns the flag).
+func stopContext(stop func() bool) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for !stop() {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(100 * time.Millisecond):
+			}
+		}
+		cancel()
+	}()
+	return ctx, cancel
+}
+
+// cmdCluster runs the fault-tolerant coordination plane in-process: it
+// serves the cluster API for `holistic work` daemons, submits one job per
+// property, and prints verify-style rows as verdicts land. With no workers
+// attached it still finishes — the degradation ladder drains every shard
+// locally — and with -journal a killed coordinator resumes on restart.
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
+	model := fs.String("model", "bv", "model: bv, naive, simplified, strb or bosco")
+	taFile := fs.String("ta", "", "load the automaton from a .ta file instead of a bundled model")
+	specFile := fs.String("spec", "", "property file to check (required with -ta)")
+	prop := fs.String("prop", "", "check only this property (default: all)")
+	addr := fs.String("addr", "127.0.0.1:9091", "coordination API listen address (use :0 for an ephemeral port)")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening")
+	journalDir := fs.String("journal", "", "WAL-journal directory; a restarted coordinator resumes from it")
+	shardSize := fs.Int("shard", 64, "contexts per shard")
+	lease := fs.Duration("lease", 3*time.Second, "shard lease TTL (heartbeats extend it; silence reissues the shard)")
+	maxAttempts := fs.Int("max-attempts", 5, "remote issues per shard before it is only solved locally")
+	maxSchemas := fs.Int("max-schemas", 0, "schema enumeration budget (0 = the paper's 100k cutoff)")
+	truncate := fs.Int("truncate", 0, "solve only the first N preorder schemas (a Sat still refutes; a clean prefix reports budget-exceeded)")
+	idleLocal := fs.Duration("idle-local", 0, "worker-pool silence before the coordinator drains shards itself (0 = 2x lease)")
+	local := fs.Int("local", runtime.NumCPU(), "solver threads for locally drained shards")
+	stats := fs.Bool("stats", false, "print shard/reissue statistics per property")
+	of := registerObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	payloads, err := clusterPayloads(*model, *taFile, *specFile, *prop, *maxSchemas, *truncate)
+	if err != nil {
+		return err
+	}
+	sink, err := of.open("holistic cluster")
+	if err != nil {
+		return err
+	}
+	defer sink.Close()
+	stop := watchInterrupt()
+
+	coord, err := cluster.New(cluster.Config{
+		LeaseTTL:       *lease,
+		MaxAttempts:    *maxAttempts,
+		ShardSize:      *shardSize,
+		JournalDir:     *journalDir,
+		LocalWorkers:   *local,
+		IdleLocalAfter: *idleLocal,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "holistic: "+format+"\n", a...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := service.HardenServer(&http.Server{Handler: coord.Handler()})
+	go hs.Serve(ln)
+	defer hs.Close()
+	bound := ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "holistic: cluster coordinator listening on http://%s\n", bound)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+
+	ids := make([]string, len(payloads))
+	for i := range payloads {
+		id, err := coord.Submit(payloads[i])
+		if err != nil {
+			return err
+		}
+		ids[i] = id
+	}
+
+	ctx, cancel := stopContext(stop)
+	defer cancel()
+	modelName := *model
+	obsRep := &obs.Report{Tool: "holistic cluster"}
+	for i, id := range ids {
+		res, err := coord.Wait(ctx, id)
+		if err != nil {
+			if stop() {
+				return fmt.Errorf("cluster interrupted; completed verdicts were reported")
+			}
+			return err
+		}
+		if *taFile != "" && i == 0 {
+			if st, ok := coord.StatusOf(id); ok {
+				modelName = st.Model
+			}
+		}
+		addResultMetrics(obsRep, modelName, res)
+		fmt.Printf("%-16s %-16s %8d schemas  avg len %6.1f  %v\n",
+			res.Query, res.Outcome, res.Schemas, res.AvgLen, res.Elapsed.Round(time.Millisecond))
+		if *stats {
+			if st, ok := coord.StatusOf(id); ok {
+				fmt.Printf("    cluster: %d shards (%d done, %d cancelled), %d reissues\n",
+					st.ShardsTotal, st.ShardsDone, st.ShardsCancelled, st.Reissues)
+			}
+		}
+		if res.CE != nil {
+			fmt.Println(res.CE.Format())
+		}
+	}
+	finalizeReport(obsRep, *local, stop())
+	if err := sink.Flush(obsRep); err != nil {
+		return err
+	}
+	return nil
+}
+
+// cmdWork runs one shard-solving worker daemon against a coordinator started
+// with `holistic cluster`. Workers are stateless: kill -9 one mid-shard and
+// the lease expires, the shard reissues, and the surviving pool (or the
+// coordinator itself) finishes with a byte-identical verdict.
+func cmdWork(args []string) error {
+	fs := flag.NewFlagSet("work", flag.ContinueOnError)
+	coordinator := fs.String("coordinator", "http://127.0.0.1:9091", "coordinator base URL")
+	workers := fs.Int("j", runtime.NumCPU(), "solver threads per shard")
+	id := fs.String("id", "", "worker ID in leases and journal records (default: derived from the PID)")
+	poll := fs.Duration("poll", 200*time.Millisecond, "claim-poll interval when no work is available")
+	quiet := fs.Bool("quiet", false, "suppress per-shard progress lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		*id = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	stop := watchInterrupt()
+	ctx, cancel := stopContext(stop)
+	defer cancel()
+	w := &cluster.Worker{
+		Coordinator:  strings.TrimRight(*coordinator, "/"),
+		ID:           *id,
+		Workers:      *workers,
+		PollInterval: *poll,
+		Stop:         stop,
+	}
+	if !*quiet {
+		w.Logf = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "holistic: "+format+"\n", a...)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "holistic: worker %s solving for %s (j=%d)\n", *id, w.Coordinator, *workers)
+	if err := w.Run(ctx); err != nil && !stop() {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "holistic: worker %s stopped (%d shards solved)\n", *id, w.ShardsSolved.Load())
+	return nil
+}
+
+// clusterBenchPoint is one worker count on the scaling curve.
+type clusterBenchPoint struct {
+	Workers       int     `json:"workers"`
+	Truncate      int     `json:"truncate"`
+	SchemasSolved int     `json:"schemas_solved"`
+	Outcome       string  `json:"outcome"`
+	Schemas       int     `json:"schemas"`
+	ElapsedNS     int64   `json:"elapsed_ns"`
+	SchemasPerSec float64 `json:"schemas_per_sec"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// clusterBenchReport is the BENCH_cluster.json payload: the single-box
+// give-up point for the naive automaton, the cluster scaling curve at a
+// calibration prefix, and the headline run that pushes the enumeration well
+// past the single-box budget.
+type clusterBenchReport struct {
+	EngineVersion string `json:"engine_version"`
+	GeneratedAt   string `json:"generated_at"`
+	CPUs          int    `json:"cpus"`
+	Model         string `json:"model"`
+	Prop          string `json:"prop"`
+
+	// Budget is the schema cutoff a plain full-mode run refuses to cross;
+	// SingleBox is that refusal (outcome budget-exceeded after enumerating
+	// Budget+1 schemas and solving none of them).
+	Budget           int    `json:"budget"`
+	SingleBoxOutcome string `json:"single_box_outcome"`
+	SingleBoxSchemas int    `json:"single_box_schemas"`
+
+	// Curve measures cluster throughput at 1..N workers on CurveTruncate
+	// schemas; identical rows across worker counts are re-asserted per point.
+	Curve []clusterBenchPoint `json:"curve"`
+
+	// Headline is the past-the-budget run: TotalSchemasSolved counts every
+	// schema actually solved by the bench, curve points included.
+	Headline           clusterBenchPoint `json:"headline"`
+	TotalSchemasSolved int               `json:"total_schemas_solved"`
+	Identical          bool              `json:"identical"`
+	Mismatches         []string          `json:"mismatches,omitempty"`
+}
+
+// runClusterPoint boots a fresh coordinator + W in-process workers over a
+// real TCP listener, runs one truncated job, and returns the measured point
+// plus the result for cross-checking.
+func runClusterPoint(payload cluster.JobPayload, workers, solverThreads, shardSize int, stop func() bool) (clusterBenchPoint, schema.Result, error) {
+	pt := clusterBenchPoint{Workers: workers, Truncate: payload.Truncate}
+	coord, err := cluster.New(cluster.Config{
+		ShardSize:      shardSize,
+		LocalWorkers:   1,
+		IdleLocalAfter: time.Hour, // the pool never empties; measure the workers
+	})
+	if err != nil {
+		return pt, schema.Result{}, err
+	}
+	defer coord.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return pt, schema.Result{}, err
+	}
+	hs := service.HardenServer(&http.Server{Handler: coord.Handler()})
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	ctx, cancel := stopContext(stop)
+	defer cancel()
+	for i := 0; i < workers; i++ {
+		w := &cluster.Worker{
+			Coordinator:  "http://" + ln.Addr().String(),
+			ID:           fmt.Sprintf("bench-%d", i),
+			Workers:      solverThreads,
+			PollInterval: 5 * time.Millisecond,
+			Stop:         stop,
+		}
+		go w.Run(ctx)
+	}
+
+	start := time.Now()
+	id, err := coord.Submit(payload)
+	if err != nil {
+		return pt, schema.Result{}, err
+	}
+	res, err := coord.Wait(ctx, id)
+	elapsed := time.Since(start)
+	if err != nil {
+		return pt, schema.Result{}, err
+	}
+	solved := payload.Truncate
+	if res.Outcome == spec.Violated {
+		solved = res.Schemas
+	}
+	pt.SchemasSolved = solved
+	pt.Outcome = res.Outcome.String()
+	pt.Schemas = res.Schemas
+	pt.ElapsedNS = elapsed.Nanoseconds()
+	if elapsed > 0 {
+		pt.SchemasPerSec = float64(solved) / elapsed.Seconds()
+	}
+	return pt, res, nil
+}
+
+// cmdClusterBench measures the distributed plane and writes
+// BENCH_cluster.json. The naive automaton is the point: a single box gives
+// up at the 100k-schema structural cutoff without solving anything, while
+// the cluster's truncated-prefix mode shards the same preorder and actually
+// solves its way past that budget, with a 1→N worker scaling curve along the
+// way. Verdict rows are asserted identical at every worker count.
+func cmdClusterBench(args []string) error {
+	fs := flag.NewFlagSet("clusterbench", flag.ContinueOnError)
+	model := fs.String("model", "naive", "model to push past its budget")
+	prop := fs.String("prop", "Inv2_0", "property to check")
+	headline := fs.Int("truncate", 110_000, "headline prefix length (past the 100k single-box budget)")
+	curveTruncate := fs.Int("curve-truncate", 2048, "calibration prefix length for the scaling curve")
+	curve := fs.String("curve", "1,2,4", "comma-separated worker counts for the scaling curve")
+	solverThreads := fs.Int("j", 1, "solver threads per in-process worker")
+	shardSize := fs.Int("shard", 256, "contexts per shard")
+	out := fs.String("out", "", "write the JSON report to this file (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var workerCounts []int
+	for _, part := range strings.Split(*curve, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -curve element %q", part)
+		}
+		workerCounts = append(workerCounts, n)
+	}
+	stop := watchInterrupt()
+
+	// The single-box refusal: full mode with the default budget enumerates
+	// budget+1 schemas, solves none, reports budget-exceeded immediately.
+	a, queries, err := modelByName(*model)
+	if err != nil {
+		return err
+	}
+	var query *spec.Query
+	for i := range queries {
+		if queries[i].Name == *prop {
+			query = &queries[i]
+		}
+	}
+	if query == nil {
+		return fmt.Errorf("no property %q in model %s", *prop, *model)
+	}
+	eng, err := schema.New(a, schema.Options{Mode: schema.FullEnumeration, Stop: stop})
+	if err != nil {
+		return err
+	}
+	single, err := eng.Check(query)
+	if err != nil {
+		return err
+	}
+	rep := clusterBenchReport{
+		EngineVersion:    vcache.EngineVersion,
+		GeneratedAt:      time.Now().UTC().Format(time.RFC3339),
+		CPUs:             runtime.NumCPU(),
+		Model:            *model,
+		Prop:             *prop,
+		Budget:           100_000,
+		SingleBoxOutcome: single.Outcome.String(),
+		SingleBoxSchemas: single.Schemas,
+	}
+	fmt.Fprintf(os.Stderr, "clusterbench: single box: %s after %d schemas\n", single.Outcome, single.Schemas)
+
+	var baseline float64
+	var refRow *obs.QueryMetrics
+	for _, w := range workerCounts {
+		fmt.Fprintf(os.Stderr, "clusterbench: curve point: %d workers on %d schemas...\n", w, *curveTruncate)
+		pt, res, err := runClusterPoint(cluster.JobPayload{Model: *model, Prop: *prop, Truncate: *curveTruncate},
+			w, *solverThreads, *shardSize, stop)
+		if err != nil {
+			return err
+		}
+		if stop() {
+			return fmt.Errorf("clusterbench interrupted; timings would be meaningless")
+		}
+		if baseline == 0 {
+			baseline = float64(pt.ElapsedNS)
+		}
+		if pt.ElapsedNS > 0 {
+			pt.Speedup = baseline / float64(pt.ElapsedNS)
+		}
+		row := cluster.DeterministicRow(*model, res)
+		if refRow == nil {
+			refRow = &row
+		} else if diff := diffRows(*refRow, row); diff != "" {
+			rep.Mismatches = append(rep.Mismatches, fmt.Sprintf("workers=%d: %s", w, diff))
+		}
+		rep.Curve = append(rep.Curve, pt)
+		rep.TotalSchemasSolved += pt.SchemasSolved
+		fmt.Fprintf(os.Stderr, "clusterbench: %d workers: %.0f schemas/s (speedup %.2fx)\n", w, pt.SchemasPerSec, pt.Speedup)
+	}
+
+	maxW := workerCounts[len(workerCounts)-1]
+	fmt.Fprintf(os.Stderr, "clusterbench: headline: %d workers on %d schemas (past the %d budget)...\n",
+		maxW, *headline, rep.Budget)
+	hp, _, err := runClusterPoint(cluster.JobPayload{Model: *model, Prop: *prop, Truncate: *headline},
+		maxW, *solverThreads, *shardSize, stop)
+	if err != nil {
+		return err
+	}
+	if stop() {
+		return fmt.Errorf("clusterbench interrupted; timings would be meaningless")
+	}
+	if baseline > 0 && hp.ElapsedNS > 0 {
+		// Speedup vs the 1-worker curve rate extrapolated to the headline size.
+		curveRate := rep.Curve[0].SchemasPerSec
+		if curveRate > 0 {
+			hp.Speedup = hp.SchemasPerSec / curveRate
+		}
+	}
+	rep.Headline = hp
+	rep.TotalSchemasSolved += hp.SchemasSolved
+	rep.Identical = len(rep.Mismatches) == 0
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("clusterbench: %s (%d schemas solved, budget %d, identical=%v)\n",
+			*out, rep.TotalSchemasSolved, rep.Budget, rep.Identical)
+	} else {
+		os.Stdout.Write(data)
+	}
+	if !rep.Identical {
+		return fmt.Errorf("worker counts disagreed: %v", rep.Mismatches)
+	}
+	return nil
+}
+
+// diffRows compares two deterministic report rows.
+func diffRows(want, got obs.QueryMetrics) string {
+	w, _ := json.Marshal(want)
+	g, _ := json.Marshal(got)
+	if string(w) != string(g) {
+		return fmt.Sprintf("row %s != %s", g, w)
+	}
+	return ""
+}

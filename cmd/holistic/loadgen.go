@@ -1,7 +1,7 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/service"
@@ -81,7 +82,7 @@ func cmdLoadgen(args []string) error {
 		if err != nil {
 			return err
 		}
-		hs := &http.Server{Handler: srv.Handler()}
+		hs := service.HardenServer(&http.Server{Handler: srv.Handler()})
 		go hs.Serve(ln)
 		defer hs.Close()
 		base = "http://" + ln.Addr().String()
@@ -109,6 +110,15 @@ func cmdLoadgen(args []string) error {
 	}
 
 	start := time.Now()
+	// Every fired request honors Retry-After with jittered exponential
+	// backoff before giving up; shedCount tallies each 429 the server
+	// actually returned (retried or final) so the shed-rate statistic still
+	// reflects server-side load shedding.
+	var shedCount atomic.Int64
+	client := &service.HTTPClient{
+		MaxAttempts: 4,
+		OnRetry:     func(status int, _ time.Duration) { shedCount.Add(1) },
+	}
 	var sheds int
 	// Cold pass: sequential, so each latency is an isolated solve. Track
 	// per-request latencies too: the heaviest request is where the cache
@@ -116,7 +126,7 @@ func cmdLoadgen(args []string) error {
 	coldMS := make([]float64, 0, len(reqs))
 	coldByReq := make([]float64, len(reqs))
 	for i := range reqs {
-		ms, _, shed, err := fireOne(base, &reqs[i])
+		ms, _, shed, err := fireOne(client, base, &reqs[i])
 		if err != nil {
 			return err
 		}
@@ -144,7 +154,7 @@ func cmdLoadgen(args []string) error {
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				ms, hit, shed, err := fireOne(base, &reqs[i])
+				ms, hit, shed, err := fireOne(client, base, &reqs[i])
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil {
@@ -181,9 +191,9 @@ func cmdLoadgen(args []string) error {
 		WarmMedianMS:   percentile(warmMS, 50),
 		WarmP95MS:      percentile(warmMS, 95),
 		WarmHitRatio:   ratio(warmHits, warmTotal),
-		ShedRate:       ratio(sheds, len(coldMS)+warmTotal+sheds),
+		ShedRate:       ratio(int(shedCount.Load())+sheds, len(coldMS)+warmTotal+int(shedCount.Load())+sheds),
 		TotalRequests:  len(coldMS) + warmTotal + sheds,
-		TotalSheds:     sheds,
+		TotalSheds:     int(shedCount.Load()) + sheds,
 		TotalElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
 	}
 	if res.WarmMedianMS > 0 {
@@ -219,32 +229,21 @@ func cmdLoadgen(args []string) error {
 	return nil
 }
 
-// fireOne sends one request and reports (latency ms, all-rows-cached, shed).
-func fireOne(base string, req *service.VerifyRequest) (float64, bool, bool, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return 0, false, false, err
-	}
+// fireOne sends one request through the retrying client and reports
+// (latency ms, all-rows-cached, shed). The latency includes any backoff the
+// client spent riding out 429s — that wait is real user-visible latency. A
+// request still shed after the whole retry budget counts as shed, not as an
+// error.
+func fireOne(client *service.HTTPClient, base string, req *service.VerifyRequest) (float64, bool, bool, error) {
 	t0 := time.Now()
-	httpResp, err := http.Post(base+"/v1/verify", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return 0, false, false, err
-	}
-	defer httpResp.Body.Close()
+	var resp service.VerifyResponse
+	status, err := client.PostJSON(context.Background(), base+"/v1/verify", req, &resp)
 	ms := float64(time.Since(t0).Microseconds()) / 1e3
-	if httpResp.StatusCode == http.StatusTooManyRequests {
+	if status == http.StatusTooManyRequests {
 		return ms, false, true, nil
 	}
-	if httpResp.StatusCode != http.StatusOK {
-		var eb struct {
-			Error string `json:"error"`
-		}
-		json.NewDecoder(httpResp.Body).Decode(&eb)
-		return 0, false, false, fmt.Errorf("%s/%s: server returned %d: %s", req.Model, req.Prop, httpResp.StatusCode, eb.Error)
-	}
-	var resp service.VerifyResponse
-	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
-		return 0, false, false, err
+	if err != nil {
+		return 0, false, false, fmt.Errorf("%s/%s: %w", req.Model, req.Prop, err)
 	}
 	hit := len(resp.Results) > 0
 	for _, r := range resp.Results {

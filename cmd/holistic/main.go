@@ -13,6 +13,8 @@
 //	holistic dot     [flags]          print a model as Graphviz DOT
 //	holistic spec    [flags]          compile & check a property file
 //	holistic bench   [flags]          Table 2 wall-clock at 1 vs N workers
+//	holistic cluster [flags]          coordinate full-mode verification across worker daemons
+//	holistic work    [flags]          solve cluster shards for a coordinator
 //
 // Verification subcommands accept -j <workers> (default: the number of CPUs);
 // verdicts, schema counts and counterexamples are deterministic at any -j.
@@ -95,6 +97,12 @@ func run(args []string) error {
 		return cmdServe(args[1:])
 	case "loadgen":
 		return cmdLoadgen(args[1:])
+	case "cluster":
+		return cmdCluster(args[1:])
+	case "work":
+		return cmdWork(args[1:])
+	case "clusterbench":
+		return cmdClusterBench(args[1:])
 	case "version", "-version", "--version":
 		// The engine version is part of every cache key: entries written by
 		// one version are invisible to every other.
@@ -123,6 +131,9 @@ subcommands:
   bench      compare Table 2 wall-clock at 1 worker vs -j workers (-out file.json)
   serve      run the verification HTTP daemon (-addr, -cache-dir, ...)
   loadgen    drive a service with a request mix, write BENCH_service.json
+  cluster    run the fault-tolerant coordination plane (full mode, lease-based shards)
+  work       run one shard-solving worker daemon against a cluster coordinator
+  clusterbench  1..N worker scaling curve on the naive automaton, write BENCH_cluster.json
   version    print the engine version embedded in every cache key
 
 most subcommands accept -ta <file.ta> to load a user-supplied automaton

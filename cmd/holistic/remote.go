@@ -1,10 +1,8 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
-	"net/http"
 	"os"
 	"time"
 
@@ -44,29 +42,19 @@ func runRemoteVerify(baseURL, model, taFile, specFile, prop, mode string,
 	}
 	defer sink.Close()
 
-	body, err := json.Marshal(req)
-	if err != nil {
-		return err
-	}
-	httpResp, err := http.Post(baseURL+"/v1/verify", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("reaching %s: %w", baseURL, err)
-	}
-	defer httpResp.Body.Close()
-	if httpResp.StatusCode != http.StatusOK {
-		var eb struct {
-			Error string `json:"error"`
-		}
-		json.NewDecoder(httpResp.Body).Decode(&eb)
-		if httpResp.StatusCode == http.StatusTooManyRequests {
-			return fmt.Errorf("server shed the request (Retry-After %ss): %s",
-				httpResp.Header.Get("Retry-After"), eb.Error)
-		}
-		return fmt.Errorf("server returned %d: %s", httpResp.StatusCode, eb.Error)
+	// The shared client rides out 429s with Retry-After-aware jittered
+	// backoff before giving up; connection failures to an explicit -remote
+	// target surface immediately (no RetryTransport — a user-pointed URL
+	// that refuses connections is most likely a typo, not a restart).
+	client := &service.HTTPClient{
+		Logf: func(format string, a ...any) { fmt.Fprintf(os.Stderr, "holistic: "+format+"\n", a...) },
 	}
 	var resp service.VerifyResponse
-	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
-		return fmt.Errorf("decoding response: %w", err)
+	if status, err := client.PostJSON(context.Background(), baseURL+"/v1/verify", &req, &resp); err != nil {
+		if status == 0 {
+			return fmt.Errorf("reaching %s: %w", baseURL, err)
+		}
+		return err
 	}
 
 	obsRep := &obs.Report{Tool: "holistic verify"}

@@ -72,7 +72,7 @@ func cmdServe(args []string) error {
 			return err
 		}
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := service.HardenServer(&http.Server{Handler: srv.Handler()})
 	logf("holistic: serving on http://%s (engine %s, cache %s)",
 		ln.Addr(), vcache.EngineVersion, cacheDesc(*cacheDir))
 

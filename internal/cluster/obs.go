@@ -1,0 +1,18 @@
+package cluster
+
+import "repro/internal/obs"
+
+// Cluster metrics are observational by construction: how many leases
+// expired or shards were reissued depends on wall-clock schedules and kill
+// timing, never on the verdict. The deterministic report section stays
+// schedule-independent; these counters land in the observational section.
+var (
+	obsShardsClaimed   = obs.Default.Counter("cluster", "shards_claimed")
+	obsShardsDone      = obs.Default.Counter("cluster", "shards_done")
+	obsShardsLocal     = obs.Default.Counter("cluster", "shards_local")
+	obsShardsCancelled = obs.Default.Counter("cluster", "shards_cancelled")
+	obsLeasesExpired   = obs.Default.Counter("cluster", "leases_expired")
+	obsShardsReissued  = obs.Default.Counter("cluster", "shards_reissued")
+	obsDuplicateReport = obs.Default.Counter("cluster", "duplicate_reports")
+	obsJobsCompleted   = obs.Default.Counter("cluster", "jobs_completed")
+)

@@ -1,0 +1,291 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/schema"
+	"repro/internal/service"
+	"repro/internal/spec"
+	"repro/internal/ta"
+)
+
+// Worker is one shard-solving daemon: claim, solve, heartbeat, report,
+// repeat. It holds no durable state — a worker crash loses nothing but the
+// lease, which the coordinator's sweeper reclaims. Solved shards are cached
+// in memory by content hash behind a singleflight gate, so a reissued
+// duplicate of a shard this worker already solved (or is solving) costs a
+// lookup, not a re-solve.
+type Worker struct {
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// ID names this worker in leases and journal records.
+	ID string
+	// Workers is the solver thread count per shard (default 1).
+	Workers int
+	// Client is the shared retrying HTTP client (default: RetryTransport on
+	// — a worker must ride out a coordinator restart, not die with it).
+	Client *service.HTTPClient
+	// PollInterval paces claim attempts when there is no work (default
+	// 200ms; the coordinator's Retry-After hint stretches it).
+	PollInterval time.Duration
+	// Stop ends the run loop at the next poll when it returns true.
+	Stop func() bool
+	// Logf receives progress lines (default: silent).
+	Logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	jobs    map[string]*workerJob
+	results map[string][]WireRecord
+	flight  map[string]chan struct{}
+
+	// ShardsSolved counts shards this worker solved (not cache hits); the
+	// torture harness uses it to prove work actually distributed.
+	ShardsSolved atomic.Int64
+}
+
+// workerJob caches one job's resolved plan.
+type workerJob struct {
+	a    *ta.TA
+	q    *spec.Query
+	plan *schema.FullPlan
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+func (w *Worker) client() *service.HTTPClient {
+	if w.Client == nil {
+		w.Client = &service.HTTPClient{RetryTransport: true, Logf: w.Logf}
+	}
+	return w.Client
+}
+
+func (w *Worker) poll() time.Duration {
+	if w.PollInterval > 0 {
+		return w.PollInterval
+	}
+	return 200 * time.Millisecond
+}
+
+func (w *Worker) stopping(ctx context.Context) bool {
+	if ctx.Err() != nil {
+		return true
+	}
+	return w.Stop != nil && w.Stop()
+}
+
+// Run claims and solves shards until the context ends or Stop trips.
+// Transport failures never kill the loop: the claim just retries on the poll
+// cadence, which is what lets a worker outlive coordinator restarts and
+// network partitions.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.ID == "" {
+		w.ID = fmt.Sprintf("worker-%d", time.Now().UnixNano())
+	}
+	w.mu.Lock()
+	if w.jobs == nil {
+		w.jobs = make(map[string]*workerJob)
+		w.results = make(map[string][]WireRecord)
+		w.flight = make(map[string]chan struct{})
+	}
+	w.mu.Unlock()
+	for {
+		if w.stopping(ctx) {
+			return ctx.Err()
+		}
+		var cr ClaimResponse
+		status, err := w.client().PostJSON(ctx, w.Coordinator+"/v1/cluster/claim", claimRequest{Worker: w.ID}, &cr)
+		switch {
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case err != nil:
+			w.logf("work %s: claim failed (%v); repolling", w.ID, err)
+			fallthrough
+		case status == http.StatusNoContent:
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(w.poll()):
+			}
+			continue
+		}
+		if err := w.solveShard(ctx, &cr); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			// Abandoning the shard is always safe: the lease expires and the
+			// coordinator reissues it.
+			w.logf("work %s: job %s shard %d abandoned: %v", w.ID, cr.Job, cr.Shard, err)
+		}
+	}
+}
+
+// jobFor resolves (once) the plan for a job, validating that this worker's
+// analysis reproduces the coordinator's guard alphabet — a mismatched
+// fingerprint means the two binaries would disagree on what every context
+// index denotes, and solving anything would be silent corruption.
+func (w *Worker) jobFor(ctx context.Context, jobID string) (*workerJob, error) {
+	w.mu.Lock()
+	wj, ok := w.jobs[jobID]
+	w.mu.Unlock()
+	if ok {
+		return wj, nil
+	}
+	var pr PayloadResponse
+	if _, err := w.client().GetJSON(ctx, w.Coordinator+"/v1/cluster/jobs/"+jobID+"/payload", &pr); err != nil {
+		return nil, fmt.Errorf("fetching payload: %w", err)
+	}
+	a, _, q, err := pr.Payload.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	workers := w.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	eng, err := schema.New(a, schema.Options{Mode: schema.FullEnumeration, Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	plan, err := eng.PlanFull(q)
+	if err != nil {
+		return nil, err
+	}
+	keys := plan.AlphabetKeys()
+	if len(keys) != len(pr.Alphabet) {
+		return nil, fmt.Errorf("alphabet fingerprint mismatch: %d guards here, %d at coordinator", len(keys), len(pr.Alphabet))
+	}
+	for i := range keys {
+		if keys[i] != pr.Alphabet[i] {
+			return nil, fmt.Errorf("alphabet fingerprint mismatch at %d: %q here, %q at coordinator", i, keys[i], pr.Alphabet[i])
+		}
+	}
+	wj = &workerJob{a: eng.TA(), q: q, plan: plan}
+	w.mu.Lock()
+	w.jobs[jobID] = wj
+	w.mu.Unlock()
+	return wj, nil
+}
+
+// solveShard runs one claimed shard end to end: validate, solve under a
+// heartbeat, report by content hash.
+func (w *Worker) solveShard(ctx context.Context, cr *ClaimResponse) error {
+	wj, err := w.jobFor(ctx, cr.Job)
+	if err != nil {
+		return err
+	}
+	if got := shardHash(cr.Job, cr.Base, cr.Contexts); got != cr.Hash {
+		return fmt.Errorf("shard content hashes to %s, claim says %s", got, cr.Hash)
+	}
+	if err := wj.plan.ValidContexts(cr.Contexts); err != nil {
+		return err
+	}
+
+	wrecs, err := w.solveCached(ctx, wj, cr)
+	if err != nil || wrecs == nil {
+		return err
+	}
+	status, err := w.client().PostJSON(ctx, w.Coordinator+"/v1/cluster/result", &resultRequest{
+		Job: cr.Job, Shard: cr.Shard, Hash: cr.Hash,
+		Lease: cr.Lease, Worker: w.ID, Records: wrecs,
+	}, nil)
+	if err != nil {
+		return fmt.Errorf("reporting (status %d): %w", status, err)
+	}
+	w.logf("work %s: job %s shard %d reported (%d records)", w.ID, cr.Job, cr.Shard, len(wrecs))
+	return nil
+}
+
+// solveCached returns the shard's records from the content-addressed cache,
+// joins an in-flight solve of the same hash, or solves. A nil, nil return
+// means the solve was abandoned (lease lost or stop).
+func (w *Worker) solveCached(ctx context.Context, wj *workerJob, cr *ClaimResponse) ([]WireRecord, error) {
+	w.mu.Lock()
+	if recs, ok := w.results[cr.Hash]; ok {
+		w.mu.Unlock()
+		return recs, nil
+	}
+	if ch, ok := w.flight[cr.Hash]; ok {
+		w.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		w.mu.Lock()
+		recs := w.results[cr.Hash]
+		w.mu.Unlock()
+		return recs, nil // nil if the first flight abandoned; caller drops too
+	}
+	ch := make(chan struct{})
+	w.flight[cr.Hash] = ch
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		delete(w.flight, cr.Hash)
+		w.mu.Unlock()
+		close(ch)
+	}()
+
+	// Heartbeat at TTL/3 while solving. A Gone lease stops the solve: the
+	// shard was reissued, cancelled, or completed elsewhere, so finishing it
+	// here buys nothing. (A *partitioned* worker is different: heartbeats
+	// fail at the transport, lost stays false, and the worker solves on and
+	// reports late — the coordinator accepts the records by content hash.)
+	var lost atomic.Bool
+	hbCtx, hbCancel := context.WithCancel(ctx)
+	defer hbCancel()
+	ttl := time.Duration(cr.TTLMS) * time.Millisecond
+	if ttl <= 0 {
+		ttl = 3 * time.Second
+	}
+	go func() {
+		t := time.NewTicker(ttl / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				status, _ := w.client().PostJSON(hbCtx, w.Coordinator+"/v1/cluster/heartbeat", &heartbeatRequest{
+					Job: cr.Job, Shard: cr.Shard, Lease: cr.Lease,
+				}, nil)
+				if status == http.StatusGone {
+					lost.Store(true)
+					return
+				}
+			}
+		}
+	}()
+
+	workers := w.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	stop := func() bool { return lost.Load() || w.stopping(ctx) }
+	recs, interrupted, err := wj.plan.SolveRange(cr.Contexts, cr.Base, workers, stop)
+	if err != nil {
+		return nil, fmt.Errorf("solving: %w", err)
+	}
+	if interrupted {
+		if lost.Load() {
+			w.logf("work %s: job %s shard %d lease gone; abandoning", w.ID, cr.Job, cr.Shard)
+			return nil, nil
+		}
+		return nil, fmt.Errorf("solve interrupted")
+	}
+	wrecs := encodeRecords(wj.a, recs)
+	w.mu.Lock()
+	w.results[cr.Hash] = wrecs
+	w.mu.Unlock()
+	w.ShardsSolved.Add(1)
+	return wrecs, nil
+}

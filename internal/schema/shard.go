@@ -1,0 +1,328 @@
+package schema
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/smt"
+	"repro/internal/spec"
+)
+
+// This file is the shard-solving API of full enumeration: the exported
+// surface the distributed verification cluster (internal/cluster) builds on.
+// A FullPlan separates the three phases that checkFull fuses — analysis,
+// context enumeration, and per-index solving — so a coordinator can
+// materialize the preorder context list once, hand contiguous index ranges
+// to remote workers as content-addressed work units, and fold the per-index
+// records back into a Result that is byte-identical to a single-box run:
+// same outcome, schema count, average length, solver statistics, and
+// lexicographically-least counterexample (see parallel.go for why per-index
+// records make the join worker-count- and placement-independent).
+
+// FullPlan is the analyzed, not-yet-enumerated full-mode check of one query.
+type FullPlan struct {
+	e  *Engine
+	an *analysis
+	q  *spec.Query
+}
+
+// PlanFull validates the query and runs the structural analysis, returning a
+// plan whose contexts can be enumerated and solved in independent ranges.
+// The engine must be in FullEnumeration mode.
+func (e *Engine) PlanFull(q *spec.Query) (*FullPlan, error) {
+	if e.opts.Mode != FullEnumeration {
+		return nil, fmt.Errorf("schema: PlanFull requires FullEnumeration mode, engine is %v", e.opts.Mode)
+	}
+	if err := q.Validate(e.ta); err != nil {
+		return nil, err
+	}
+	an, err := e.analyze(q)
+	if err != nil {
+		return nil, err
+	}
+	return &FullPlan{e: e, an: an, q: q}, nil
+}
+
+// MaxSchemas reports the engine's resolved enumeration cutoff, so a caller
+// that hits the exceeded case can reproduce the single-box "cutoff+1" Budget
+// schema count without re-deriving the default.
+func (p *FullPlan) MaxSchemas() int { return p.e.opts.MaxSchemas }
+
+// AlphabetKeys returns the guard alphabet in its fixed enumeration order.
+// The keys fingerprint the analysis: two processes whose alphabets match
+// index-for-index agree on what every serialized context means, so workers
+// verify this before trusting a coordinator's guard-index sequences.
+func (p *FullPlan) AlphabetKeys() []string {
+	keys := make([]string, len(p.an.alphabet))
+	for i, gi := range p.an.alphabet {
+		keys[i] = p.an.guards[gi].key
+	}
+	return keys
+}
+
+// Enumerate materializes every schema context in preorder, honoring the
+// engine's MaxSchemas cutoff and Workers budget exactly like a direct Check.
+func (p *FullPlan) Enumerate() (ctxs [][]int, exceeded, interrupted bool) {
+	ctxs, out := p.e.enumerateContexts(p.an)
+	return ctxs, out.exceeded, out.interrupted
+}
+
+// EnumeratePrefix materializes the first limit contexts of the preorder
+// sequentially, reporting whether the tree was truncated (has more nodes).
+// Unlike Enumerate, exceeding the limit keeps the prefix instead of
+// discarding everything — the cluster bench uses this to push a
+// budget-exceeding automaton's solve phase past its structural cutoff. The
+// sequential walk is what makes the kept prefix deterministic: the parallel
+// enumeration only decides *whether* the cutoff fired, not which nodes came
+// first.
+func (p *FullPlan) EnumeratePrefix(limit int, stop func() bool) (ctxs [][]int, truncated bool) {
+	if limit <= 0 {
+		return nil, true
+	}
+	an := p.an
+	emit := func(ctx []int) bool {
+		if len(ctxs) >= limit {
+			truncated = true
+			return false
+		}
+		obsSchemasEnumerated.Inc()
+		ctxs = append(ctxs, ctx)
+		return true
+	}
+	if !emit([]int{}) {
+		return ctxs, truncated
+	}
+	visited := 0
+	unlocked := make(map[int]bool)
+	var rec func(ctx []int) bool
+	rec = func(ctx []int) bool {
+		for _, gi := range an.alphabet {
+			if unlocked[gi] || !p.e.unlockable(an, unlocked, gi) {
+				continue
+			}
+			visited++
+			if visited&255 == 0 && stop != nil && stop() {
+				return false
+			}
+			child := make([]int, len(ctx)+1)
+			copy(child, ctx)
+			child[len(ctx)] = gi
+			if !emit(child) {
+				return false
+			}
+			unlocked[gi] = true
+			ok := rec(child)
+			delete(unlocked, gi)
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec([]int{})
+	return ctxs, truncated
+}
+
+// ValidContexts reports whether every context is a sequence of in-range
+// alphabet indices — the structural sanity check a worker runs on a shard
+// before solving (a deeper mismatch is caught by the AlphabetKeys
+// fingerprint).
+func (p *FullPlan) ValidContexts(ctxs [][]int) error {
+	n := len(p.an.alphabet)
+	for i, ctx := range ctxs {
+		for _, gi := range ctx {
+			if gi < 0 || gi >= n {
+				return fmt.Errorf("schema: context %d has guard index %d outside alphabet of %d", i, gi, n)
+			}
+		}
+	}
+	return nil
+}
+
+// IndexRecord is the deterministic per-schema solve record: everything the
+// prefix fold needs, independent of which process produced it.
+type IndexRecord struct {
+	// Done distinguishes a solved index from one skipped by an early exit
+	// (an in-range Sat cancels later work) or an interrupt.
+	Done   bool
+	Status smt.Status
+	Slots  int
+	Stats  smt.Stats
+	// CE is the certified counterexample when Status == smt.Sat.
+	CE *Counterexample
+}
+
+// SolveRange solves ctxs (preorder indices base..base+len-1) with the given
+// worker count, early-exiting after the range's first Sat exactly like the
+// single-box solve phase: every index below the winner is solved, indices
+// beyond it may be skipped (their records stay !Done). A Stop hook aborts
+// with interrupted=true and a partial record set. Per-index records are
+// deterministic regardless of workers — each solve uses a private symbol
+// table snapshot — so two processes solving the same range produce equal
+// records.
+func (p *FullPlan) SolveRange(ctxs [][]int, base, workers int, stop func() bool) (recs []IndexRecord, interrupted bool, err error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(ctxs) {
+		workers = len(ctxs)
+	}
+	recs = make([]IndexRecord, len(ctxs))
+	if len(ctxs) == 0 {
+		return recs, false, nil
+	}
+
+	var next atomic.Int64
+	var minSat, minErr atomic.Int64
+	minSat.Store(math.MaxInt64)
+	minErr.Store(math.MaxInt64)
+	var stopped atomic.Bool
+	errs := make([]error, len(ctxs))
+
+	casMin := func(a *atomic.Int64, v int64) {
+		for {
+			cur := a.Load()
+			if v >= cur || a.CompareAndSwap(cur, v) {
+				return
+			}
+		}
+	}
+
+	var acc phaseAcc
+	run := func() {
+		claims := 0
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= len(ctxs) {
+				return
+			}
+			if stopped.Load() || minErr.Load() < math.MaxInt64 {
+				return
+			}
+			if int64(i) > minSat.Load() {
+				return
+			}
+			claims++
+			if claims%claimPollStride == 1 || claimPollStride == 1 {
+				if stop != nil && stop() {
+					stopped.Store(true)
+					return
+				}
+			}
+			st, ce, slots, stats, serr := p.e.solveSchema(p.an, ctxs[i], base+i, time.Time{}, &acc)
+			if serr != nil {
+				errs[i] = serr
+				casMin(&minErr, int64(i))
+				return
+			}
+			obsSchemasSolved.Inc()
+			recs[i] = IndexRecord{Done: true, Status: st, Slots: slots, Stats: stats, CE: ce}
+			if st == smt.Sat {
+				casMin(&minSat, int64(i))
+			}
+		}
+	}
+	if workers <= 1 {
+		run()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				run()
+			}()
+		}
+		wg.Wait()
+	}
+	if mi := minErr.Load(); mi < math.MaxInt64 {
+		// Deterministic error reporting: the preorder-least failing schema.
+		return nil, false, errs[mi]
+	}
+	return recs, stopped.Load(), nil
+}
+
+// FoldRecords joins complete per-index records into the Result a single-box
+// full-enumeration run over the same preorder produces. The records must
+// cover the deterministic prefix: every index up to and including the first
+// Sat (or all indices when no Sat exists) must be Done, or an error is
+// returned — an incomplete prefix means the caller's bookkeeping lost a
+// shard, and folding it anyway would fabricate a nondeterministic verdict.
+func FoldRecords(query string, recs []IndexRecord) (Result, error) {
+	res := Result{Query: query, Mode: FullEnumeration}
+	minSat := -1
+	for i := range recs {
+		if recs[i].Done && recs[i].Status == smt.Sat {
+			minSat = i
+			break
+		}
+	}
+	totalLen := 0
+	unknown := false
+	fold := func(i int) {
+		res.Schemas++
+		totalLen += recs[i].Slots
+		res.Solver.Add(recs[i].Stats)
+		if recs[i].Status == smt.Unknown {
+			unknown = true
+		}
+	}
+	if minSat >= 0 {
+		for i := 0; i <= minSat; i++ {
+			if !recs[i].Done {
+				return Result{}, fmt.Errorf("schema: fold prefix incomplete at index %d (Sat at %d)", i, minSat)
+			}
+			fold(i)
+		}
+		if recs[minSat].CE == nil {
+			return Result{}, fmt.Errorf("schema: Sat record at index %d carries no counterexample", minSat)
+		}
+		res.Outcome = spec.Violated
+		res.CE = recs[minSat].CE
+	} else {
+		for i := range recs {
+			if !recs[i].Done {
+				return Result{}, fmt.Errorf("schema: fold incomplete at index %d with no Sat", i)
+			}
+			fold(i)
+		}
+		if unknown {
+			res.Outcome = spec.Budget
+		} else {
+			res.Outcome = spec.Holds
+		}
+	}
+	if res.Schemas > 0 {
+		res.AvgLen = float64(totalLen) / float64(res.Schemas)
+	}
+	return res, nil
+}
+
+// FoldTruncatedRecords joins records of a truncated preorder prefix (see
+// EnumeratePrefix). A Sat inside the prefix is a real certified violation
+// and folds exactly like FoldRecords; otherwise the verdict is Budget with
+// the same "limit+1" schema count a single-box run reports when its
+// structural cutoff fires at len(recs) — solving a prefix can refute but
+// never prove, so holds/unknown both stay Budget with the volatile fields
+// zeroed.
+func FoldTruncatedRecords(query string, recs []IndexRecord) (Result, error) {
+	for i := range recs {
+		if recs[i].Done && recs[i].Status == smt.Sat {
+			return FoldRecords(query, recs[:i+1])
+		}
+	}
+	for i := range recs {
+		if !recs[i].Done {
+			return Result{}, fmt.Errorf("schema: truncated fold incomplete at index %d", i)
+		}
+	}
+	return Result{
+		Query:   query,
+		Mode:    FullEnumeration,
+		Outcome: spec.Budget,
+		Schemas: len(recs) + 1,
+	}, nil
+}

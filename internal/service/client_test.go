@@ -1,0 +1,128 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A 429 with Retry-After is retried until the server relents, and the retry
+// wait never undercuts the server's hint.
+func TestClientRetries429(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"overloaded"}`))
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	var retries []int
+	c := &HTTPClient{
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		OnRetry:     func(status int, _ time.Duration) { retries = append(retries, status) },
+	}
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	status, err := c.GetJSON(context.Background(), ts.URL, &out)
+	if err != nil || status != http.StatusOK || !out.OK {
+		t.Fatalf("GetJSON = (%d, %v), out=%+v; want 200 ok", status, err, out)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+	if len(retries) != 2 || retries[0] != 429 || retries[1] != 429 {
+		t.Fatalf("OnRetry observed %v, want two 429s", retries)
+	}
+}
+
+// A server that never relents exhausts the bounded budget and surfaces the
+// final 429 with its error body and the attempt count.
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"overloaded"}`))
+	}))
+	defer ts.Close()
+
+	c := &HTTPClient{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	status, err := c.PostJSON(context.Background(), ts.URL, map[string]string{}, nil)
+	if status != http.StatusTooManyRequests || err == nil {
+		t.Fatalf("PostJSON = (%d, %v), want terminal 429 error", status, err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want exactly the 3-attempt budget", calls.Load())
+	}
+}
+
+// Non-429 server errors are terminal: no retry, server message preserved.
+func TestClientServerErrorNoRetry(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"unknown model"}`))
+	}))
+	defer ts.Close()
+
+	c := &HTTPClient{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	status, err := c.PostJSON(context.Background(), ts.URL, map[string]string{}, nil)
+	if status != http.StatusBadRequest || err == nil {
+		t.Fatalf("PostJSON = (%d, %v), want 400 error", status, err)
+	}
+	if got := err.Error(); got != "server returned 400: unknown model" {
+		t.Fatalf("error = %q", got)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retry on 400)", calls.Load())
+	}
+}
+
+// Transport failures fail fast by default and retry under RetryTransport —
+// the mode cluster workers use to outlive a coordinator restart.
+func TestClientTransportRetry(t *testing.T) {
+	// Reserve an address with no listener behind it.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close()
+
+	c := &HTTPClient{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	if status, err := c.GetJSON(context.Background(), url, nil); status != 0 || err == nil {
+		t.Fatalf("fail-fast GetJSON = (%d, %v), want (0, error)", status, err)
+	}
+
+	start := time.Now()
+	c2 := &HTTPClient{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, RetryTransport: true}
+	status, err := c2.GetJSON(context.Background(), url, nil)
+	if status != 0 || err == nil {
+		t.Fatalf("retrying GetJSON = (%d, %v), want (0, error)", status, err)
+	}
+	if time.Since(start) < 2*time.Millisecond {
+		t.Fatalf("RetryTransport client gave up without backing off")
+	}
+}
+
+// HardenServer fills slowloris defenses only when unset.
+func TestHardenServer(t *testing.T) {
+	s := HardenServer(&http.Server{})
+	if s.ReadHeaderTimeout == 0 || s.IdleTimeout == 0 {
+		t.Fatalf("HardenServer left timeouts unset: %+v", s)
+	}
+	custom := HardenServer(&http.Server{ReadHeaderTimeout: time.Second})
+	if custom.ReadHeaderTimeout != time.Second {
+		t.Fatalf("HardenServer overwrote an explicit ReadHeaderTimeout")
+	}
+}

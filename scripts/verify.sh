@@ -84,6 +84,31 @@ wait "$SRV2" || true
 # Warm-vs-cold latency through the service: >= 10x on the heaviest row.
 "$SVC/holistic" loadgen -models simplified -passes 2 -min-speedup 10 -out "$SVC/BENCH_service.json" > /dev/null
 
+echo "==> cluster smoke (coordinator + 2 workers, SIGKILL one mid-run)"
+CLU="$OBSDIR/cluster"
+mkdir -p "$CLU"
+# Single-box full-mode reference for the byte-identical assertion.
+"$SVC/holistic" verify -model bv -mode full -j 2 -report "$CLU/local.json" > /dev/null
+"$SVC/holistic" cluster -model bv -addr 127.0.0.1:0 -addr-file "$CLU/addr" \
+    -lease 500ms -idle-local 1h -journal "$CLU/journal" \
+    -report "$CLU/cluster.json" -stats > "$CLU/cluster.out" 2> "$CLU/cluster.log" &
+CO=$!
+for _ in $(seq 1 100); do [ -s "$CLU/addr" ] && break; sleep 0.1; done
+[ -s "$CLU/addr" ] || { echo "cluster smoke: coordinator never bound"; cat "$CLU/cluster.log"; exit 1; }
+CADDR=$(head -n1 "$CLU/addr")
+"$SVC/holistic" work -coordinator "http://$CADDR" -id w1 -j 1 -quiet 2> /dev/null &
+W1=$!
+"$SVC/holistic" work -coordinator "http://$CADDR" -id w2 -j 1 -quiet 2> /dev/null &
+W2=$!
+# Let the pool claim leases, then SIGKILL one worker mid-run: its lease must
+# expire and the shard reissue without disturbing the verdict.
+sleep 1
+kill -9 "$W1" 2> /dev/null || true
+wait "$CO" || { echo "cluster smoke: coordinator failed"; cat "$CLU/cluster.log"; exit 1; }
+kill "$W2" 2> /dev/null || true
+# The cluster's deterministic report section must byte-match the local run.
+"$SVC/obscheck" "$CLU/local.json" "$CLU/cluster.json"
+
 echo "==> WAL append benchmark (fsync-path cost)"
 go test -run '^$' -bench BenchmarkWALAppend -benchmem ./internal/wal
 
