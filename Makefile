@@ -35,7 +35,7 @@ bench:
 .PHONY: bench-baseline
 bench-baseline:
 	go run ./cmd/holistic bench -out BENCH_schema.json
-	go run ./cmd/holistic loadgen -out BENCH_service.json
+	go run ./cmd/holistic loadgen -queue-jobs 100000 -out BENCH_service.json
 	go run ./cmd/holistic clusterbench $(CLUSTERBENCH_FLAGS) -out BENCH_cluster.json
 
 # Observability smoke: regenerate the fast Table 2 block with tracing and a

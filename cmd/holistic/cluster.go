@@ -241,6 +241,7 @@ func cmdWork(args []string) error {
 	id := fs.String("id", "", "worker ID in leases and journal records (default: derived from the PID)")
 	poll := fs.Duration("poll", 200*time.Millisecond, "claim-poll interval when no work is available")
 	quiet := fs.Bool("quiet", false, "suppress per-shard progress lines")
+	cacheDir := fs.String("cache", "", "persist solved shards here by content hash; a restarted worker answers reissues from disk")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -256,6 +257,7 @@ func cmdWork(args []string) error {
 		Workers:      *workers,
 		PollInterval: *poll,
 		Stop:         stop,
+		CacheDir:     *cacheDir,
 	}
 	if !*quiet {
 		w.Logf = func(format string, a ...any) {

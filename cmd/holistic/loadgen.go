@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/queue"
 	"repro/internal/service"
 	"repro/internal/vcache"
 )
@@ -42,6 +43,37 @@ type loadgenResult struct {
 	TotalRequests  int     `json:"total_requests"`
 	TotalSheds     int     `json:"total_sheds"`
 	TotalElapsedMS float64 `json:"total_elapsed_ms"`
+
+	// Queue is the durable-backlog benchmark section (present with
+	// -queue-jobs > 0). All its latency figures are observational.
+	Queue *queueBenchResult `json:"queue,omitempty"`
+}
+
+// queueBenchResult measures the durable queue under a deep backlog: every job
+// is enqueued before the consumers start, so the enqueue-to-verdict ("e2e")
+// percentiles are dominated by queue wait, not verification — which is the
+// point: they bound what a client sees when it lands behind the whole
+// backlog. Ack latency is what a client pays for a durable (fsync-backed)
+// 202; drain throughput is jobs retired per second once consumers run.
+type queueBenchResult struct {
+	Jobs             int     `json:"jobs"`
+	Tenants          int     `json:"tenants"`
+	Consumers        int     `json:"consumers"`
+	AckMedianMS      float64 `json:"ack_median_ms"`
+	AckP95MS         float64 `json:"ack_p95_ms"`
+	AckP99MS         float64 `json:"ack_p99_ms"`
+	EnqueueElapsedMS float64 `json:"enqueue_elapsed_ms"`
+	EnqueuePerSec    float64 `json:"enqueue_per_sec"`
+	PeakDepth        int     `json:"peak_depth"`
+	E2EMedianMS      float64 `json:"e2e_median_ms"`
+	E2EP95MS         float64 `json:"e2e_p95_ms"`
+	E2EP99MS         float64 `json:"e2e_p99_ms"`
+	DrainElapsedMS   float64 `json:"drain_elapsed_ms"`
+	DrainPerSec      float64 `json:"drain_per_sec"`
+	PeakHeapMB       float64 `json:"peak_heap_mb"`
+	Done             int64   `json:"done"`
+	Dead             int64   `json:"dead"`
+	Note             string  `json:"note"`
 }
 
 // cmdLoadgen drives a verification service with a deterministic request mix
@@ -58,11 +90,19 @@ func cmdLoadgen(args []string) error {
 	minSpeedup := fs.Float64("min-speedup", 0, "fail unless median cold/warm speedup reaches this (0 = record only)")
 	cacheDir := fs.String("cache-dir", "", "cache directory for the in-process server (default: a temp dir)")
 	workers := fs.Int("j", runtime.NumCPU(), "workers for the in-process server")
+	queueJobs := fs.Int("queue-jobs", 0, "durable-backlog benchmark: enqueue this many jobs before consumers start (0 = skip)")
+	queueTenants := fs.Int("queue-tenants", 4, "tenants the backlog jobs round-robin over")
+	queueConsumers := fs.Int("queue-consumers", 2, "consumers draining the benchmark backlog")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *queueJobs > 0 && *url != "" {
+		return fmt.Errorf("-queue-jobs needs the in-process server (it pauses and resumes the consumers); drop -url")
+	}
 
 	base := *url
+	var srv *service.Server
+	var qb *queueBench
 	if base == "" {
 		dir := *cacheDir
 		if dir == "" {
@@ -77,7 +117,21 @@ func cmdLoadgen(args []string) error {
 		if err != nil {
 			return err
 		}
-		srv := service.New(service.Config{Cache: cache, Workers: *workers})
+		cfg := service.Config{Cache: cache, Workers: *workers}
+		if *queueJobs > 0 {
+			queueDir, err := os.MkdirTemp("", "holistic-loadgen-queue-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(queueDir)
+			qb = newQueueBench()
+			cfg.QueueDir = queueDir
+			cfg.QueueConsumers = *queueConsumers
+			cfg.QueuePaused = true // backlog first, drain afterwards
+			cfg.QueueOnTerminal = qb.onTerminal
+		}
+		srv = service.New(cfg)
+		defer srv.Close()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return err
@@ -211,6 +265,13 @@ func cmdLoadgen(args []string) error {
 	if res.HeavyWarmMS > 0 {
 		res.HeavySpeedup = res.HeavyColdMS / res.HeavyWarmMS
 	}
+	if qb != nil {
+		q, err := qb.run(srv, client, base, *queueJobs, *queueTenants, *queueConsumers, *conc)
+		if err != nil {
+			return err
+		}
+		res.Queue = q
+	}
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err
@@ -252,6 +313,155 @@ func fireOne(client *service.HTTPClient, base string, req *service.VerifyRequest
 		}
 	}
 	return ms, hit, false, nil
+}
+
+// queueBench threads enqueue timestamps through the server's OnTerminal hook
+// so enqueue-to-verdict latency needs no polling.
+type queueBench struct {
+	mu  sync.Mutex
+	enq map[string]time.Time
+	e2e []float64
+}
+
+func newQueueBench() *queueBench {
+	return &queueBench{enq: make(map[string]time.Time)}
+}
+
+func (b *queueBench) onTerminal(j queue.Job, st queue.State) {
+	now := time.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t0, ok := b.enq[j.ID]; ok {
+		b.e2e = append(b.e2e, float64(now.Sub(t0).Microseconds())/1e3)
+		delete(b.enq, j.ID)
+	}
+}
+
+// run executes the backlog benchmark: enqueue every job while consumers are
+// paused (acks are still fsync-backed), record the peak accumulated state,
+// then resume and drain. A heap sampler runs throughout — the headline claim
+// is that a six-figure backlog holds steady memory, not that it is fast.
+func (b *queueBench) run(srv *service.Server, client *service.HTTPClient, base string, jobs, tenants, consumers, conc int) (*queueBenchResult, error) {
+	q := srv.Queue()
+	if q == nil {
+		return nil, fmt.Errorf("queue benchmark: the in-process server came up without its queue")
+	}
+	if tenants < 1 {
+		tenants = 1
+	}
+	fmt.Fprintf(os.Stderr, "holistic: loadgen enqueueing %d-job backlog (%d tenants, consumers paused)...\n", jobs, tenants)
+
+	var peakHeap atomic.Uint64
+	samplerStop := make(chan struct{})
+	var samplerOnce sync.Once
+	stopSampler := func() { samplerOnce.Do(func() { close(samplerStop) }) }
+	defer stopSampler()
+	go func() {
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-samplerStop:
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				for {
+					cur := peakHeap.Load()
+					if ms.HeapAlloc <= cur || peakHeap.CompareAndSwap(cur, ms.HeapAlloc) {
+						break
+					}
+				}
+			}
+		}
+	}()
+
+	ackMS := make([]float64, 0, jobs)
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, max(1, conc))
+	var wg sync.WaitGroup
+	enqStart := time.Now()
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			req := service.EnqueueRequest{
+				// Identical verification per job (unique by tag): after the
+				// first drain populates the cache, every later job is a cache
+				// hit, so the measurement isolates the queue, not the solver.
+				VerifyRequest: service.VerifyRequest{Model: "simplified", Prop: "Inv1_0"},
+				Tenant:        fmt.Sprintf("tenant-%d", i%tenants),
+				Tag:           fmt.Sprintf("backlog-%d", i),
+				Force:         true,
+			}
+			t0 := time.Now()
+			var out service.EnqueueResponse
+			_, err := client.PostJSON(context.Background(), base+"/v1/enqueue", &req, &out)
+			ms := float64(time.Since(t0).Microseconds()) / 1e3
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("enqueue %d: %w", i, err)
+				}
+				return
+			}
+			ackMS = append(ackMS, ms)
+			b.mu.Lock()
+			b.enq[out.ID] = t0
+			b.mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	enqElapsed := time.Since(enqStart)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	peakDepth := q.Status().Depth
+
+	fmt.Fprintf(os.Stderr, "holistic: loadgen backlog at depth %d; resuming %d consumer(s)...\n", peakDepth, consumers)
+	drainStart := time.Now()
+	q.Resume()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Hour)
+	defer cancel()
+	if err := q.WaitIdle(ctx); err != nil {
+		return nil, fmt.Errorf("draining the benchmark backlog: %w", err)
+	}
+	drainElapsed := time.Since(drainStart)
+	stopSampler()
+
+	st := q.Status()
+	b.mu.Lock()
+	e2e := append([]float64(nil), b.e2e...)
+	b.mu.Unlock()
+	res := &queueBenchResult{
+		Jobs: jobs, Tenants: tenants, Consumers: consumers,
+		AckMedianMS:      percentile(ackMS, 50),
+		AckP95MS:         percentile(ackMS, 95),
+		AckP99MS:         percentile(ackMS, 99),
+		EnqueueElapsedMS: float64(enqElapsed.Microseconds()) / 1e3,
+		PeakDepth:        peakDepth,
+		E2EMedianMS:      percentile(e2e, 50),
+		E2EP95MS:         percentile(e2e, 95),
+		E2EP99MS:         percentile(e2e, 99),
+		DrainElapsedMS:   float64(drainElapsed.Microseconds()) / 1e3,
+		PeakHeapMB:       float64(peakHeap.Load()) / (1 << 20),
+		Done:             st.Done,
+		Dead:             st.Dead,
+		Note:             "backlog fully accumulated before consumers start; e2e latency is queue wait + one (mostly cache-hit) verification",
+	}
+	if s := enqElapsed.Seconds(); s > 0 {
+		res.EnqueuePerSec = float64(len(ackMS)) / s
+	}
+	if s := drainElapsed.Seconds(); s > 0 {
+		res.DrainPerSec = float64(len(e2e)) / s
+	}
+	fmt.Fprintf(os.Stderr, "holistic: loadgen backlog drained: %d done, %d dead in %.1fs (%.0f jobs/s, peak heap %.1f MiB)\n",
+		st.Done, st.Dead, drainElapsed.Seconds(), res.DrainPerSec, res.PeakHeapMB)
+	return res, nil
 }
 
 func percentile(xs []float64, p float64) float64 {

@@ -13,6 +13,7 @@
 //	holistic dot     [flags]          print a model as Graphviz DOT
 //	holistic spec    [flags]          compile & check a property file
 //	holistic bench   [flags]          Table 2 wall-clock at 1 vs N workers
+//	holistic queue   [flags]          enqueue jobs into a daemon's durable queue and watch them
 //	holistic cluster [flags]          coordinate full-mode verification across worker daemons
 //	holistic work    [flags]          solve cluster shards for a coordinator
 //
@@ -97,6 +98,8 @@ func run(args []string) error {
 		return cmdServe(args[1:])
 	case "loadgen":
 		return cmdLoadgen(args[1:])
+	case "queue":
+		return cmdQueue(args[1:])
 	case "cluster":
 		return cmdCluster(args[1:])
 	case "work":
@@ -131,6 +134,7 @@ subcommands:
   bench      compare Table 2 wall-clock at 1 worker vs -j workers (-out file.json)
   serve      run the verification HTTP daemon (-addr, -cache-dir, ...)
   loadgen    drive a service with a request mix, write BENCH_service.json
+  queue      client for a daemon's durable job queue (-enqueue, -job, -dead, -wait-idle)
   cluster    run the fault-tolerant coordination plane (full mode, lease-based shards)
   work       run one shard-solving worker daemon against a cluster coordinator
   clusterbench  1..N worker scaling curve on the naive automaton, write BENCH_cluster.json

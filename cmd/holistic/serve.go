@@ -9,6 +9,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -20,7 +22,10 @@ import (
 // cmdServe runs the verification HTTP daemon: the batch checker behind
 // POST /v1/verify, backed by the content-addressed result cache, with
 // singleflight dedup, bounded admission, and a graceful SIGTERM drain that
-// flushes the obs report exactly like the batch CLIs do.
+// flushes the obs report exactly like the batch CLIs do. With -queue-dir it
+// also runs the durable ingestion plane (POST /v1/enqueue): acks are
+// fsync-backed, a killed daemon replays its unfinished backlog on restart,
+// and poison jobs land in the dead-letter log instead of wedging consumers.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8123", "listen address (use :0 for an ephemeral port)")
@@ -31,15 +36,25 @@ func cmdServe(args []string) error {
 	queue := fs.Int("queue", 64, "admitted-request bound; beyond it requests shed with 429")
 	maxConcurrent := fs.Int("max-concurrent", 2, "engine runs in flight; admitted requests queue on this")
 	deadline := fs.Duration("deadline", 0, "per-request verification deadline (0 = none)")
+	queueDir := fs.String("queue-dir", "", "durable WAL-backed job queue directory; enables POST /v1/enqueue (empty = queue off)")
+	queueConsumers := fs.Int("queue-consumers", 2, "queue consumer goroutines draining the backlog")
+	queueDepth := fs.Int("queue-depth", 0, "total backlog cap across tenants (0 = queue default)")
+	queueTenantDepth := fs.Int("queue-tenant-depth", 0, "per-tenant backlog cap (0 = the total cap)")
+	queueWeights := fs.String("queue-weights", "", "per-tenant dequeue weights, e.g. alpha=3,beta=1 (unlisted tenants weigh 1)")
+	queueAttempts := fs.Int("queue-attempts", 0, "attempts before a failing job is dead-lettered (0 = queue default)")
+	queueFailProp := fs.String("queue-fail-prop", "", "fault injection: queued jobs for this property fail (smoke tests drive dead-lettering with it)")
 	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	weights, err := parseTenantWeights(*queueWeights)
+	if err != nil {
 		return err
 	}
 
 	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
 	var cache *vcache.Cache
 	if *cacheDir != "" {
-		var err error
 		cache, err = vcache.Open(vcache.Options{Dir: *cacheDir, MemEntries: *cacheEntries, Logf: logf})
 		if err != nil {
 			return err
@@ -53,13 +68,20 @@ func cmdServe(args []string) error {
 
 	var draining atomic.Bool
 	srv := service.New(service.Config{
-		Cache:          cache,
-		Workers:        *workers,
-		MaxQueue:       *queue,
-		MaxConcurrent:  *maxConcurrent,
-		RequestTimeout: *deadline,
-		Stop:           draining.Load,
-		Logf:           logf,
+		Cache:              cache,
+		Workers:            *workers,
+		MaxQueue:           *queue,
+		MaxConcurrent:      *maxConcurrent,
+		RequestTimeout:     *deadline,
+		Stop:               draining.Load,
+		Logf:               logf,
+		QueueDir:           *queueDir,
+		QueueConsumers:     *queueConsumers,
+		QueueMaxDepth:      *queueDepth,
+		QueueTenantDepth:   *queueTenantDepth,
+		QueueTenantWeights: weights,
+		QueueMaxAttempts:   *queueAttempts,
+		QueueFailProp:      *queueFailProp,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -100,6 +122,12 @@ func cmdServe(args []string) error {
 			logf("holistic: drain timed out: %v", err)
 		}
 	}
+	// Queue close after the HTTP drain: running jobs requeue via the Stop
+	// hook, outcomes are journaled and the log compacts, so the next
+	// incarnation replays exactly the unfinished set.
+	if err := srv.Close(); err != nil {
+		logf("holistic: queue close: %v", err)
+	}
 	rep := srv.Report("holistic serve", *workers, false)
 	if len(rep.Deterministic.Queries) == 0 {
 		// A daemon that served nothing has no deterministic payload to
@@ -115,4 +143,26 @@ func cacheDesc(dir string) string {
 		return "off"
 	}
 	return dir
+}
+
+// parseTenantWeights parses the -queue-weights form "alpha=3,beta=1" into the
+// fair-dequeue weight map. Empty input means every tenant weighs 1.
+func parseTenantWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if !ok || strings.TrimSpace(name) == "" || err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -queue-weights element %q (want tenant=positive-integer)", part)
+		}
+		weights[strings.TrimSpace(name)] = w
+	}
+	return weights, nil
 }

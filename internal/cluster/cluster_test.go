@@ -449,3 +449,66 @@ func TestReportHashAndDuplicates(t *testing.T) {
 		t.Fatalf("duplicate report not counted (%d)", n)
 	}
 }
+
+// A restarted worker with the same CacheDir answers reissues of shards it
+// already solved from disk: the second incarnation solves nothing, and the
+// verdict still byte-matches the single-box reference.
+func TestWorkerCacheDirSurvivesRestart(t *testing.T) {
+	payload := JobPayload{Model: "bv", Prop: "BV-Just0"}
+	ref, label := localReference(t, payload)
+	cacheDir := t.TempDir()
+	run := func(name string) (*Worker, schema.Result) {
+		c, err := New(Config{
+			LeaseTTL: time.Second, ShardSize: 8, Seed: 7,
+			IdleLocalAfter: time.Hour,
+		})
+		if err != nil {
+			t.Fatalf("%s coordinator: %v", name, err)
+		}
+		defer c.Close()
+		base := serveCoordinator(t, c)
+		w := &Worker{
+			Coordinator: base, ID: name, Workers: 2,
+			PollInterval: 10 * time.Millisecond,
+			CacheDir:     cacheDir,
+			Client: &service.HTTPClient{
+				MaxAttempts: 3, BaseDelay: 5 * time.Millisecond,
+				MaxDelay: 20 * time.Millisecond, RetryTransport: true,
+			},
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() { defer close(done); w.Run(ctx) }()
+		defer func() { cancel(); <-done }()
+		id, err := c.Submit(payload)
+		if err != nil {
+			t.Fatalf("%s submit: %v", name, err)
+		}
+		wctx, wcancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer wcancel()
+		got, err := c.Wait(wctx, id)
+		if err != nil {
+			t.Fatalf("%s job failed: %v", name, err)
+		}
+		return w, got
+	}
+
+	w1, got1 := run("cold")
+	if diff := CompareResults(label, ref, got1); diff != "" {
+		t.Fatalf("cold verdict diverged:\n%s", diff)
+	}
+	if w1.ShardsSolved.Load() == 0 {
+		t.Fatalf("cold worker solved nothing; the cache was never populated")
+	}
+
+	// Same payload → same content-addressed job ID, same shard boundaries
+	// (ShardSize and Seed match) → same shard hashes: a fresh worker process
+	// on the same CacheDir must serve every shard from disk.
+	w2, got2 := run("warm")
+	if diff := CompareResults(label, ref, got2); diff != "" {
+		t.Fatalf("warm verdict diverged:\n%s", diff)
+	}
+	if n := w2.ShardsSolved.Load(); n != 0 {
+		t.Fatalf("restarted worker re-solved %d shards despite a warm CacheDir", n)
+	}
+}

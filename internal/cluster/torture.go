@@ -295,7 +295,16 @@ func tortureRun(cfg TortureConfig, label string, ref schema.Result, seed int64) 
 		coord.Close()
 		return stats, fmt.Sprintf("listening: %v", err)
 	}
+	// swapMu models the process boundary of a real coordinator kill: requests
+	// in flight on the old incarnation must finish (or fail) before the new
+	// incarnation replays the journal. Without it a zombie handler could
+	// append to the journal WAL concurrently with the successor's replay —
+	// impossible for separate processes, a data race in this in-process
+	// harness.
+	var swapMu sync.RWMutex
 	hs := service.HardenServer(&http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		swapMu.RLock()
+		defer swapMu.RUnlock()
 		cur.Load().Handler().ServeHTTP(w, r)
 	})})
 	go hs.Serve(ln)
@@ -398,13 +407,16 @@ func tortureRun(cfg TortureConfig, label string, ref schema.Result, seed int64) 
 				}()
 			}
 		case 3: // kill the coordinator, resume from the journal
+			swapMu.Lock()
 			old := cur.Load()
 			old.Close()
 			nc, err := newCoord()
 			if err != nil {
+				swapMu.Unlock()
 				return stats, fmt.Sprintf("coordinator restart: %v", err)
 			}
 			cur.Store(nc)
+			swapMu.Unlock()
 			stats.coordRestarts++
 		}
 	}

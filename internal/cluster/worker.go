@@ -2,8 +2,11 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +15,8 @@ import (
 	"repro/internal/service"
 	"repro/internal/spec"
 	"repro/internal/ta"
+	"repro/internal/vcache"
+	"repro/internal/wal"
 )
 
 // Worker is one shard-solving daemon: claim, solve, heartbeat, report,
@@ -19,7 +24,8 @@ import (
 // lease, which the coordinator's sweeper reclaims. Solved shards are cached
 // in memory by content hash behind a singleflight gate, so a reissued
 // duplicate of a shard this worker already solved (or is solving) costs a
-// lookup, not a re-solve.
+// lookup, not a re-solve; with CacheDir set the cache also persists, so even
+// a restarted worker answers reissues of its old shards from disk.
 type Worker struct {
 	// Coordinator is the coordinator's base URL.
 	Coordinator string
@@ -37,6 +43,11 @@ type Worker struct {
 	Stop func() bool
 	// Logf receives progress lines (default: silent).
 	Logf func(format string, args ...any)
+	// CacheDir, when set, persists solved shards as CRC-framed files keyed
+	// by shard content hash, so the cache survives worker restarts. Disk
+	// failures degrade to the in-memory cache; a corrupt entry is deleted
+	// and re-solved.
+	CacheDir string
 
 	mu      sync.Mutex
 	jobs    map[string]*workerJob
@@ -97,6 +108,12 @@ func (w *Worker) Run(ctx context.Context) error {
 		w.flight = make(map[string]chan struct{})
 	}
 	w.mu.Unlock()
+	if w.CacheDir != "" {
+		if err := os.MkdirAll(w.CacheDir, 0o755); err != nil {
+			w.logf("work %s: shard cache at %s unavailable (%v); running memory-only", w.ID, w.CacheDir, err)
+			w.CacheDir = ""
+		}
+	}
 	for {
 		if w.stopping(ctx) {
 			return ctx.Err()
@@ -213,6 +230,11 @@ func (w *Worker) solveCached(ctx context.Context, wj *workerJob, cr *ClaimRespon
 		w.mu.Unlock()
 		return recs, nil
 	}
+	if recs, ok := w.diskLoad(cr.Hash); ok {
+		w.results[cr.Hash] = recs
+		w.mu.Unlock()
+		return recs, nil
+	}
 	if ch, ok := w.flight[cr.Hash]; ok {
 		w.mu.Unlock()
 		select {
@@ -287,5 +309,50 @@ func (w *Worker) solveCached(ctx context.Context, wj *workerJob, cr *ClaimRespon
 	w.results[cr.Hash] = wrecs
 	w.mu.Unlock()
 	w.ShardsSolved.Add(1)
+	w.diskStore(cr.Hash, wrecs)
 	return wrecs, nil
+}
+
+func (w *Worker) shardPath(hash string) string {
+	return filepath.Join(w.CacheDir, hash+".shard")
+}
+
+// diskLoad reads a persisted shard by content hash. The caller holds w.mu;
+// the read is cheap and a worker restart is exactly when it pays off. Any
+// damage (torn write, bit rot, wrong shape) deletes the entry and reports a
+// miss — the shard is simply re-solved.
+func (w *Worker) diskLoad(hash string) ([]WireRecord, bool) {
+	if w.CacheDir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(w.shardPath(hash))
+	if err != nil {
+		return nil, false
+	}
+	payload, err := wal.ParseRecord(data)
+	if err == nil {
+		var recs []WireRecord
+		if jerr := json.Unmarshal(payload, &recs); jerr == nil {
+			return recs, true
+		}
+		err = fmt.Errorf("decoding records: invalid JSON payload")
+	}
+	w.logf("work %s: shard cache entry %s corrupt (%v); re-solving", w.ID, hash, err)
+	os.Remove(w.shardPath(hash))
+	return nil, false
+}
+
+// diskStore persists one solved shard. Failures cost durability, not
+// correctness, so they log and move on.
+func (w *Worker) diskStore(hash string, recs []WireRecord) {
+	if w.CacheDir == "" {
+		return
+	}
+	payload, err := json.Marshal(recs)
+	if err == nil {
+		err = vcache.AtomicWrite(w.CacheDir, w.shardPath(hash), wal.FrameRecord(payload))
+	}
+	if err != nil {
+		w.logf("work %s: persisting shard %s failed: %v", w.ID, hash, err)
+	}
 }

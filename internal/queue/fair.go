@@ -1,0 +1,79 @@
+// Per-tenant FIFO queues with smooth weighted round-robin dequeue: each
+// pick, every tenant with runnable work gains its weight in credit and the
+// richest tenant pays the total back and runs. The interleaving a weight
+// ratio produces is maximally spread (3:1 gives A A B A, not A A A B), and
+// tenants with nothing runnable accrue nothing, so a returning tenant gets
+// its fair share but no retroactive burst.
+package queue
+
+import "sort"
+
+type tenantQ struct {
+	name   string
+	weight int
+	// jobs is a head-indexed FIFO; popped slots are nilled and the slice is
+	// re-based once the dead prefix dominates, so a long-lived tenant does
+	// not pin every payload it ever queued.
+	jobs []*Job
+	head int
+	// unfinished counts accepted non-terminal jobs (queued + waiting +
+	// running) — the quantity the per-tenant depth cap bounds.
+	unfinished int
+	// credit is the smooth-WRR balance.
+	credit int
+}
+
+func (t *tenantQ) push(j *Job) { t.jobs = append(t.jobs, j) }
+
+func (t *tenantQ) empty() bool { return t.head >= len(t.jobs) }
+
+func (t *tenantQ) pop() *Job {
+	j := t.jobs[t.head]
+	t.jobs[t.head] = nil
+	t.head++
+	if t.head > 64 && t.head*2 >= len(t.jobs) {
+		t.jobs = append(t.jobs[:0], t.jobs[t.head:]...)
+		t.head = 0
+	}
+	return j
+}
+
+// tenantLocked returns (creating if needed) the tenant's queue.
+func (q *Queue) tenantLocked(name string) *tenantQ {
+	t, ok := q.tenants[name]
+	if !ok {
+		w := q.cfg.TenantWeights[name]
+		if w <= 0 {
+			w = 1
+		}
+		t = &tenantQ{name: name, weight: w}
+		q.tenants[name] = t
+		q.names = append(q.names, name)
+		sort.Strings(q.names)
+	}
+	return t
+}
+
+// pickLocked dequeues the next job by smooth weighted round-robin over
+// tenants with runnable work. Iteration is over the sorted name list so the
+// schedule is deterministic for a given arrival order.
+func (q *Queue) pickLocked() *Job {
+	var best *tenantQ
+	total := 0
+	for _, name := range q.names {
+		t := q.tenants[name]
+		if t.empty() {
+			continue
+		}
+		total += t.weight
+		t.credit += t.weight
+		if best == nil || t.credit > best.credit {
+			best = t
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	best.credit -= total
+	return best.pop()
+}

@@ -1,0 +1,236 @@
+// Journal record formats and replay. The journal is an internal/wal log of
+// JSON records; the snapshot (written at compaction) is the full live job
+// set. Replay = snapshot jobs + records after it, with the WAL's torn-tail
+// rule deciding where durable history ends.
+package queue
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/wal"
+)
+
+// Record types. Only enq must be durable before it matters (the enqueue ack
+// waits for it); done/dead/try are write-behind because re-running a
+// verification job is idempotent through the vcache.
+const (
+	recEnq  = "enq"
+	recDone = "done"
+	recDead = "dead"
+	recTry  = "try"
+)
+
+// rec is one journal record. P is base64 via encoding/json's []byte rule.
+type rec struct {
+	T      string `json:"t"`
+	ID     string `json:"id"`
+	Tenant string `json:"tn,omitempty"`
+	P      []byte `json:"p,omitempty"`
+	N      int    `json:"n,omitempty"`
+	Reason string `json:"r,omitempty"`
+}
+
+func encodeRec(r rec) ([]byte, error) {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("queue: encoding %s record: %w", r.T, err)
+	}
+	return data, nil
+}
+
+// snapJob is one live job in a compaction snapshot, in acceptance order.
+type snapJob struct {
+	ID       string `json:"id"`
+	Tenant   string `json:"tn"`
+	P        []byte `json:"p"`
+	Attempts int    `json:"n,omitempty"`
+}
+
+// snapTerm is one remembered terminal state (dedup memory), oldest first so
+// replay rebuilds the eviction ring in the same order.
+type snapTerm struct {
+	ID string `json:"id"`
+	D  bool   `json:"d,omitempty"` // true = dead, false = done
+}
+
+type snapState struct {
+	Jobs []snapJob  `json:"jobs"`
+	Term []snapTerm `json:"term,omitempty"`
+}
+
+// encodeSnapshotLocked serializes the live set (accepted jobs plus enqueues
+// whose ack is still waiting on an fsync — their records are about to be
+// truncated with the journal, so the snapshot must carry them) and the
+// bounded terminal-state memory (without it a restart would forget that a
+// poison job is quarantined and happily re-run it on the next resubmit).
+func (q *Queue) encodeSnapshotLocked() ([]byte, error) {
+	jobs, pendingEnq := q.jobs, q.pendingEnq
+	all := make([]*Job, 0, len(jobs)+len(pendingEnq))
+	for _, j := range jobs {
+		all = append(all, j)
+	}
+	for id, j := range pendingEnq {
+		if _, dup := jobs[id]; !dup {
+			all = append(all, j)
+		}
+	}
+	sort.Slice(all, func(i, k int) bool {
+		if all[i].seq != all[k].seq {
+			return all[i].seq < all[k].seq
+		}
+		return all[i].ID < all[k].ID
+	})
+	st := snapState{Jobs: make([]snapJob, len(all))}
+	for i, j := range all {
+		st.Jobs[i] = snapJob{ID: j.ID, Tenant: j.Tenant, P: j.Payload, Attempts: j.Attempts}
+	}
+	// The ring's next-evict slot is its oldest entry; emit oldest→newest.
+	emit := func(id string) {
+		st.Term = append(st.Term, snapTerm{ID: id, D: q.terminal[id] == StateDead})
+	}
+	if len(q.termRing) < q.cfg.TerminalKeep {
+		for _, id := range q.termRing {
+			emit(id)
+		}
+	} else {
+		for _, id := range q.termRing[q.termNext:] {
+			emit(id)
+		}
+		for _, id := range q.termRing[:q.termNext] {
+			emit(id)
+		}
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("queue: encoding snapshot: %w", err)
+	}
+	return data, nil
+}
+
+func encodeDeadLetter(dl DeadLetter) ([]byte, error) {
+	data, err := json.Marshal(dl)
+	if err != nil {
+		return nil, fmt.Errorf("queue: encoding dead letter: %w", err)
+	}
+	return data, nil
+}
+
+// replay rebuilds queue state from the recovered journal and dead-letter
+// log. Unfinished jobs are re-queued in acceptance order; jobs with a
+// durable terminal record are remembered for dedup. Called from Open before
+// any goroutine starts, so no locking.
+func (q *Queue) replay(jrec, drec *wal.Recovery) error {
+	type live struct {
+		j   *Job
+		ord int64
+	}
+	livejobs := map[string]*live{}
+	order := int64(0)
+	addLive := func(id, tenant string, payload []byte, attempts int) {
+		order++
+		livejobs[id] = &live{j: &Job{ID: id, Tenant: tenant, Payload: payload, Attempts: attempts, state: StatePending}, ord: order}
+	}
+
+	if len(jrec.Snapshot) > 0 {
+		var st snapState
+		if err := json.Unmarshal(jrec.Snapshot, &st); err != nil {
+			return fmt.Errorf("queue: decoding snapshot: %w", err)
+		}
+		for _, tm := range st.Term {
+			ts := StateDone
+			if tm.D {
+				ts = StateDead
+				q.stats.dead++
+			} else {
+				q.stats.done++
+			}
+			q.rememberTerminalLocked(tm.ID, ts)
+		}
+		for _, sj := range st.Jobs {
+			addLive(sj.ID, sj.Tenant, sj.P, sj.Attempts)
+		}
+	}
+	for i, data := range jrec.Records {
+		var r rec
+		if err := json.Unmarshal(data, &r); err != nil {
+			return fmt.Errorf("queue: decoding journal record %d: %w", i, err)
+		}
+		switch r.T {
+		case recEnq:
+			if _, ok := livejobs[r.ID]; ok {
+				continue // duplicate enqueue record (concurrent dup, or re-enqueue after terminal aged out)
+			}
+			if _, ok := q.terminal[r.ID]; ok {
+				continue
+			}
+			addLive(r.ID, r.Tenant, r.P, 0)
+		case recTry:
+			if l, ok := livejobs[r.ID]; ok && r.N > l.j.Attempts {
+				l.j.Attempts = r.N
+			}
+		case recDone, recDead:
+			if _, ok := livejobs[r.ID]; !ok {
+				continue // terminal for a job outside the snapshot window
+			}
+			delete(livejobs, r.ID)
+			st := StateDone
+			if r.T == recDead {
+				st = StateDead
+				q.stats.dead++
+			} else {
+				q.stats.done++
+			}
+			q.rememberTerminalLocked(r.ID, st)
+		default:
+			return fmt.Errorf("queue: unknown journal record type %q", r.T)
+		}
+	}
+
+	// Re-queue survivors in acceptance order so replay preserves FIFO.
+	ids := make([]string, 0, len(livejobs))
+	for id := range livejobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, k int) bool { return livejobs[ids[i]].ord < livejobs[ids[k]].ord })
+	for _, id := range ids {
+		l := livejobs[id]
+		q.seqCtr++
+		l.j.seq = q.seqCtr
+		q.jobs[id] = l.j
+		t := q.tenantLocked(l.j.Tenant)
+		t.push(l.j)
+		t.unfinished++
+		q.queued++
+	}
+
+	// Dead-letter forensics: keep the bounded tail, last record per ID wins
+	// (a crash between the dead-letter append and the journal's terminal
+	// record re-runs the job and quarantines it again).
+	seen := map[string]int{}
+	var tail []DeadLetter
+	for i, data := range drec.Records {
+		var dl DeadLetter
+		if err := json.Unmarshal(data, &dl); err != nil {
+			return fmt.Errorf("queue: decoding dead letter %d: %w", i, err)
+		}
+		if at, ok := seen[dl.ID]; ok {
+			tail[at] = dl
+			continue
+		}
+		seen[dl.ID] = len(tail)
+		tail = append(tail, dl)
+	}
+	if len(tail) > q.cfg.DeadKeep {
+		tail = tail[len(tail)-q.cfg.DeadKeep:]
+	}
+	q.deadTail = tail
+
+	if q.queued > 0 || len(q.terminal) > 0 {
+		q.cfg.Logf("queue: recovered %d unfinished job(s), %d terminal, %d dead-letter record(s), %d torn byte(s)",
+			q.queued, len(q.terminal), len(tail), jrec.TornBytes+drec.TornBytes)
+	}
+	q.gaugesLocked()
+	return nil
+}

@@ -1,0 +1,34 @@
+// Process-wide queue metrics, surfaced through internal/obs so the service
+// /metricsz endpoint exposes queue depth, in-flight count, dead-letter count
+// and per-tenant depths without new plumbing.
+package queue
+
+import "repro/internal/obs"
+
+var (
+	obsDepth        = obs.Default.Gauge("queue", "depth")
+	obsInflight     = obs.Default.Gauge("queue", "inflight")
+	obsWaiting      = obs.Default.Gauge("queue", "retry_waiting")
+	obsDeadGauge    = obs.Default.Gauge("queue", "dead_letters")
+	obsEnqueued     = obs.Default.Counter("queue", "enqueued")
+	obsCompleted    = obs.Default.Counter("queue", "completed")
+	obsRetries      = obs.Default.Counter("queue", "retries")
+	obsDeadLettered = obs.Default.Counter("queue", "dead_lettered")
+	obsDeduped      = obs.Default.Counter("queue", "deduped")
+	obsRejected     = obs.Default.Counter("queue", "rejected")
+	obsFsyncBatches = obs.Default.Counter("queue", "fsync_batches")
+	obsCompactions  = obs.Default.Counter("queue", "compactions")
+)
+
+// gaugesLocked refreshes every gauge from the queue's current state. The
+// per-tenant gauges are created on first use, keyed by tenant name, so a new
+// tenant shows up in /metricsz on its first enqueue.
+func (q *Queue) gaugesLocked() {
+	obsDepth.Set(int64(q.queued + q.waiting))
+	obsInflight.Set(int64(q.inflight))
+	obsWaiting.Set(int64(q.waiting))
+	obsDeadGauge.Set(int64(q.stats.dead))
+	for name, t := range q.tenants {
+		obs.Default.Gauge("queue_tenant", name).Set(int64(t.unfinished))
+	}
+}

@@ -1,0 +1,45 @@
+package queue
+
+import "testing"
+
+// TestTortureCampaign is the acceptance gate from the issue: 100+ seeded
+// kill/restart/poison/flood schedules, race-clean, every acked job reaching
+// exactly one terminal state. -short trims the run count, not the coverage
+// mix.
+func TestTortureCampaign(t *testing.T) {
+	runs := 100
+	if testing.Short() {
+		runs = 25
+	}
+	res := Torture(TortureConfig{
+		Runs:     runs,
+		BaseSeed: 1,
+		Parallel: 2,
+		Verbose: func(format string, args ...any) {
+			if testing.Verbose() {
+				t.Logf(format, args...)
+			}
+		},
+	})
+	for _, v := range res.Violations {
+		t.Errorf("%s", v)
+	}
+	t.Logf("%s", res)
+	if res.Runs != runs {
+		t.Errorf("ran %d schedules, want %d", res.Runs, runs)
+	}
+	// The campaign must actually have exercised the fault paths, not just
+	// drained cleanly: kills with recovery, cap rejections, dead letters.
+	if res.Kills == 0 || res.Recovered == 0 {
+		t.Errorf("schedules forced no kill/recovery (kills=%d recovered=%d)", res.Kills, res.Recovered)
+	}
+	if res.Rejections == 0 {
+		t.Errorf("schedules never hit a depth cap")
+	}
+	if res.Dead == 0 {
+		t.Errorf("schedules never dead-lettered a poison job")
+	}
+	if res.Resubmits == 0 {
+		t.Errorf("schedules never lost an enqueue ack to a crash")
+	}
+}

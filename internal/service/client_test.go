@@ -126,3 +126,53 @@ func TestHardenServer(t *testing.T) {
 		t.Fatalf("HardenServer overwrote an explicit ReadHeaderTimeout")
 	}
 }
+
+// The backoff arithmetic, pinned directly: a Retry-After hint larger than the
+// local cap must win (the server knows its own recovery horizon), and the
+// exponential ramp stays within [base, max+50% jitter] otherwise.
+func TestClientBackoffRetryAfterDominates(t *testing.T) {
+	c := &HTTPClient{BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, Seed: 1}
+	if d := c.backoff(1, 10*time.Second); d != 10*time.Second {
+		t.Fatalf("backoff(1, 10s) = %v, want the server's 10s hint to dominate the 4ms cap", d)
+	}
+	// No hint: every step obeys base<<k clamped to MaxDelay, plus at most 50%.
+	for attempt := 1; attempt <= 12; attempt++ {
+		d := c.backoff(attempt, 0)
+		if d < time.Millisecond || d > 6*time.Millisecond {
+			t.Fatalf("backoff(%d, 0) = %v, want within [1ms, 4ms+50%%]", attempt, d)
+		}
+	}
+	// A huge attempt number must not overflow into a negative or zero delay.
+	if d := c.backoff(63, 0); d < time.Millisecond || d > 6*time.Millisecond {
+		t.Fatalf("backoff(63, 0) = %v; shift overflow escaped the clamp", d)
+	}
+}
+
+// parseRetryAfter: seconds are honored, absence and garbage (including the
+// negative and non-integer forms proxies emit) all collapse to zero rather
+// than stalling the client.
+func TestClientParseRetryAfter(t *testing.T) {
+	mk := func(v string) http.Header {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return h
+	}
+	for _, tc := range []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", 0},
+		{"2", 2 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{"soon", 0},
+		{"1.5", 0},
+		{"Wed, 21 Oct 2026 07:28:00 GMT", 0},
+	} {
+		if got := parseRetryAfter(mk(tc.header)); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+}

@@ -17,6 +17,10 @@
 //	POST /v1/jobs              submit an async job; returns {"id": ...}
 //	GET  /v1/jobs/{id}         job status
 //	GET  /v1/jobs/{id}/result  job result (409 until done)
+//	POST /v1/enqueue           durable queue submit (EnqueueRequest JSON)
+//	GET  /v1/queue/status      queue depth/in-flight/dead-letter counters
+//	GET  /v1/queue/jobs/{id}   queue job state (+ results when done)
+//	GET  /v1/queue/dead        recent dead-lettered jobs with reasons
 //	GET  /healthz              liveness + drain state
 //	GET  /metricsz             obs registry snapshot (JSON)
 package service
@@ -33,6 +37,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/queue"
 	"repro/internal/schema"
 	"repro/internal/spec"
 	"repro/internal/ta"
@@ -71,6 +76,31 @@ type Config struct {
 	Stop func() bool
 	// Logf receives one line per notable event (default: silent).
 	Logf func(format string, args ...any)
+
+	// QueueDir, when set, enables the durable ingestion plane: POST
+	// /v1/enqueue journals jobs into a WAL-backed internal/queue under this
+	// directory and a consumer pool drains them through the verify path. An
+	// unusable directory degrades to the synchronous path instead of
+	// failing startup.
+	QueueDir string
+	// QueueConsumers sizes the consumer pool (default 2).
+	QueueConsumers int
+	// QueueMaxDepth / QueueTenantDepth / QueueTenantWeights /
+	// QueueMaxAttempts / QueueSeed pass through to queue.Config.
+	QueueMaxDepth      int
+	QueueTenantDepth   int
+	QueueTenantWeights map[string]int
+	QueueMaxAttempts   int
+	QueueSeed          int64
+	// QueuePaused starts the consumer pool held (Server.Queue().Resume()
+	// releases it) — loadgen uses it to build a backlog deterministically.
+	QueuePaused bool
+	// QueueFailProp, when non-empty, makes queue jobs for that property fail
+	// as transient errors — the documented fault-injection hook behind
+	// `serve -queue-fail-prop`, used by the dead-letter smoke test.
+	QueueFailProp string
+	// QueueOnTerminal observes terminal queue transitions (benchmarks).
+	QueueOnTerminal func(j queue.Job, st queue.State)
 }
 
 // VerifyRequest is the POST /v1/verify and POST /v1/jobs payload. Exactly
@@ -149,6 +179,17 @@ type Server struct {
 	// order replaced by sorted order at flush.
 	reportMu   sync.Mutex
 	reportRows map[string]obs.QueryMetrics
+
+	// queue is the durable ingestion plane (nil = disabled or degraded;
+	// queueErr records why). qresults is the bounded ring of completed
+	// queue-job responses.
+	queue          *queue.Queue
+	queueErr       error
+	queueConsumers int
+	qmu            sync.Mutex
+	qresults       map[string]*VerifyResponse
+	qring          []string
+	qnext          int
 }
 
 type job struct {
@@ -184,11 +225,17 @@ func New(cfg Config) *Server {
 		jobs:       make(map[string]*job),
 		started:    time.Now(),
 		reportRows: make(map[string]obs.QueryMetrics),
+		qresults:   make(map[string]*VerifyResponse),
 	}
+	s.openQueue()
 	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("POST /v1/enqueue", s.handleEnqueue)
+	s.mux.HandleFunc("GET /v1/queue/status", s.handleQueueStatus)
+	s.mux.HandleFunc("GET /v1/queue/jobs/{id}", s.handleQueueJob)
+	s.mux.HandleFunc("GET /v1/queue/dead", s.handleQueueDead)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	return s

@@ -172,6 +172,15 @@ func (c *Cache) Len() int {
 	return c.lru.Len()
 }
 
+// AtomicWrite writes data to path via a temp file in dir (which must be on
+// the same filesystem), fsyncing before the rename so the addressable name
+// never exposes a partially-written frame. Exported for sibling planes that
+// persist content-addressed artifacts with the same discipline (the cluster
+// worker's shard cache).
+func AtomicWrite(dir, path string, data []byte) error {
+	return atomicWrite(dir, path, data)
+}
+
 // atomicWrite writes data to path via a temp file in the same directory,
 // fsyncing before the rename so the addressable name never exposes a
 // partially-written frame.

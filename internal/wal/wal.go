@@ -134,6 +134,26 @@ func frame(payload []byte) []byte {
 	return buf
 }
 
+// FrameRecord renders payload as one standalone CRC-framed record — the
+// WAL's on-disk framing (length prefix + Castagnoli checksum) for callers
+// that want torn/corrupt detection on single-record side files without a
+// full Log.
+func FrameRecord(payload []byte) []byte { return frame(payload) }
+
+// ParseRecord decodes a file produced by FrameRecord. Anything other than
+// exactly one intact record — truncation, checksum mismatch, trailing bytes
+// — reports an error wrapping ErrCorrupt.
+func ParseRecord(data []byte) ([]byte, error) {
+	payloads, _, _, torn, err := parseFrames(data)
+	if err != nil {
+		return nil, err
+	}
+	if torn || len(payloads) != 1 {
+		return nil, fmt.Errorf("%w: expected exactly 1 intact record, got %d (torn=%v)", ErrCorrupt, len(payloads), torn)
+	}
+	return payloads[0], nil
+}
+
 // parseFrames walks data record by record. It returns the payloads, their
 // frame byte ranges, and how the walk ended: clean EOF, a torn tail
 // (truncated header or payload at EOF — the discardable crash artifact), or
@@ -270,6 +290,15 @@ func Open(opts Options) (*Log, *Recovery, error) {
 // rotate closes the active segment and starts a new one at nextIndex.
 func (l *Log) rotate() error {
 	if l.cur != nil {
+		// Unsynced appends may only ever live in the active segment's tail:
+		// Sync() reaches just the current file, so anything left unsynced in
+		// a rotated-away segment could never be made durable again — and a
+		// crash would tear the *middle* of the log (unrecoverable damage
+		// under the torn-tail rule), not its end. Sync before letting go.
+		if err := l.cur.Sync(); err != nil {
+			return err
+		}
+		obsFsyncs.Inc()
 		if err := l.cur.Close(); err != nil {
 			return err
 		}

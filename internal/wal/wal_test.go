@@ -504,3 +504,58 @@ func BenchmarkWALAppendDisk(b *testing.B) {
 	b.StopTimer()
 	l.Close()
 }
+
+// TestRotationSyncsOutgoingSegment: a group-commit user (SyncNever + explicit
+// Sync) must not lose records that were appended before a rotation. Sync()
+// only reaches the active file, so rotate() has to flush the outgoing
+// segment — otherwise a crash tears the *middle* of the log, which the
+// torn-tail rule rightly refuses to repair.
+func TestRotationSyncsOutgoingSegment(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, Options{Sync: SyncNever, SegmentBytes: 32})
+	// Each framed record is 8+10 bytes, so every other append rotates.
+	var want []string
+	for i := 0; i < 9; i++ {
+		r := fmt.Sprintf("record-%03d", i)
+		want = append(want, r)
+		appendAll(t, l, r)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	fs.Crash(nil)
+
+	_, rec := openMem(t, fs, Options{Sync: SyncNever, SegmentBytes: 32})
+	got := payloads(rec.Records)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFrameRecordRoundTrip(t *testing.T) {
+	payload := []byte("shard-result")
+	data := FrameRecord(payload)
+	back, err := ParseRecord(data)
+	if err != nil || !bytes.Equal(back, payload) {
+		t.Fatalf("round trip: %q err=%v", back, err)
+	}
+	if _, err := ParseRecord(data[:len(data)-1]); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated: err=%v, want ErrCorrupt", err)
+	}
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)-1] ^= 0x40
+	if _, err := ParseRecord(flipped); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bit flip: err=%v, want ErrCorrupt", err)
+	}
+	if _, err := ParseRecord(append(append([]byte(nil), data...), data...)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("two records: err=%v, want ErrCorrupt", err)
+	}
+	if _, err := ParseRecord(nil); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("empty: err=%v, want ErrCorrupt", err)
+	}
+}

@@ -109,6 +109,51 @@ kill "$W2" 2> /dev/null || true
 # The cluster's deterministic report section must byte-match the local run.
 "$SVC/obscheck" "$CLU/local.json" "$CLU/cluster.json"
 
+echo "==> queue smoke (durable enqueue + SIGKILL mid-drain + resume + dead-letter)"
+QUE="$OBSDIR/queue"
+mkdir -p "$QUE"
+# Synchronous reference: the report the drained queue must byte-match.
+"$SVC/holistic" verify -model simplified -prop Inv1_0 -report "$QUE/sync.json" > /dev/null
+# Daemon A: one consumer, fault injection dead-letters every Inv1_1 job.
+"$SVC/holistic" serve -addr 127.0.0.1:0 -addr-file "$QUE/addr" -cache-dir "$QUE/cache" \
+    -queue-dir "$QUE/queue" -queue-consumers 1 -queue-fail-prop Inv1_1 2> "$QUE/serveA.log" &
+QA=$!
+for _ in $(seq 1 100); do [ -s "$QUE/addr" ] && break; sleep 0.1; done
+[ -s "$QUE/addr" ] || { echo "queue smoke: daemon A never bound"; cat "$QUE/serveA.log"; exit 1; }
+QADDR=$(head -n1 "$QUE/addr")
+# Eight distinct durable jobs plus one poison job; acks are fsync-backed.
+for i in $(seq 1 8); do
+    "$SVC/holistic" queue -url "http://$QADDR" -enqueue \
+        -model simplified -prop Inv1_0 -tenant "t$((i % 3))" -tag "job$i" -force > /dev/null
+done
+"$SVC/holistic" queue -url "http://$QADDR" -enqueue \
+    -model simplified -prop Inv1_1 -tenant poison -tag boom -force > /dev/null
+# SIGKILL mid-drain: no drain hook runs; the journal is all that survives.
+kill -9 "$QA" 2> /dev/null || true
+wait "$QA" 2> /dev/null || true
+# Daemon B on the same directories replays and finishes the backlog. The
+# extra ninth job guarantees B serves at least one Inv1_0 verification even
+# if A drained unusually fast, so its report deterministically has the row.
+"$SVC/holistic" serve -addr 127.0.0.1:0 -addr-file "$QUE/addr2" -cache-dir "$QUE/cache" \
+    -queue-dir "$QUE/queue" -queue-consumers 1 -queue-fail-prop Inv1_1 \
+    -report "$QUE/daemon_report.json" 2> "$QUE/serveB.log" &
+QB=$!
+for _ in $(seq 1 100); do [ -s "$QUE/addr2" ] && break; sleep 0.1; done
+[ -s "$QUE/addr2" ] || { echo "queue smoke: daemon B never bound"; cat "$QUE/serveB.log"; exit 1; }
+QADDR2=$(head -n1 "$QUE/addr2")
+"$SVC/holistic" queue -url "http://$QADDR2" -enqueue \
+    -model simplified -prop Inv1_0 -tenant t0 -tag job9 -force > /dev/null
+"$SVC/holistic" queue -url "http://$QADDR2" -wait-idle -timeout 120s > "$QUE/status.out"
+# No job lost or forgotten: all nine Inv1_0 jobs done, the poison job dead.
+grep -q 'done=9' "$QUE/status.out" || { echo "queue smoke: backlog not fully drained"; cat "$QUE/status.out"; exit 1; }
+grep -q 'dead=1' "$QUE/status.out" || { echo "queue smoke: poison job not dead-lettered"; cat "$QUE/status.out"; exit 1; }
+"$SVC/holistic" queue -url "http://$QADDR2" -dead > "$QUE/dead.out"
+grep -q 'fault injection' "$QUE/dead.out" || { echo "queue smoke: dead letter lost its reason"; cat "$QUE/dead.out"; exit 1; }
+kill -TERM "$QB"
+wait "$QB" || { echo "queue smoke: daemon B exited non-zero on drain"; cat "$QUE/serveB.log"; exit 1; }
+# Queue-drained verdicts must be byte-identical to the synchronous run.
+"$SVC/obscheck" "$QUE/sync.json" "$QUE/daemon_report.json"
+
 echo "==> WAL append benchmark (fsync-path cost)"
 go test -run '^$' -bench BenchmarkWALAppend -benchmem ./internal/wal
 
