@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/schema"
 	"repro/internal/spec"
 )
 
@@ -29,17 +30,83 @@ type benchRow struct {
 	ElapsedNS int64  `json:"elapsed_ns"`
 }
 
+// benchPrefix is the full-mode prefix-solve throughput point: a deep
+// preorder prefix of the simplified-consensus Inv1 guard-context tree solved
+// at a single worker — the canonical walk of the incremental prefix-sharing
+// solver, and the per-schema cost the cluster plane pays per shard.
+type benchPrefix struct {
+	TA            string  `json:"ta"`
+	Property      string  `json:"property"`
+	Contexts      int     `json:"contexts"`
+	Workers       int     `json:"workers"`
+	ElapsedNS     int64   `json:"elapsed_ns"`
+	SchemasPerSec float64 `json:"schemas_per_sec"`
+}
+
 // benchReport is the BENCH_schema.json payload: the same Table 2 block run
 // sequentially and with the full worker budget, plus the cross-check that the
-// two runs produced identical verdicts and schema counts.
+// two runs produced identical verdicts and schema counts, plus the full-mode
+// prefix-solve throughput point.
 type benchReport struct {
-	GeneratedAt string   `json:"generated_at"`
-	CPUs        int      `json:"cpus"`
-	Sequential  benchRun `json:"sequential"`
-	Parallel    benchRun `json:"parallel"`
-	Speedup     float64  `json:"speedup"`
-	Identical   bool     `json:"identical"`
-	Mismatches  []string `json:"mismatches,omitempty"`
+	GeneratedAt string      `json:"generated_at"`
+	CPUs        int         `json:"cpus"`
+	Sequential  benchRun    `json:"sequential"`
+	Parallel    benchRun    `json:"parallel"`
+	Speedup     float64     `json:"speedup"`
+	PrefixSolve benchPrefix `json:"prefix_solve"`
+	Identical   bool        `json:"identical"`
+	Mismatches  []string    `json:"mismatches,omitempty"`
+}
+
+// benchPrefixSolve times one single-worker SolveRange pass over the first
+// n contexts of the simplified-consensus Inv1_0 tree in full mode (the tree
+// structurally exceeds the whole-check budget, so prefix solving is where
+// that workload's per-schema cost lives).
+func benchPrefixSolve(n int, stop func() bool) (benchPrefix, error) {
+	const model, prop = "simplified", "Inv1_0"
+	pt := benchPrefix{TA: model, Property: prop, Workers: 1}
+	a, qs, err := modelByName(model)
+	if err != nil {
+		return pt, err
+	}
+	var q *spec.Query
+	for i := range qs {
+		if qs[i].Name == prop {
+			q = &qs[i]
+		}
+	}
+	if q == nil {
+		return pt, fmt.Errorf("bench: model %s has no property %s", model, prop)
+	}
+	eng, err := schema.New(a, schema.Options{Mode: schema.FullEnumeration, Stop: stop})
+	if err != nil {
+		return pt, err
+	}
+	plan, err := eng.PlanFull(q)
+	if err != nil {
+		return pt, err
+	}
+	ctxs, _ := plan.EnumeratePrefix(n, stop)
+	pt.Contexts = len(ctxs)
+	start := time.Now()
+	recs, interrupted, err := plan.SolveRange(ctxs, 0, 1, stop)
+	elapsed := time.Since(start)
+	if err != nil {
+		return pt, err
+	}
+	if interrupted {
+		return pt, fmt.Errorf("bench: prefix solve interrupted")
+	}
+	for i := range recs {
+		if !recs[i].Done {
+			return pt, fmt.Errorf("bench: prefix record %d not solved", i)
+		}
+	}
+	pt.ElapsedNS = elapsed.Nanoseconds()
+	if elapsed > 0 {
+		pt.SchemasPerSec = float64(len(ctxs)) / elapsed.Seconds()
+	}
+	return pt, nil
 }
 
 func benchTable2(workers int, skipNaive bool, naiveTimeout time.Duration, stop func() bool, tr *obs.Tracer) (benchRun, []core.Table2Row, error) {
@@ -99,6 +166,7 @@ func cmdBench(args []string) error {
 	out := fs.String("out", "", "write the JSON report to this file (default: stdout)")
 	skipNaive := fs.Bool("skip-naive", true, "skip the naive-consensus block (its rows time out by design)")
 	naiveTimeout := fs.Duration("naive-timeout", 30*time.Second, "budget for the naive block when enabled")
+	prefix := fs.Int("prefix", 1000, "context count for the full-mode prefix-solve throughput point")
 	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,6 +190,11 @@ func cmdBench(args []string) error {
 	if err != nil {
 		return err
 	}
+	fmt.Fprintf(os.Stderr, "bench: full-mode prefix solve (%d contexts, 1 worker)...\n", *prefix)
+	pfx, err := benchPrefixSolve(*prefix, stop)
+	if err != nil {
+		return err
+	}
 	stopProgress()
 	if stop() {
 		return fmt.Errorf("bench interrupted; timings would be meaningless")
@@ -132,6 +205,7 @@ func cmdBench(args []string) error {
 		CPUs:        runtime.NumCPU(),
 		Sequential:  seq,
 		Parallel:    par,
+		PrefixSolve: pfx,
 		Mismatches:  crossCheck(seq, par),
 	}
 	rep.Identical = len(rep.Mismatches) == 0
@@ -148,8 +222,8 @@ func cmdBench(args []string) error {
 		if err := os.WriteFile(*out, data, 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("bench: %s (speedup %.2fx at %d workers, identical=%v)\n",
-			*out, rep.Speedup, *workers, rep.Identical)
+		fmt.Printf("bench: %s (speedup %.2fx at %d workers, prefix solve %.0f schemas/s, identical=%v)\n",
+			*out, rep.Speedup, *workers, rep.PrefixSolve.SchemasPerSec, rep.Identical)
 	} else {
 		os.Stdout.Write(data)
 	}

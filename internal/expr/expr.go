@@ -96,6 +96,29 @@ func (t *Table) Snapshot(n int) *Table {
 	return nt
 }
 
+// Truncate removes every symbol interned after the first n, so the next
+// Intern reuses the freed ids. The incremental schema walker calls this when
+// backtracking: symbols interned while exploring one subtree are discarded
+// before a sibling subtree interns its own, which keeps the id assigned to
+// any name a function of the tree path alone (ids feed simplex pivoting
+// order, so leaking ids across siblings would make solver effort depend on
+// visit history). Truncating below symbols still referenced by live
+// expressions is a caller bug.
+func (t *Table) Truncate(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(t.names) {
+		return
+	}
+	for _, name := range t.names[n:] {
+		delete(t.index, name)
+	}
+	t.names = t.names[:n]
+}
+
 // Len reports the number of interned symbols.
 func (t *Table) Len() int {
 	t.mu.RLock()

@@ -289,3 +289,57 @@ func TestQuickNegateFlips(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestTableTruncate pins the backtracking contract the incremental schema
+// walker relies on: truncation frees ids for reuse, so re-interning after a
+// truncate assigns the same dense ids a fresh walk would, and truncated
+// names are genuinely gone from the index.
+func TestTableTruncate(t *testing.T) {
+	tab := NewTable()
+	a := tab.Intern("ta")
+	tab.Intern("tb")
+	tab.Intern("tc")
+	if tab.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tab.Len())
+	}
+
+	tab.Truncate(1)
+	if tab.Len() != 1 {
+		t.Fatalf("after truncate: len = %d, want 1", tab.Len())
+	}
+	if got := tab.Lookup("tb"); got != NoSym {
+		t.Errorf("Lookup(tb) = %v after truncate, want NoSym", got)
+	}
+	if got := tab.Lookup("tc"); got != NoSym {
+		t.Errorf("Lookup(tc) = %v after truncate, want NoSym", got)
+	}
+	if got := tab.Lookup("ta"); got != a {
+		t.Errorf("Lookup(ta) = %v, want %v (survivors keep their ids)", got, a)
+	}
+
+	// Re-interning in a different order reuses the freed ids densely: the id
+	// of a name is a function of intern order from the truncation point, not
+	// of the discarded history.
+	c2 := tab.Intern("tc")
+	b2 := tab.Intern("tb")
+	if c2 != Sym(1) || b2 != Sym(2) {
+		t.Errorf("re-intern ids = %v, %v, want 1, 2", c2, b2)
+	}
+	if tab.Name(c2) != "tc" || tab.Name(b2) != "tb" {
+		t.Errorf("names = %q, %q, want tc, tb", tab.Name(c2), tab.Name(b2))
+	}
+
+	// Out-of-range arguments clamp: beyond the length is a no-op, negative
+	// empties the table.
+	tab.Truncate(99)
+	if tab.Len() != 3 {
+		t.Errorf("truncate beyond len changed table to %d", tab.Len())
+	}
+	tab.Truncate(-5)
+	if tab.Len() != 0 {
+		t.Errorf("negative truncate left len %d, want 0", tab.Len())
+	}
+	if tab.Intern("ta") != Sym(0) {
+		t.Error("intern after full truncate did not restart at id 0")
+	}
+}

@@ -2,6 +2,7 @@ package schema
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/counter"
 
@@ -56,7 +57,11 @@ type analysis struct {
 	gatingGuards   int
 }
 
-func (e *Engine) analyze(q *spec.Query) (*analysis, error) {
+// analyze runs the structural pass for one query. The deadline (zero = none)
+// bounds the guard-satisfiability solves the pass itself performs, so a
+// pathological guard cannot make the analysis phase outlive the engine
+// timeout or ignore a cooperative interrupt.
+func (e *Engine) analyze(q *spec.Query, deadline time.Time) (*analysis, error) {
 	a := e.ta
 	an := &analysis{q: q, guardIdx: make(map[string]int), ruleLevel: make(map[int]int)}
 
@@ -106,7 +111,7 @@ func (e *Engine) analyze(q *spec.Query) (*analysis, error) {
 			}
 		}
 		sort.Slice(info.vars, func(i, j int) bool { return info.vars[i] < info.vars[j] })
-		it, err := e.guardInitiallyTrue(c, an.resilience)
+		it, err := e.guardInitiallyTrue(c, an.resilience, deadline)
 		if err != nil {
 			return 0, err
 		}
@@ -216,8 +221,12 @@ func isShared(a *ta.TA, s expr.Sym) bool {
 }
 
 // guardInitiallyTrue checks whether the guard can hold before any rule fires
-// (all shared variables zero), under the resilience condition.
-func (e *Engine) guardInitiallyTrue(g expr.Constraint, resilience []expr.Constraint) (bool, error) {
+// (all shared variables zero), under the resilience condition. The solve is
+// routed through CheckIntegerLimits with the engine's Stop hook and the
+// check deadline: the raw CheckInteger it used to call bypassed both, so a
+// guard whose branch-and-bound search was slow (not merely node-hungry) kept
+// the analysis phase running through SIGINT and -timeout.
+func (e *Engine) guardInitiallyTrue(g expr.Constraint, resilience []expr.Constraint, deadline time.Time) (bool, error) {
 	zeroed := g.Clone()
 	for _, s := range e.ta.Shared {
 		if err := zeroed.L.Substitute(s, expr.NewLin(0)); err != nil {
@@ -227,7 +236,11 @@ func (e *Engine) guardInitiallyTrue(g expr.Constraint, resilience []expr.Constra
 	solver := smt.NewSolver(e.ta.Table)
 	solver.AssertAll(resilience)
 	solver.Assert(zeroed)
-	st, _, err := solver.CheckInteger(1 << 14)
+	st, _, err := solver.CheckIntegerLimits(smt.ClauseLimits{
+		MaxBBNodes: 1 << 14,
+		Deadline:   deadline,
+		Stop:       e.opts.Stop,
+	})
 	if err != nil {
 		return false, err
 	}

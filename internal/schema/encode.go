@@ -41,12 +41,97 @@ type encoding struct {
 
 	goalClauses    []smt.Clause
 	justiceClauses []smt.Clause
+
+	// marks is the scope stack for push/pop: the incremental full-mode
+	// walker opens one scope per guard segment (and one per query solve) so
+	// a sibling schema restores the shared prefix instead of re-encoding it.
+	marks []encMark
+}
+
+// encMark records everything pop must restore alongside the solver scope:
+// the private symbol-table length (so re-descending re-interns identical
+// ids — ids feed simplex pivot order, see expr.Table.Truncate), the slice
+// lengths, and the symbolic counter state. kappa entries and shared values
+// are replaced (never mutated in place) by addSlot, so shallow copies pin
+// the frame.
+type encMark struct {
+	syms       int
+	slots      int
+	lazyGuards int
+	goals      int
+	justice    int
+	kappa      []expr.Lin
+	shared     map[expr.Sym]expr.Lin
 }
 
 type pendingGuard struct {
 	slotIdx int
 	key     string
 	g       expr.Constraint
+}
+
+// push opens a scope: a solver Push plus a mark of all encoder-side state.
+// The matching pop restores the encoding to this exact point — including the
+// private symbol table, so a later descent re-interns the same names at the
+// same ids (simplex pivot order depends on ids, and per-schema determinism
+// depends on pivot order).
+func (enc *encoding) push() {
+	enc.solver.Push()
+	enc.marks = append(enc.marks, encMark{
+		syms:       enc.tab.Len(),
+		slots:      len(enc.slots),
+		lazyGuards: len(enc.lazyGuards),
+		goals:      len(enc.goalClauses),
+		justice:    len(enc.justiceClauses),
+		kappa:      append([]expr.Lin(nil), enc.kappa...),
+		shared:     enc.snapshotShared(),
+	})
+}
+
+// pop closes the innermost scope opened by push.
+func (enc *encoding) pop() {
+	if len(enc.marks) == 0 {
+		return
+	}
+	m := enc.marks[len(enc.marks)-1]
+	enc.marks = enc.marks[:len(enc.marks)-1]
+	enc.solver.Pop()
+	enc.tab.Truncate(m.syms)
+	enc.slots = enc.slots[:m.slots]
+	enc.snapshots = enc.snapshots[:m.slots]
+	enc.lazyGuards = enc.lazyGuards[:m.lazyGuards]
+	enc.goalClauses = enc.goalClauses[:m.goals]
+	enc.justiceClauses = enc.justiceClauses[:m.justice]
+	enc.kappa = m.kappa
+	enc.shared = m.shared
+}
+
+// addSegment appends one accelerated slot (eager guards) per rule whose
+// source location is reachable and whose guard conjuncts are all unlocked —
+// one topological segment of a full-mode schema.
+func (enc *encoding) addSegment(unlocked map[int]bool) error {
+	e := enc.e
+	reach := e.reachUnder(enc.an, unlocked)
+	for i, ri := range enc.an.rules {
+		r := e.ta.Rules[ri]
+		if !reach[r.From] {
+			continue
+		}
+		ok := true
+		for _, gi := range enc.an.ruleGuards[i] {
+			if !unlocked[gi] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if err := enc.addSlot(ri, false); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // newEncoding sets up the base constraints: resilience, the initial

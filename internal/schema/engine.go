@@ -89,6 +89,13 @@ type Options struct {
 	// and solve durations. Purely observational — a nil tracer costs one
 	// pointer check per emission point and tracing never affects verdicts.
 	Trace *obs.Tracer
+
+	// freshSolves disables the incremental prefix-sharing walker and encodes
+	// every full-mode schema from scratch (the pre-incremental strategy).
+	// Unexported on purpose: it exists for in-package cross-validation tests
+	// and benchmarks only, and being invisible to vcache.ConfigOf it can
+	// never leak strategy-relative solver statistics into cache keys.
+	freshSolves bool
 }
 
 // Result reports the verdict for one query.

@@ -30,13 +30,13 @@ import (
 // outcome, the same schema count, and the preorder-least (equivalently,
 // lexicographically-least by alphabet position) counterexample context.
 func (e *Engine) checkFull(q *spec.Query, res *Result, start time.Time) error {
-	an, err := e.analyze(q)
-	if err != nil {
-		return err
-	}
 	var deadline time.Time
 	if e.opts.Timeout > 0 {
 		deadline = start.Add(e.opts.Timeout)
+	}
+	an, err := e.analyze(q, deadline)
+	if err != nil {
+		return err
 	}
 
 	enumStart := time.Now()
@@ -154,31 +154,7 @@ func (e *Engine) solveSchema(an *analysis, ctx []int, idx int, deadline time.Tim
 	enc.deadline = deadline
 	unlocked := make(map[int]bool, len(ctx))
 
-	addSegment := func() error {
-		reach := e.reachUnder(an, unlocked)
-		for i, ri := range an.rules {
-			r := e.ta.Rules[ri]
-			if !reach[r.From] {
-				continue
-			}
-			ok := true
-			for _, gi := range an.ruleGuards[i] {
-				if !unlocked[gi] {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				continue
-			}
-			if err := enc.addSlot(ri, false); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	if err := addSegment(); err != nil {
+	if err := enc.addSegment(unlocked); err != nil {
 		return 0, nil, 0, smt.Stats{}, err
 	}
 	for _, gi := range ctx {
@@ -188,7 +164,7 @@ func (e *Engine) solveSchema(an *analysis, ctx []int, idx int, deadline time.Tim
 			return 0, nil, 0, smt.Stats{}, err
 		}
 		unlocked[gi] = true
-		if err := addSegment(); err != nil {
+		if err := enc.addSegment(unlocked); err != nil {
 			return 0, nil, 0, smt.Stats{}, err
 		}
 	}

@@ -22,4 +22,16 @@ var (
 	obsQueueDepth = obs.Default.Gauge("schema", "queue_depth")
 	// obsFoldNS records the duration of each deterministic prefix fold.
 	obsFoldNS = obs.Default.Histogram("schema", "fold_ns")
+	// obsLevelPushes counts guard segments pushed by incremental cursors;
+	// obsLevelReplays counts the subset re-pushed only to rebuild a prefix a
+	// sibling cursor already had (chunk-boundary replay — pure overhead, so
+	// the ratio replays/pushes measures how much sharing the chunking loses).
+	obsLevelPushes  = obs.Default.Counter("schema", "level_pushes")
+	obsLevelReplays = obs.Default.Counter("schema", "level_replays")
+	// obsBoundCuts counts integer-entailed bound cuts asserted at a level
+	// after a rational probe refuted one side of a fractional variable.
+	obsBoundCuts = obs.Default.Counter("schema", "bound_cuts")
+	// obsUnsatLevels counts levels whose rational check condemned their
+	// whole subtree (every descendant schema resolved without solver work).
+	obsUnsatLevels = obs.Default.Counter("schema", "unsat_levels")
 )

@@ -241,24 +241,41 @@ type phaseAcc struct {
 // worker immediately — then every claimPollStride-th.
 const claimPollStride = 16
 
-// solveContexts discharges the materialized schemas with opts.Workers
-// concurrent solvers, each with its own encoder and SMT state. The first
-// Sat cancels all later work; deadline and Stop cancel everything.
-func (e *Engine) solveContexts(an *analysis, ctxs [][]int, deadline time.Time) (fullOutcome, error) {
-	workers := e.opts.Workers
-	if workers < 1 {
-		workers = 1
+// solveChunkSize picks how many contiguous preorder indices a worker claims
+// at once. Contiguity is what feeds the incremental cursor: within a chunk
+// (and across a lone worker's consecutive chunks) every move to the next
+// index is a real preorder step, so only chunk boundaries under contention
+// pay prefix replay. Smaller chunks balance better and waste less work past
+// an early Sat; the clamp keeps both effects bounded. Records do not depend
+// on the chunk size — it only shifts which cursor solves which index.
+func solveChunkSize(n, workers int) int {
+	if workers <= 1 {
+		return n
 	}
-	if workers > len(ctxs) {
-		workers = len(ctxs)
+	c := n / (workers * 8)
+	if c < 1 {
+		return 1
 	}
-	recs := make([]solveRec, len(ctxs))
+	if c > 32 {
+		return 32
+	}
+	return c
+}
 
+// solveQueue is the shared solve loop behind solveContexts and SolveRange:
+// workers claim contiguous chunks of ctxs (global preorder indices
+// base+i) and discharge them, each worker through its own long-lived
+// incremental cursor (or fresh per-schema encodings under freshSolves).
+// The first Sat cancels indices beyond it; stop and deadline cancel
+// everything (reported as true). Errors land in recs[i].err with all later
+// work cancelled; the caller scans for the preorder-least one.
+func (e *Engine) solveQueue(an *analysis, ctxs [][]int, base, workers int, deadline time.Time, stop func() bool, recs []solveRec, acc *phaseAcc) bool {
+	chunk := int64(solveChunkSize(len(ctxs), workers))
 	var next atomic.Int64
 	var minSat, minErr atomic.Int64
 	minSat.Store(math.MaxInt64)
 	minErr.Store(math.MaxInt64)
-	var timedOut atomic.Bool
+	var stopped atomic.Bool
 
 	casMin := func(a *atomic.Int64, v int64) {
 		for {
@@ -269,48 +286,68 @@ func (e *Engine) solveContexts(an *analysis, ctxs [][]int, deadline time.Time) (
 		}
 	}
 
-	var acc phaseAcc
 	run := func() {
 		claims := 0
+		var cur *fullCursor
 		for {
-			i := int(next.Add(1) - 1)
-			if i >= len(ctxs) {
+			lo := next.Add(chunk) - chunk
+			if lo >= int64(len(ctxs)) {
 				return
 			}
-			if timedOut.Load() || minErr.Load() < math.MaxInt64 {
-				return
+			hi := lo + chunk
+			if hi > int64(len(ctxs)) {
+				hi = int64(len(ctxs))
 			}
-			if int64(i) > minSat.Load() {
-				// minSat only decreases: every index this worker would claim
-				// next is even larger, so nothing is left for it to do.
-				return
-			}
-			obsQueueDepth.Set(int64(len(ctxs) - i))
-			claims++
-			if claims%claimPollStride == 1 || claimPollStride == 1 {
-				// Strided: the old code called time.Now() on every claim,
-				// which shows up when schemas are tiny. Expiry mid-solve is
-				// still caught by the smt-level strided poll.
-				obsDeadlinePolls.Inc()
-				if e.opts.Stop != nil && e.opts.Stop() {
-					timedOut.Store(true) // interrupted: same Budget outcome as a timeout
+			for i := int(lo); i < int(hi); i++ {
+				if stopped.Load() || minErr.Load() < math.MaxInt64 {
 					return
 				}
-				if !deadline.IsZero() && time.Now().After(deadline) {
-					timedOut.Store(true)
+				if int64(i) > minSat.Load() {
+					// minSat only decreases: every index this worker would
+					// reach next is even larger, so nothing is left to do.
 					return
 				}
-			}
-			st, ce, slots, stats, err := e.solveSchema(an, ctxs[i], i, deadline, &acc)
-			if err != nil {
-				recs[i].err = err
-				casMin(&minErr, int64(i))
-				return
-			}
-			obsSchemasSolved.Inc()
-			recs[i] = solveRec{done: true, status: st, slots: slots, stats: stats, ce: ce}
-			if st == smt.Sat {
-				casMin(&minSat, int64(i))
+				obsQueueDepth.Set(int64(len(ctxs) - i))
+				claims++
+				if claims%claimPollStride == 1 || claimPollStride == 1 {
+					// Strided: polling time.Now() on every claim shows up
+					// when schemas are tiny. Expiry mid-solve is still
+					// caught by the smt-level strided poll.
+					obsDeadlinePolls.Inc()
+					if stop != nil && stop() {
+						stopped.Store(true)
+						return
+					}
+					if !deadline.IsZero() && time.Now().After(deadline) {
+						stopped.Store(true)
+						return
+					}
+				}
+				var st smt.Status
+				var ce *Counterexample
+				var slots int
+				var stats smt.Stats
+				var err error
+				if e.opts.freshSolves {
+					st, ce, slots, stats, err = e.solveSchema(an, ctxs[i], base+i, deadline, acc)
+				} else {
+					if cur == nil {
+						cur, err = e.newFullCursor(an, deadline)
+					}
+					if err == nil {
+						st, ce, slots, stats, err = cur.solveAt(ctxs[i], base+i, acc)
+					}
+				}
+				if err != nil {
+					recs[i].err = err
+					casMin(&minErr, int64(i))
+					return
+				}
+				obsSchemasSolved.Inc()
+				recs[i] = solveRec{done: true, status: st, slots: slots, stats: stats, ce: ce}
+				if st == smt.Sat {
+					casMin(&minSat, int64(i))
+				}
 			}
 		}
 	}
@@ -327,10 +364,31 @@ func (e *Engine) solveContexts(an *analysis, ctxs [][]int, deadline time.Time) (
 		}
 		wg.Wait()
 	}
+	return stopped.Load()
+}
 
-	if mi := minErr.Load(); mi < math.MaxInt64 {
-		// Deterministic error reporting: the preorder-least failing schema.
-		return fullOutcome{}, recs[mi].err
+// solveContexts discharges the materialized schemas with opts.Workers
+// concurrent solvers, each walking its claimed chunks with one incremental
+// cursor. The first Sat cancels all later work; deadline and Stop cancel
+// everything.
+func (e *Engine) solveContexts(an *analysis, ctxs [][]int, deadline time.Time) (fullOutcome, error) {
+	workers := e.opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(ctxs) {
+		workers = len(ctxs)
+	}
+	recs := make([]solveRec, len(ctxs))
+	var acc phaseAcc
+	timedOut := e.solveQueue(an, ctxs, 0, workers, deadline, e.opts.Stop, recs, &acc)
+
+	for i := range recs {
+		if recs[i].err != nil {
+			// Deterministic error reporting: the preorder-least failing
+			// schema among those encountered.
+			return fullOutcome{}, recs[i].err
+		}
 	}
 
 	foldStart := time.Now()
@@ -354,7 +412,14 @@ func (e *Engine) solveContexts(an *analysis, ctxs [][]int, deadline time.Time) (
 		return out
 	}
 
-	if ms := minSat.Load(); ms < math.MaxInt64 {
+	minSat := int64(math.MaxInt64)
+	for i := range recs {
+		if recs[i].done && recs[i].status == smt.Sat {
+			minSat = int64(i)
+			break
+		}
+	}
+	if ms := minSat; ms < math.MaxInt64 {
 		// All indices below the winner were claimed before it; unless a
 		// timeout raced in and skipped some, they completed, and the verdict
 		// covers exactly the prefix a sequential walk would have solved.
@@ -378,7 +443,7 @@ func (e *Engine) solveContexts(an *analysis, ctxs [][]int, deadline time.Time) (
 			fold(i)
 		}
 	}
-	if ms := minSat.Load(); ms < math.MaxInt64 {
+	if ms := minSat; ms < math.MaxInt64 {
 		// A timeout raced in and skipped indices below the winner, so the
 		// prefix aggregates are incomplete — but the counterexample itself is
 		// real (it is replayed and certified downstream). The old code
@@ -387,6 +452,6 @@ func (e *Engine) solveContexts(an *analysis, ctxs [][]int, deadline time.Time) (
 		// aggregates is preserved by timedOut.
 		out.ce = recs[ms].ce
 	}
-	out.timedOut = timedOut.Load()
+	out.timedOut = timedOut
 	return finish(), nil
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/models"
 	"repro/internal/spec"
@@ -75,7 +76,7 @@ func TestEnumerateContextsMatchesReference(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				an, err := e.analyze(&q)
+				an, err := e.analyze(&q, time.Time{})
 				if err != nil {
 					t.Fatal(err)
 				}

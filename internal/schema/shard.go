@@ -2,9 +2,6 @@ package schema
 
 import (
 	"fmt"
-	"math"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/smt"
@@ -39,7 +36,11 @@ func (e *Engine) PlanFull(q *spec.Query) (*FullPlan, error) {
 	if err := q.Validate(e.ta); err != nil {
 		return nil, err
 	}
-	an, err := e.analyze(q)
+	var deadline time.Time
+	if e.opts.Timeout > 0 {
+		deadline = time.Now().Add(e.opts.Timeout)
+	}
+	an, err := e.analyze(q, deadline)
 	if err != nil {
 		return nil, err
 	}
@@ -160,9 +161,11 @@ type IndexRecord struct {
 // single-box solve phase: every index below the winner is solved, indices
 // beyond it may be skipped (their records stay !Done). A Stop hook aborts
 // with interrupted=true and a partial record set. Per-index records are
-// deterministic regardless of workers — each solve uses a private symbol
-// table snapshot — so two processes solving the same range produce equal
-// records.
+// deterministic regardless of workers — each incremental cursor re-derives
+// exactly the symbol ids and simplex states a fresh walk to the context
+// would, and solver work is charged by the canonical-walk attribution rule
+// (see incremental.go) — so two processes solving the same range produce
+// equal records.
 func (p *FullPlan) SolveRange(ctxs [][]int, base, workers int, stop func() bool) (recs []IndexRecord, interrupted bool, err error) {
 	if workers < 1 {
 		workers = 1
@@ -175,74 +178,21 @@ func (p *FullPlan) SolveRange(ctxs [][]int, base, workers int, stop func() bool)
 		return recs, false, nil
 	}
 
-	var next atomic.Int64
-	var minSat, minErr atomic.Int64
-	minSat.Store(math.MaxInt64)
-	minErr.Store(math.MaxInt64)
-	var stopped atomic.Bool
-	errs := make([]error, len(ctxs))
-
-	casMin := func(a *atomic.Int64, v int64) {
-		for {
-			cur := a.Load()
-			if v >= cur || a.CompareAndSwap(cur, v) {
-				return
-			}
-		}
-	}
-
+	srecs := make([]solveRec, len(ctxs))
 	var acc phaseAcc
-	run := func() {
-		claims := 0
-		for {
-			i := int(next.Add(1) - 1)
-			if i >= len(ctxs) {
-				return
-			}
-			if stopped.Load() || minErr.Load() < math.MaxInt64 {
-				return
-			}
-			if int64(i) > minSat.Load() {
-				return
-			}
-			claims++
-			if claims%claimPollStride == 1 || claimPollStride == 1 {
-				if stop != nil && stop() {
-					stopped.Store(true)
-					return
-				}
-			}
-			st, ce, slots, stats, serr := p.e.solveSchema(p.an, ctxs[i], base+i, time.Time{}, &acc)
-			if serr != nil {
-				errs[i] = serr
-				casMin(&minErr, int64(i))
-				return
-			}
-			obsSchemasSolved.Inc()
-			recs[i] = IndexRecord{Done: true, Status: st, Slots: slots, Stats: stats, CE: ce}
-			if st == smt.Sat {
-				casMin(&minSat, int64(i))
-			}
+	stopped := p.e.solveQueue(p.an, ctxs, base, workers, time.Time{}, stop, srecs, &acc)
+	for i := range srecs {
+		if srecs[i].err != nil {
+			// Deterministic error reporting: the preorder-least failing
+			// schema among those encountered.
+			return nil, false, srecs[i].err
+		}
+		if srecs[i].done {
+			recs[i] = IndexRecord{Done: true, Status: srecs[i].status,
+				Slots: srecs[i].slots, Stats: srecs[i].stats, CE: srecs[i].ce}
 		}
 	}
-	if workers <= 1 {
-		run()
-	} else {
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				run()
-			}()
-		}
-		wg.Wait()
-	}
-	if mi := minErr.Load(); mi < math.MaxInt64 {
-		// Deterministic error reporting: the preorder-least failing schema.
-		return nil, false, errs[mi]
-	}
-	return recs, stopped.Load(), nil
+	return recs, stopped, nil
 }
 
 // FoldRecords joins complete per-index records into the Result a single-box

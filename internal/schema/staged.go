@@ -19,7 +19,11 @@ import (
 // unlock order.
 func (e *Engine) checkStaged(q *spec.Query, res *Result, start time.Time) error {
 	encStart := time.Now()
-	an, err := e.analyze(q)
+	var deadline time.Time
+	if e.opts.Timeout > 0 {
+		deadline = start.Add(e.opts.Timeout)
+	}
+	an, err := e.analyze(q, deadline)
 	if err != nil {
 		return err
 	}
@@ -27,9 +31,7 @@ func (e *Engine) checkStaged(q *spec.Query, res *Result, start time.Time) error 
 	if err != nil {
 		return err
 	}
-	if e.opts.Timeout > 0 {
-		enc.deadline = start.Add(e.opts.Timeout)
-	}
+	enc.deadline = deadline
 
 	// Pass count: one topological pass per *backward* guard unlock plus the
 	// base pass (forward unlocks happen within a pass: the incrementing

@@ -58,13 +58,17 @@ func TestStatsMergeParallel(t *testing.T) {
 			if r.Schemas > 0 && r.AvgLen <= 0 {
 				t.Errorf("%s: %d schemas but avg len %v", q.Name, r.Schemas, r.AvgLen)
 			}
-			// Every schema is solved on a fresh encoding whose first LP check
-			// is a from-scratch build, so a correctly folded aggregate has at
-			// least one rebuild — and at least one LP check — per schema.
-			// Double-folding a record would break the parallel==sequential
-			// equality above; folding zero records breaks this floor.
-			if r.Schemas > 0 && r.Solver.Rebuilds < r.Schemas {
-				t.Errorf("%s: %d rebuilds for %d schemas, want >= one per schema", q.Name, r.Solver.Rebuilds, r.Schemas)
+			// The incremental walker's canonical attribution charges the base
+			// tableau build (the only unconditional from-scratch rebuild) to
+			// preorder index 0. Schemas under a rationally-infeasible guard
+			// level resolve with zero charged LP checks, so the only solid
+			// floors are: at least one rebuild and one LP check in total (the
+			// base build), and never more rebuilds than checks. Double-folding
+			// a record would break the parallel==sequential equality above;
+			// folding zero records breaks these floors.
+			if r.Schemas > 0 && (r.Solver.Rebuilds < 1 || r.Solver.LPChecks < 1) {
+				t.Errorf("%s: %d rebuilds / %d LP checks for %d schemas, want >= 1 each (base build)",
+					q.Name, r.Solver.Rebuilds, r.Solver.LPChecks, r.Schemas)
 			}
 			if r.Solver.LPChecks < r.Solver.Rebuilds {
 				t.Errorf("%s: %d LP checks < %d rebuilds", q.Name, r.Solver.LPChecks, r.Solver.Rebuilds)

@@ -141,6 +141,118 @@ func TestIncrementalIntegerMatchesFresh(t *testing.T) {
 	}
 }
 
+// TestIncrementalMixedChecksMatchFresh extends the random driver with the
+// access pattern the incremental schema walker actually produces: rational
+// and integer checks interleaved at arbitrary scope depths, and bulk
+// re-assertion of a whole constraint set into a tableau that was just popped
+// several levels at once (the chunk-boundary seek). Every check is compared
+// against a fresh solver over the mirrored assertion set.
+func TestIncrementalMixedChecksMatchFresh(t *testing.T) {
+	tab := expr.NewTable()
+	syms := []expr.Sym{tab.Intern("mx"), tab.Intern("my"), tab.Intern("mz")}
+
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(5000 + trial)))
+		s := NewSolver(tab)
+		var stack [][]expr.Constraint
+		stack = append(stack, nil)
+		// Base-frame domain bounds keep every integer search far from its
+		// node budget, so Unknown never muddies the comparison.
+		for _, sym := range syms {
+			b, err := expr.Le(expr.Var(sym), expr.NewLin(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Assert(b)
+			stack[0] = append(stack[0], b)
+		}
+
+		current := func() []expr.Constraint {
+			var all []expr.Constraint
+			for _, frame := range stack {
+				all = append(all, frame...)
+			}
+			return all
+		}
+
+		for step := 0; step < 80; step++ {
+			switch op := rng.Intn(12); {
+			case op < 4: // assert
+				c := randConstraint(rng, syms)
+				s.Assert(c)
+				stack[len(stack)-1] = append(stack[len(stack)-1], c)
+			case op < 6: // push
+				s.Push()
+				stack = append(stack, nil)
+			case op < 8: // pop, possibly several levels at once
+				if len(stack) == 1 {
+					continue
+				}
+				k := 1 + rng.Intn(len(stack)-1)
+				for i := 0; i < k; i++ {
+					s.Pop()
+					stack = stack[:len(stack)-1]
+				}
+				if k > 1 {
+					// Deep pop: re-assert the surviving set wholesale, the way
+					// a cursor rebuilds a prefix after seeking backwards. The
+					// mirror gets the same duplicates so the comparison stays
+					// assertion-for-assertion.
+					all := current()
+					s.AssertAll(all)
+					stack[len(stack)-1] = append(stack[len(stack)-1], all...)
+				}
+			case op < 10: // rational check vs fresh
+				st, m, err := s.CheckRational()
+				if err != nil {
+					t.Fatalf("trial %d step %d: %v", trial, step, err)
+				}
+				fresh := NewSolver(tab)
+				fresh.AssertAll(current())
+				fst, _, err := fresh.CheckRational()
+				if err != nil {
+					t.Fatalf("trial %d step %d: fresh: %v", trial, step, err)
+				}
+				if st != fst {
+					t.Fatalf("trial %d step %d: rational incremental=%v fresh=%v", trial, step, st, fst)
+				}
+				if st == Sat {
+					for i, c := range current() {
+						ok, herr := holdsRational(c, m)
+						if herr != nil {
+							t.Fatal(herr)
+						}
+						if !ok {
+							t.Fatalf("trial %d step %d: model violates constraint %d: %s",
+								trial, step, i, c.String(tab))
+						}
+					}
+				}
+			default: // integer check vs fresh
+				st, m, err := s.CheckInteger(0)
+				if err != nil {
+					t.Fatalf("trial %d step %d: %v", trial, step, err)
+				}
+				fresh := NewSolver(tab)
+				fresh.AssertAll(current())
+				fst, _, err := fresh.CheckInteger(0)
+				if err != nil {
+					t.Fatalf("trial %d step %d: fresh: %v", trial, step, err)
+				}
+				if st != fst {
+					t.Fatalf("trial %d step %d: integer incremental=%v fresh=%v over %d constraints",
+						trial, step, st, fst, len(current()))
+				}
+				if st == Sat {
+					if err := s.Verify(m); err != nil {
+						t.Fatalf("trial %d step %d: %v", trial, step, err)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestWarmStartActuallyWarm asserts the machinery is engaged: a second check
 // after one extra assertion must not rebuild from scratch.
 func TestWarmStartActuallyWarm(t *testing.T) {

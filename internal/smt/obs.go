@@ -13,4 +13,8 @@ var (
 	obsBBNodes       = obs.Default.Counter("smt", "bb_nodes")
 	obsCaseSplits    = obs.Default.Counter("smt", "case_splits")
 	obsDeadlinePolls = obs.Default.Counter("smt", "deadline_polls")
+	// obsLazyClones counts tableau copies materialized by clone-on-first-
+	// check; Push itself no longer copies, so clones − pushes measures how
+	// much the lazy snapshot discipline saves on check-free scopes.
+	obsLazyClones = obs.Default.Counter("smt", "lazy_clones")
 )

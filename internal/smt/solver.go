@@ -16,6 +16,7 @@ package smt
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/big"
 
 	"repro/internal/expr"
@@ -70,6 +71,14 @@ type Solver struct {
 type lpState struct {
 	tab   *tableau // nil = must rebuild from scratch
 	count int      // constraints already incorporated
+	// owned reports that tab is referenced by this lpState alone. Push used
+	// to clone eagerly; now it aliases the tableau into the saved snapshot
+	// and clears owned, and CheckRational clones on the first mutation after
+	// that (clone-on-first-check). A deep run of Pushes with no check in
+	// between — the seek phase of the incremental schema walker, and
+	// branch-and-bound nodes pruned before their first LP — therefore costs
+	// no copies at all. An un-owned tableau is never mutated in place.
+	owned bool
 }
 
 // Stats records solver effort.
@@ -92,6 +101,20 @@ func (st *Stats) Add(o Stats) {
 	st.CaseSplit += o.CaseSplit
 }
 
+// Diff returns st minus o, field by field. The incremental schema walker
+// snapshots Stats around each charged operation and records the delta, so
+// per-schema effort attribution stays exact while one solver serves many
+// schemas.
+func (st Stats) Diff(o Stats) Stats {
+	return Stats{
+		LPChecks:  st.LPChecks - o.LPChecks,
+		Pivots:    st.Pivots - o.Pivots,
+		Rebuilds:  st.Rebuilds - o.Rebuilds,
+		BBNodes:   st.BBNodes - o.BBNodes,
+		CaseSplit: st.CaseSplit - o.CaseSplit,
+	}
+}
+
 // NewSolver returns an empty solver over tab.
 func NewSolver(tab *expr.Table) *Solver {
 	return &Solver{tab: tab}
@@ -107,19 +130,20 @@ func (s *Solver) AssertAll(cs []expr.Constraint) {
 	s.constraints = append(s.constraints, cs...)
 }
 
-// Push opens a new assertion scope, snapshotting the warm LP basis so that
-// Pop can restore it without re-solving.
+// Push opens a new assertion scope, saving the warm LP basis so that Pop can
+// restore it without re-solving. The basis is saved by reference: the clone
+// that protects it from in-scope mutation is deferred to the first check
+// that actually mutates it (see lpState.owned).
 func (s *Solver) Push() {
 	s.marks = append(s.marks, len(s.constraints))
-	snap := s.lp
-	if snap.tab != nil {
-		snap.tab = snap.tab.clone()
-	}
-	s.lpStack = append(s.lpStack, snap)
+	s.lp.owned = false // tab is now shared with the saved snapshot
+	s.lpStack = append(s.lpStack, s.lp)
 }
 
 // Pop discards all assertions made since the matching Push. Popping an empty
-// stack is a no-op.
+// stack is a no-op. The restored basis is treated as shared (deeper stack
+// entries saved before a check may alias the same tableau), so the next
+// mutating check clones it first.
 func (s *Solver) Pop() {
 	if len(s.marks) == 0 {
 		return
@@ -187,6 +211,15 @@ func (s *Solver) CheckRational() (Status, RatModel, error) {
 	obsLPChecks.Inc()
 
 	if s.lp.tab != nil && s.lp.count <= len(s.constraints) {
+		if len(s.constraints) > s.lp.count && !s.lp.owned {
+			// Lazy snapshot: the tableau is aliased by a Push-saved lpState
+			// and about to be mutated, so materialize the private copy now.
+			// With no new constraints the stored (feasible) tableau is read
+			// only and needs no copy at all.
+			s.lp.tab = s.lp.tab.clone()
+			s.lp.owned = true
+			obsLazyClones.Inc()
+		}
 		t := s.lp.tab
 		for _, c := range s.constraints[s.lp.count:] {
 			if err := t.addConstraint(c); err != nil {
@@ -230,7 +263,7 @@ func (s *Solver) CheckRational() (Status, RatModel, error) {
 		s.lp.tab = nil
 		return Unsat, nil, nil
 	}
-	s.lp = lpState{tab: t, count: len(s.constraints)}
+	s.lp = lpState{tab: t, count: len(s.constraints), owned: true}
 	return Sat, t.model(), nil
 }
 
@@ -299,7 +332,13 @@ func (s *Solver) branchAndBound(limits ClauseLimits, nodes *int, p *poller) (Sta
 		return Sat, m, nil
 	}
 
-	floor := ratFloor(fracVal)
+	floor, ok := ratFloor(fracVal)
+	if !ok || floor == math.MaxInt64 {
+		// The floor does not fit in int64 (or floor+1 would not): asserting a
+		// wrapped bound would be a garbage cut that can flip the verdict.
+		// Surface the budget-style honest answer instead.
+		return Unknown, nil, nil
+	}
 
 	// Branch x <= floor.
 	s.Push()
@@ -335,14 +374,20 @@ func (s *Solver) branchAndBound(limits ClauseLimits, nodes *int, p *poller) (Sta
 	return Unsat, nil, nil
 }
 
-func ratFloor(r *big.Rat) int64 {
+// ratFloor returns floor(r) and whether it fits in int64. The old code
+// called Int64 unchecked, so a relaxation vertex beyond ±2^63 silently
+// wrapped into a nonsense branching bound.
+func ratFloor(r *big.Rat) (int64, bool) {
 	q := new(big.Int).Quo(r.Num(), r.Denom())
 	// big.Int.Quo truncates toward zero; adjust for negatives. All our
 	// variables are nonnegative so this is defensive only.
 	if r.Sign() < 0 && !r.IsInt() {
 		q.Sub(q, big.NewInt(1))
 	}
-	return q.Int64()
+	if !q.IsInt64() {
+		return 0, false
+	}
+	return q.Int64(), true
 }
 
 // Verify checks that model satisfies every asserted constraint; it is used by

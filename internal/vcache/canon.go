@@ -43,7 +43,12 @@ import (
 // selection): the golden-hash test in golden_test.go pins the canonical
 // automaton hashes against it, and a bump invalidates every cached entry by
 // changing every key.
-const EngineVersion = "1.0.0"
+// 1.1.0: incremental prefix-sharing full-mode solver — verdicts, schema
+// counts and counterexamples are unchanged, but per-schema solver effort is
+// attributed by the canonical-walk rule (Unsat-subtree pruning, warm-started
+// prefixes), so cached Solver stats from 1.0.0 no longer describe what the
+// engine would report.
+const EngineVersion = "1.1.0"
 
 // canonLin renders a linear expression with terms sorted by symbol *name*,
 // so the form is independent of symbol-table intern order.

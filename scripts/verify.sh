@@ -24,6 +24,9 @@ go build ./...
 echo "==> go test -race ./internal/wal"
 go test -race ./internal/wal
 
+echo "==> go test -race -run Incremental ./internal/smt ./internal/schema (incremental prefix-sharing)"
+go test -short -race -run Incremental ./internal/smt ./internal/schema
+
 echo "==> go test -race ./internal/schema ./internal/core (parallel enumeration determinism)"
 go test -race ./internal/schema ./internal/core
 
