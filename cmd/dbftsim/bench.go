@@ -1,0 +1,241 @@
+// Simulator-scale benchmark (-bench-sim): drives seeded chaos scenarios
+// through the event bus's native drain mode at increasing replica counts and
+// records throughput and peak heap in BENCH_sim.json. The point of the
+// artifact is the memory curve: per-peer queue caps keep the in-flight set
+// bounded at any n, so thousands of replicas fit where the flat loop's
+// unbounded multiset would not.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/network"
+	"repro/internal/vcache"
+)
+
+type benchSimConfig struct {
+	sizes      string
+	out        string
+	steps      int
+	queueCap   int
+	batch      int
+	partitions int
+	gossip     bool
+	seed       int64
+	tick       int
+	cpuprofile string
+}
+
+type benchSimRow struct {
+	N          int              `json:"n"`
+	T          int              `json:"t"`
+	Topology   string           `json:"topology"`
+	Decided    bool             `json:"decided"`
+	Windows    int              `json:"windows"`
+	WallMS     float64          `json:"wall_ms"`
+	Deliveries int64            `json:"deliveries"`
+	MsgsPerSec float64          `json:"msgs_per_sec"`
+	StepsPerS  float64          `json:"windows_per_sec"`
+	PeakHeapMB float64          `json:"peak_heap_mb"`
+	Stalled    int              `json:"stalled_peers"`
+	Bus        network.BusStats `json:"bus"`
+}
+
+type benchSimReport struct {
+	Schema     string        `json:"schema"`
+	Engine     string        `json:"engine"`
+	NumCPU     int           `json:"num_cpu"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Seed       int64         `json:"seed"`
+	WindowCap  int           `json:"window_budget"`
+	QueueCap   int           `json:"queue_cap"`
+	Batch      int           `json:"batch"`
+	Partitions int           `json:"partitions"`
+	Rows       []benchSimRow `json:"rows"`
+}
+
+// benchScenario builds the seeded chaos scenario for one bench row: native
+// drain mode, bounded queues, dupemap on, stall detection armed, and a mild
+// fair fault mix (bounded drops, some delays) so retransmission and the
+// replay filter both do real work.
+func benchScenario(n int, topo string, cfg benchSimConfig) faults.Scenario {
+	rng := rand.New(rand.NewSource(cfg.seed + int64(n)))
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = rng.Intn(2)
+	}
+	return faults.Scenario{
+		N:         n,
+		T:         (n - 1) / 3,
+		MaxRounds: 12,
+		MaxSteps:  cfg.steps,
+		Tick:      cfg.tick,
+		Inputs:    inputs,
+		Sched:     "native",
+		Sim: &faults.SimOptions{
+			QueueCap:   cfg.queueCap,
+			Dupemap:    true,
+			StallK:     512,
+			Topology:   topo,
+			Batch:      cfg.batch,
+			Partitions: cfg.partitions,
+		},
+		Plan: faults.Plan{
+			Seed:       cfg.seed + int64(n),
+			Drops:      []faults.DropRule{{Prob: 0.05, Budget: 1}},
+			DelayProb:  0.05,
+			DelaySteps: 16,
+		},
+	}
+}
+
+// peakHeapSampler polls runtime.ReadMemStats and keeps the high-water
+// HeapAlloc mark (the loadgen idiom). Stop it, then read the peak.
+func peakHeapSampler() (stop func() uint64) {
+	var peak atomic.Uint64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		for {
+			cur := peak.Load()
+			if ms.HeapAlloc <= cur || peak.CompareAndSwap(cur, ms.HeapAlloc) {
+				return
+			}
+		}
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(5 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				sample()
+			}
+		}
+	}()
+	return func() uint64 {
+		close(done)
+		wg.Wait()
+		sample()
+		return peak.Load()
+	}
+}
+
+func runBenchSim(cfg benchSimConfig) error {
+	var sizes []int
+	for _, part := range strings.Split(cfg.sizes, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 4 {
+			return fmt.Errorf("bad -bench-sizes entry %q (want integers >= 4)", part)
+		}
+		sizes = append(sizes, v)
+	}
+
+	if cfg.cpuprofile != "" {
+		f, err := os.Create(cfg.cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	rep := benchSimReport{
+		Schema:     "sim-bench/v1",
+		Engine:     vcache.EngineVersion,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Seed:       cfg.seed,
+		WindowCap:  cfg.steps,
+		QueueCap:   cfg.queueCap,
+		Batch:      cfg.batch,
+		Partitions: cfg.partitions,
+	}
+
+	run := func(n int, topo string) error {
+		sc := benchScenario(n, topo, cfg)
+		if err := sc.Validate(); err != nil {
+			return err
+		}
+		runtime.GC()
+		stop := peakHeapSampler()
+		start := time.Now()
+		out := sc.Run()
+		wall := time.Since(start)
+		peak := stop()
+		if out.Err != nil {
+			return fmt.Errorf("bench n=%d topology=%s: %w", n, topo, out.Err)
+		}
+		row := benchSimRow{
+			N:          n,
+			T:          sc.T,
+			Topology:   topoName(topo),
+			Decided:    out.Decided,
+			Windows:    out.Steps,
+			WallMS:     float64(wall.Microseconds()) / 1000,
+			Deliveries: out.Bus.Delivered,
+			MsgsPerSec: float64(out.Bus.Delivered) / wall.Seconds(),
+			StepsPerS:  float64(out.Steps) / wall.Seconds(),
+			PeakHeapMB: float64(peak) / (1 << 20),
+			Stalled:    len(out.Stalled),
+			Bus:        out.Bus,
+		}
+		rep.Rows = append(rep.Rows, row)
+		fmt.Printf("bench-sim n=%d topology=%s decided=%v windows=%d wall=%.1fms delivered=%d (%.0f msgs/s) peak_heap=%.1fMB cap_drops=%d filtered=%d relayed=%d stalled=%d\n",
+			n, row.Topology, row.Decided, row.Windows, row.WallMS, row.Deliveries,
+			row.MsgsPerSec, row.PeakHeapMB, row.Bus.CapDrops, row.Bus.Filtered, row.Bus.Relayed, row.Stalled)
+		return nil
+	}
+
+	for _, n := range sizes {
+		if err := run(n, "full"); err != nil {
+			return err
+		}
+	}
+	if cfg.gossip {
+		for _, n := range sizes {
+			if n <= 512 {
+				if err := run(n, "gossip"); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(cfg.out, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench-sim: wrote %s (%d rows)\n", cfg.out, len(rep.Rows))
+	return nil
+}
+
+func topoName(t string) string {
+	if t == "" {
+		return "full"
+	}
+	return t
+}

@@ -89,6 +89,17 @@ func run(args []string) error {
 	tortureSeeds := fs.Int("torture-seeds", 200, "number of seeds in the -torture campaign")
 	tortureV := fs.Bool("torture-v", false, "print one line per -torture run")
 	plan := fs.String("plan", "", "replay one chaos scenario: inline JSON or @file")
+	fingerprint := fs.Bool("fingerprint", false, "with -plan: print the outcome's replay fingerprint (byte-identity checks)")
+	backend := fs.String("backend", "bus", "single-run simulator backend: bus (default) or flat (legacy shim)")
+	benchSim := fs.Bool("bench-sim", false, "run the simulator-scale benchmark and write BENCH_sim.json (see -bench-* flags)")
+	benchSizes := fs.String("bench-sizes", "100,500,1000,2000", "comma-separated replica counts for -bench-sim")
+	benchOut := fs.String("bench-out", "BENCH_sim.json", "output file for -bench-sim")
+	benchSteps := fs.Int("bench-steps", 40000, "window budget per -bench-sim run")
+	benchCap := fs.Int("bench-cap", 4096, "per-peer ingress queue cap for -bench-sim")
+	benchBatch := fs.Int("bench-batch", 8, "per-peer deliveries per window for -bench-sim")
+	benchParts := fs.Int("bench-partitions", 1, "drain partitions for -bench-sim (fingerprints are partition-independent)")
+	benchGossip := fs.Bool("bench-gossip", true, "include kadcast-gossip topology rows (sizes <= 512) in -bench-sim")
+	benchProf := fs.String("bench-cpuprofile", "", "write a CPU profile of the -bench-sim sweep to this file")
 	workers := fs.Int("j", runtime.NumCPU(), "campaign worker count for -chaos and -torture (results are deterministic at any count)")
 	version := fs.Bool("version", false, "print the verification engine version and exit")
 	of := registerObsFlags(fs)
@@ -104,7 +115,21 @@ func run(args []string) error {
 		return runLemma7(*maxRounds)
 	}
 	if *plan != "" {
-		return runPlan(*plan)
+		return runPlan(*plan, *fingerprint)
+	}
+	if *benchSim {
+		return runBenchSim(benchSimConfig{
+			sizes:      *benchSizes,
+			out:        *benchOut,
+			steps:      *benchSteps,
+			queueCap:   *benchCap,
+			batch:      *benchBatch,
+			partitions: *benchParts,
+			gossip:     *benchGossip,
+			seed:       *seed,
+			tick:       *tick,
+			cpuprofile: *benchProf,
+		})
 	}
 	if *chaos {
 		return runChaos(*chaosSeeds, *seed, *n, *t, *maxRounds, *maxSteps, *tick, *workers, *chaosV, of)
@@ -128,7 +153,6 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(*seed))
 	byzSet := map[network.ProcID]bool{}
 	procs := make([]network.Process, 0, *n)
 	for _, p := range correct {
@@ -144,7 +168,11 @@ func run(args []string) error {
 			procs = append(procs, &dbft.Equivocator{Id: id, All: all,
 				ZeroSide: func(p network.ProcID) bool { return int(p) < len(ins)/2 }})
 		case "liar":
-			procs = append(procs, &dbft.RandomLiar{Id: id, All: all, Rng: rng})
+			// One seeded PRNG per liar — never shared between processes or
+			// with the scheduler (a shared instance is a data race under the
+			// bus's parallel drain mode and couples unrelated coin streams).
+			procs = append(procs, &dbft.RandomLiar{Id: id, All: all,
+				Rng: rand.New(rand.NewSource(*seed + 1 + 1_000_003*int64(id)))})
 		default:
 			return fmt.Errorf("unknown strategy %q", strat)
 		}
@@ -155,14 +183,22 @@ func run(args []string) error {
 	case "fair":
 		scheduler = fairness.Scheduler{Byzantine: byzSet}
 	case "random":
-		scheduler = network.RandomScheduler{Rng: rng}
+		scheduler = network.RandomScheduler{Rng: rand.New(rand.NewSource(*seed + 2))}
 	case "fifo":
 		scheduler = network.FIFOScheduler{}
 	default:
 		return fmt.Errorf("unknown scheduler %q", *sched)
 	}
 
-	sys, err := network.NewSystem(procs, scheduler)
+	var opts network.Options
+	switch *backend {
+	case "", "bus":
+	case "flat":
+		opts.Backend = network.BackendFlat
+	default:
+		return fmt.Errorf("unknown backend %q (want bus or flat)", *backend)
+	}
+	sys, err := network.NewSystemOpts(procs, scheduler, opts)
 	if err != nil {
 		return err
 	}
@@ -312,8 +348,10 @@ func runTorture(runs int, baseSeed int64, n, t, maxRounds, tick, workers int, ve
 }
 
 // runPlan replays a single chaos scenario (inline JSON or @file) and prints
-// the outcome, the per-process states and the fault log.
-func runPlan(spec string) error {
+// the outcome, the per-process states and the fault log. With fingerprint
+// set it also prints the outcome's replay digest, the currency of the
+// flat-vs-bus and partition-independence byte-identity checks.
+func runPlan(spec string, fingerprint bool) error {
 	if strings.HasPrefix(spec, "@") {
 		b, err := os.ReadFile(spec[1:])
 		if err != nil {
@@ -328,6 +366,9 @@ func runPlan(spec string) error {
 	out := sc.Run()
 	if out.Err != nil {
 		return out.Err
+	}
+	if fingerprint {
+		fmt.Printf("fingerprint: %s\n", sc.Fingerprint(&out))
 	}
 	fair := "unfair"
 	if sc.Plan.FairDelivery() {

@@ -74,6 +74,12 @@ func (e *Equivocator) emit(round int, send network.Sender) {
 // RandomLiar sends uniformly random BV values and aux sets to every process
 // for every round it observes — the fuzzing adversary for property-based
 // tests.
+//
+// Rng must be private to this process: in the bus's native drain mode each
+// Byzantine process runs on its partition's goroutine, so a *rand.Rand
+// shared between two liars is a data race (and nondeterministic even when
+// the race detector stays quiet). Construction sites derive one seeded PRNG
+// per liar id.
 type RandomLiar struct {
 	Id  network.ProcID
 	All []network.ProcID
@@ -101,6 +107,9 @@ func (l *RandomLiar) emit(round int, send network.Sender) {
 		return
 	}
 	l.sent[round] = true
+	// These literal backing arrays are shared across every recipient, round
+	// and liar instance; the network's copy-on-enqueue is what keeps one
+	// in-flight copy's Set from aliasing another's.
 	sets := [][]int{{0}, {1}, {0, 1}}
 	for _, to := range l.All {
 		if to == l.Id {

@@ -56,6 +56,14 @@ type roundState struct {
 	// (Alg. 1 line 8), in arrival order.
 	favorites map[network.ProcID][]int
 	favOrder  []network.ProcID
+	// validFavorites counts senders whose announced set is contained in
+	// contestants — the candidates tryDecide's scan would accept. Contestants
+	// only grow, so validity is monotone: the count is bumped per aux arrival
+	// and recounted on the (≤2 per round) contestant additions. It lets
+	// tryDecide skip its O(n) scan until the n-t threshold is actually
+	// reachable; without the gate that scan runs on every delivery, which at
+	// thousands of replicas dominates the whole simulation.
+	validFavorites int
 }
 
 func newRoundState() *roundState {
@@ -63,6 +71,29 @@ func newRoundState() *roundState {
 		bvSenders: [2]map[network.ProcID]bool{make(map[network.ProcID]bool), make(map[network.ProcID]bool)},
 		favorites: make(map[network.ProcID][]int),
 	}
+}
+
+// favoriteValid reports whether every value in set is a contestant.
+func (st *roundState) favoriteValid(set []int) bool {
+	for _, v := range set {
+		if !st.contestants[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// recountValidFavorites recomputes validFavorites from scratch; called when
+// contestants grows (which can turn previously blocked favorites valid) and
+// when a round state is rebuilt from a clone or a decoded snapshot.
+func (st *roundState) recountValidFavorites() {
+	c := 0
+	for _, q := range st.favOrder {
+		if st.favoriteValid(st.favorites[q]) {
+			c++
+		}
+	}
+	st.validFavorites = c
 }
 
 // Process is a correct DBFT process.
@@ -224,6 +255,9 @@ func (p *Process) Deliver(m network.Message, send network.Sender) {
 		}
 		st.favorites[m.From] = set
 		st.favOrder = append(st.favOrder, m.From)
+		if st.favoriteValid(set) {
+			st.validFavorites++
+		}
 	default:
 		return
 	}
@@ -270,6 +304,7 @@ func (p *Process) progress(round int, send network.Sender) {
 		if len(st.bvSenders[v]) >= 2*p.cfg.T+1 && !st.contestants[v] {
 			st.contestants[v] = true
 			p.DeliveryOrder[round] = append(p.DeliveryOrder[round], v)
+			st.recountValidFavorites()
 		}
 	}
 
@@ -305,6 +340,9 @@ func (p *Process) tryDecide(send network.Sender) {
 	st := p.state(p.round)
 	if !st.auxSent {
 		return // line 8 precedes line 9
+	}
+	if st.validFavorites < p.cfg.N-p.cfg.T {
+		return // the scan below cannot reach n-t chosen yet
 	}
 	var chosen []network.ProcID
 	for _, q := range st.favOrder {

@@ -380,5 +380,6 @@ func decodeRoundState(d *decBuf) *roundState {
 			st.favOrder = append(st.favOrder, q)
 		}
 	}
+	st.recountValidFavorites()
 	return st
 }

@@ -42,6 +42,7 @@ func cloneRoundState(st *roundState) *roundState {
 		c.favorites[id] = append([]int(nil), set...)
 	}
 	c.favOrder = append([]network.ProcID(nil), st.favOrder...)
+	c.recountValidFavorites()
 	return c
 }
 

@@ -26,12 +26,16 @@ type Scenario struct {
 	Tick      int      `json:"tick"`            // network tick interval (retransmission clock)
 	Inputs    []int    `json:"inputs"`          // correct-process inputs, ids 0..len-1
 	Byz       []string `json:"byz,omitempty"`   // strategies for ids len(Inputs)..n-1
-	Sched     string   `json:"sched,omitempty"` // random (default), fifo, fair
+	Sched     string   `json:"sched,omitempty"` // random (default), fifo, fair, native
 	// Durable gives every correct replica a write-ahead log on a
 	// fault-injectable filesystem: crashes recover from disk, not from the
 	// injector's memory, and Plan.Storage faults become live.
 	Durable bool `json:"durable,omitempty"`
-	Plan    Plan `json:"plan"`
+	// Sim selects the simulator backend and event-bus options (nil = the
+	// default bus with flat-identical semantics). Sched "native" switches to
+	// the bus's window-drain mode, the scale path for thousands of replicas.
+	Sim  *SimOptions `json:"sim,omitempty"`
+	Plan Plan        `json:"plan"`
 }
 
 // Encode renders the scenario as compact JSON.
@@ -72,6 +76,11 @@ type Outcome struct {
 	Err           error // run/panic error, already annotated with the scenario
 	Events        []Event
 
+	// Bus is the event-bus counter snapshot (zero on the flat backend);
+	// Stalled lists peers the stall detector left flagged at run end.
+	Bus     network.BusStats
+	Stalled []network.ProcID
+
 	// Durable-run results. Quarantined lists replicas retired because their
 	// WAL was unrecoverable; Contradictions and SilentCorruptions are
 	// oracle hits that must stay empty for a sound durability layer;
@@ -108,8 +117,10 @@ func (sc Scenario) Run() (out Outcome) {
 		procs = append(procs, p)
 	}
 	// Byzantine randomness is decoupled from the injector's coins so the
-	// fault stream is stable across strategy changes.
-	byzRng := rand.New(rand.NewSource(sc.Plan.Seed + 1))
+	// fault stream is stable across strategy changes — and derived per
+	// process, never shared: in the bus's native drain mode liar processes
+	// on different partitions run on different goroutines, so one shared
+	// *rand.Rand would be both a data race and a determinism leak.
 	for i, strat := range sc.Byz {
 		id := network.ProcID(len(sc.Inputs) + i)
 		byzSet[id] = true
@@ -120,7 +131,8 @@ func (sc Scenario) Run() (out Outcome) {
 			procs = append(procs, &dbft.Equivocator{Id: id, All: all,
 				ZeroSide: func(p network.ProcID) bool { return int(p) < sc.N/2 }})
 		case "liar":
-			procs = append(procs, &dbft.RandomLiar{Id: id, All: all, Rng: byzRng})
+			procs = append(procs, &dbft.RandomLiar{Id: id, All: all,
+				Rng: rand.New(rand.NewSource(sc.Plan.Seed + 1 + 1_000_003*int64(id)))})
 		default:
 			out.Err = fmt.Errorf("faults: scenario %s: unknown byzantine strategy %q", sc.Encode(), strat)
 			return out
@@ -140,6 +152,10 @@ func (sc Scenario) Run() (out Outcome) {
 		inner = network.FIFOScheduler{}
 	case "fair":
 		inner = fairness.Scheduler{Byzantine: byzSet}
+	case "native":
+		// Window-drain mode: the bus drains queues directly and never
+		// consults a scheduler; FIFO here only satisfies the constructor.
+		inner = network.FIFOScheduler{}
 	default:
 		out.Err = fmt.Errorf("faults: scenario %s: unknown scheduler %q", sc.Encode(), sc.Sched)
 		return out
@@ -152,7 +168,12 @@ func (sc Scenario) Run() (out Outcome) {
 				sc.Plan.storageFor(p.ID()), sc.Plan.Seed*1_000_003+int64(p.ID())+11))
 		}
 	}
-	sys, err := network.NewSystem(inj.Wrap(procs), inj)
+	netOpts, err := sc.networkOptions()
+	if err != nil {
+		out.Err = fmt.Errorf("faults: scenario %s: %w", sc.Encode(), err)
+		return out
+	}
+	sys, err := network.NewSystemOpts(inj.Wrap(procs), inj, netOpts)
 	if err != nil {
 		out.Err = fmt.Errorf("faults: scenario %s: %w", sc.Encode(), err)
 		return out
@@ -193,6 +214,8 @@ func (sc Scenario) Run() (out Outcome) {
 	out.Procs = correct
 	out.Participating = participating
 	out.Events = inj.Log
+	out.Bus = sys.BusStats()
+	out.Stalled = sys.Stalled()
 	if err != nil {
 		out.Err = fmt.Errorf("faults: scenario %s: %w", sc.Encode(), err)
 		return out
@@ -281,6 +304,11 @@ type Campaign struct {
 	// Trace, when non-nil, receives one "chaos" event per executed seed
 	// (steps, decided, failed). Observational only.
 	Trace *obs.Tracer
+
+	// Sim, when non-nil, is attached to every generated scenario — the
+	// hook for running a whole campaign on a specific simulator backend
+	// (flat shim vs. bus) or bus configuration.
+	Sim *SimOptions
 }
 
 // Violation is one failed assertion, carrying everything needed to replay
@@ -334,6 +362,7 @@ func (c Campaign) RandomScenario(seed int64) Scenario {
 		MaxSteps:  c.maxSteps(),
 		Tick:      c.tick(),
 		Sched:     "random",
+		Sim:       c.Sim,
 		Plan:      Plan{Seed: seed},
 	}
 

@@ -33,6 +33,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/dbft"
 	"repro/internal/network"
@@ -280,6 +281,12 @@ type Injector struct {
 	inner network.Scheduler
 	rng   *rand.Rand
 
+	// mu guards Log. In the bus's native drain mode crash-window events
+	// (EvLost, EvCrash, EvRecover) are logged from parallel drain workers;
+	// everything else stays on the coordinator goroutine. Parallel runs
+	// canonicalize event order before fingerprinting (see Fingerprint).
+	mu sync.Mutex
+
 	step       int
 	seq        int64
 	dropCount  map[string]int // rule-scoped per-key drop tally
@@ -409,9 +416,29 @@ func (inj *Injector) recordRelease(id network.ProcID, m network.Message) {
 }
 
 // Install points the system's send path at the injector. The injector must
-// also be the system's scheduler (pass it to network.NewSystem).
+// also be the system's scheduler (pass it to network.NewSystem). On a
+// native-mode system the injector additionally threads through the bus's
+// tap points instead of the scheduler: delays become per-copy notBefore
+// stamps (HoldTap), partitions are checked at dequeue (CutTap), and the
+// injector clock follows the window clock (StepTap).
 func (inj *Injector) Install(sys *network.System) {
 	sys.SendTap = inj.SendTap
+	if sys.NativeMode() {
+		sys.HoldTap = inj.holdTap
+		sys.CutTap = inj.cut
+		sys.StepTap = inj.observeStep
+	}
+}
+
+// holdTap implements the native-mode delay plane: the delay SendTap chose
+// for this copy is consumed here and becomes the entry's notBefore step.
+// (The compat path leaves delayUntil to Next instead.)
+func (inj *Injector) holdTap(m network.Message) int {
+	if until, ok := inj.delayUntil[m.Seq]; ok {
+		delete(inj.delayUntil, m.Seq)
+		return until
+	}
+	return 0
 }
 
 // keyString is the logical-message identity (content minus the per-copy Seq
@@ -422,7 +449,9 @@ func keyString(m network.Message) string {
 }
 
 func (inj *Injector) log(kind EventKind, proc network.ProcID, m network.Message) {
+	inj.mu.Lock()
 	inj.Log = append(inj.Log, Event{Step: inj.step, Kind: kind, Proc: proc, Msg: m})
+	inj.mu.Unlock()
 }
 
 func (inj *Injector) stamp(m network.Message) network.Message {
@@ -563,6 +592,21 @@ func (inj *Injector) Wrap(procs []network.Process) []network.Process {
 				w.store = st
 			}
 		}
+		// The in-memory snapshot regime is only consumed by revive() after a
+		// scheduled crash window on the non-durable path (storage faults and
+		// quarantine only ever down replicas that recover from their WAL).
+		// Snapshotting is a deep copy of the whole round state — O(n) map
+		// entries per delivery — so skip it entirely for replicas the plan
+		// can never crash; at thousands of replicas it would otherwise
+		// dominate the run.
+		if w.store == nil {
+			for _, c := range inj.Plan.Crashes {
+				if c.Proc == p.ID() {
+					w.volatileCrash = true
+					break
+				}
+			}
+		}
 		out[i] = w
 	}
 	return out
@@ -580,7 +624,10 @@ type wrapProc struct {
 
 	started bool
 	down    bool
-	snap    *dbft.Snapshot
+	// volatileCrash marks replicas the plan crashes on the non-durable path —
+	// the only consumers of the per-delivery in-memory snapshot below.
+	volatileCrash bool
+	snap          *dbft.Snapshot
 }
 
 var _ network.Process = (*wrapProc)(nil)
@@ -767,7 +814,7 @@ func (w *wrapProc) restoreFromDisk() bool {
 // against its pre-crash messages (see dbft.Snapshot). Durable replicas
 // persist through their WAL instead (startDurable / Deliver).
 func (w *wrapProc) persist() {
-	if w.rec != nil {
+	if w.rec != nil && w.volatileCrash {
 		w.snap = w.rec.Snapshot()
 	}
 }

@@ -41,6 +41,11 @@ type TortureCampaign struct {
 	// Trace, when non-nil, receives one "torture" event per executed seed
 	// (steps, decided, failed). Observational only.
 	Trace *obs.Tracer
+
+	// Sim, when non-nil, selects the network backend for every generated
+	// scenario (bus options, topology, native drain tuning). Durable runs
+	// require Partitions <= 1; Validate enforces this.
+	Sim *SimOptions
 }
 
 // TortureResult aggregates a torture campaign.
@@ -107,6 +112,7 @@ func (c TortureCampaign) RandomScenario(seed int64) Scenario {
 		Tick:      c.tick(),
 		Sched:     "random",
 		Durable:   true,
+		Sim:       c.Sim,
 		Plan:      Plan{Seed: seed},
 	}
 

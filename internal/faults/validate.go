@@ -69,7 +69,13 @@ func lineCol(s string, off int64) (line, col int) {
 var byzStrategies = map[string]bool{"silent": true, "equivocator": true, "liar": true}
 
 // schedulers is the accepted scheduler vocabulary ("" defaults to random).
-var schedulers = map[string]bool{"": true, "random": true, "fifo": true, "fair": true}
+var schedulers = map[string]bool{"": true, "random": true, "fifo": true, "fair": true, "native": true}
+
+// simBackends and simTopologies are the accepted sim-block vocabularies.
+var (
+	simBackends   = map[string]bool{"": true, "bus": true, "flat": true}
+	simTopologies = map[string]bool{"": true, "full": true, "gossip": true}
+)
 
 // Validate checks the scenario for internal consistency before a run. Every
 // error names the offending field with its path (e.g. plan.storage[1].kind)
@@ -118,7 +124,49 @@ func (sc Scenario) Validate() error {
 		bad("byz", "%d byzantine processes exceed t = %d", len(sc.Byz), sc.T)
 	}
 	if !schedulers[sc.Sched] {
-		bad("sched", "unknown scheduler %q (want random, fifo or fair)", sc.Sched)
+		bad("sched", "unknown scheduler %q (want random, fifo, fair or native)", sc.Sched)
+	}
+	if sim := sc.Sim; sim != nil {
+		if !simBackends[sim.Backend] {
+			bad("sim.backend", "unknown backend %q (want bus or flat)", sim.Backend)
+		}
+		if !simTopologies[sim.Topology] {
+			bad("sim.topology", "unknown topology %q (want full or gossip)", sim.Topology)
+		}
+		for _, f := range []struct {
+			name string
+			v    int
+		}{
+			{"sim.queue_cap", sim.QueueCap},
+			{"sim.egress_cap", sim.EgressCap},
+			{"sim.dupemap_cap", sim.DupemapCap},
+			{"sim.stall_k", sim.StallK},
+			{"sim.batch", sim.Batch},
+			{"sim.partitions", sim.Partitions},
+			{"sim.scan_limit", sim.ScanLimit},
+		} {
+			if f.v < 0 {
+				bad(f.name, "must be nonnegative, got %d", f.v)
+			}
+		}
+		if sim.Backend == "flat" {
+			if sc.Sched == "native" {
+				bad("sim.backend", "native drain mode requires the bus backend")
+			}
+			if sim.QueueCap != 0 || sim.EgressCap != 0 || sim.Dupemap || sim.DupemapCap != 0 ||
+				sim.StallK != 0 || (sim.Topology != "" && sim.Topology != "full") {
+				bad("sim.backend", "the flat shim supports no bus options (queue caps, dupemap, stall detection, topology)")
+			}
+		}
+		if sim.Topology == "gossip" && sc.Sched != "native" {
+			bad("sim.topology", "gossip relays through peer queues and requires sched \"native\"")
+		}
+		if sc.Sched != "native" && (sim.Batch != 0 || sim.Partitions > 1 || sim.ScanLimit != 0) {
+			bad("sim.batch", "batch/partitions/scan_limit only apply under sched \"native\"")
+		}
+		if sim.Partitions > 1 && sc.Durable {
+			bad("sim.partitions", "durable scenarios require partitions <= 1 (the WAL oracle state is not partition-safe)")
+		}
 	}
 
 	nCorrect := len(sc.Inputs)

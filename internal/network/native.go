@@ -1,0 +1,168 @@
+package network
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// stepWindow advances one native drain window. Each window:
+//
+//  1. advances the clock and notifies StepTap (the fault injector);
+//  2. drains each peer's deferred egress buffer (EgressCap overflow from
+//     earlier windows), FIFO, up to the per-window budget;
+//  3. lets every peer pop up to Batch eligible entries FIFO from its own
+//     ingress queue and deliver them — split across Partitions worker
+//     goroutines by peer index, each process's state touched only by its
+//     owning worker, with handler sends buffered per peer;
+//  4. merges the buffered sends and gossip relays back onto the bus in
+//     ascending peer-id order — so enqueue arrival order, and with it every
+//     downstream fingerprint, is independent of the partition count;
+//  5. runs the stall scan and the periodic tick.
+//
+// An entry is eligible when its notBefore delay has expired and the fault
+// plane's CutTap does not sever its physical link. Held entries are skipped
+// (bounded by ScanLimit) rather than blocking the queue head.
+func (s *System) stepWindow() (bool, error) {
+	if !s.started {
+		s.start()
+	}
+	s.Steps++
+	step := s.Steps
+	if s.StepTap != nil {
+		s.StepTap(step)
+	}
+	n := len(s.order)
+	nat := s.native
+	parts := nat.Partitions
+	if parts > n {
+		parts = n
+	}
+
+	// Phase 2: drain deferred egress under a fresh per-window send budget.
+	egressDrained := 0
+	if s.bus.opts.EgressCap > 0 {
+		for i := range s.egressUsed {
+			s.egressUsed[i] = 0
+		}
+		for qi := range s.bus.queues {
+			q := &s.bus.queues[qi]
+			for q.egressDepth() > 0 && s.egressUsed[qi] < s.bus.opts.EgressCap {
+				m := q.egressPop()
+				s.egressUsed[qi]++
+				egressDrained++
+				if s.SendTap != nil {
+					from := m.From
+					for _, c := range s.SendTap(m) {
+						c.From = from
+						s.enqueue(c)
+					}
+				} else {
+					s.enqueue(m)
+				}
+			}
+		}
+	}
+
+	// Phase 3: parallel drain. Worker w owns peers w, w+parts, w+2*parts...
+	errs := make([]error, parts)
+	drain := func(w int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[w] = fmt.Errorf("network: panic in bus worker %d at step %d: %v\n%s", w, step, r, debug.Stack())
+			}
+		}()
+		for qi := w; qi < n; qi += parts {
+			d := &s.drains[qi]
+			d.delivered = d.delivered[:0]
+			d.sends = d.sends[:0]
+			d.relays = d.relays[:0]
+			d.taken = 0
+			d.filtered = 0
+			q := &s.bus.queues[qi]
+			proc := s.procs[q.id]
+			sendBuf := func(m Message) { d.sends = append(d.sends, m) }
+			scanned := 0
+			for i := 0; i < q.depth() && d.taken < nat.Batch && scanned < nat.ScanLimit; {
+				e := q.at(i)
+				scanned++
+				if e.notBefore > step || (s.CutTap != nil && s.CutTap(e.hopFrom, q.id, step)) {
+					i++ // held: skip, keep scanning
+					continue
+				}
+				ent := q.removeAt(i) // the next entry slides into index i
+				d.taken++
+				if ent.msg.To != q.id {
+					d.relays = append(d.relays, ent)
+					continue
+				}
+				if q.seen != nil {
+					k := ent.msg.KeyString()
+					if q.seen.has(k) {
+						d.filtered++
+						continue
+					}
+					q.seen.add(k)
+				}
+				d.delivered = append(d.delivered, ent.msg)
+				proc.Deliver(ent.msg, sendBuf)
+			}
+			if d.taken > 0 {
+				q.lastProgress = step
+				q.stalled = false
+			}
+		}
+	}
+	if parts <= 1 {
+		drain(0)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(parts)
+		for w := 0; w < parts; w++ {
+			go func(w int) {
+				defer wg.Done()
+				drain(w)
+			}(w)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return false, err
+		}
+	}
+
+	// Phase 4: deterministic merge in ascending peer-id order.
+	deliveredTotal, removed := 0, 0
+	for qi, id := range s.order {
+		d := &s.drains[qi]
+		removed += d.taken
+		deliveredTotal += len(d.delivered)
+		s.bus.stats.Delivered += int64(len(d.delivered))
+		s.bus.stats.Filtered += d.filtered
+		obsDelivered.Add(int64(len(d.delivered)))
+		if d.filtered > 0 {
+			obsFiltered.Add(d.filtered)
+		}
+		if s.RecordTrace {
+			s.Trace = append(s.Trace, d.delivered...)
+		}
+		s.sender = id
+		for _, m := range d.sends {
+			s.send(m)
+		}
+		for _, e := range d.relays {
+			s.bus.forward(e, id)
+		}
+	}
+	s.bus.size -= removed
+
+	// Phase 5: stall scan and periodic tick.
+	s.bus.scanStalls(step)
+	s.tick()
+
+	if removed == 0 && egressDrained == 0 && s.Inflight() == 0 && s.TickInterval <= 0 {
+		return false, nil // quiescent: nothing queued, no timers to wait on
+	}
+	return true, nil
+}

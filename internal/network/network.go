@@ -10,6 +10,16 @@
 // hold for every schedule when f <= t, termination holds under the fairness
 // assumption of Section 3.3, and both fail in the regimes the paper
 // identifies (f > n/3, unfair schedules — Appendix B).
+//
+// Two message stores back the System. The default is an event bus — a
+// broker over bounded per-peer FIFO queues with arrival stamps, optional
+// replay filtering (dupemap), stall detection, topic subscriptions and
+// pluggable topologies — which also scales to thousands of replicas via its
+// native window-drain mode (see bus.go). The legacy flat in-flight slice
+// survives as BackendFlat, the compatibility shim the byte-identity tests
+// replay against: for any seeded run the bus's arrival-ordered view is, by
+// construction, entry-for-entry the flat slice, so schedulers, traces and
+// fault logs are identical across backends.
 package network
 
 import (
@@ -17,6 +27,7 @@ import (
 	"math/rand"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -75,6 +86,37 @@ func (m Message) Key() Message {
 	return m
 }
 
+// KeyString renders Key() as an injective string, the dupemap's map key.
+// Built by hand because it sits on the bus's per-delivery hot path.
+func (m Message) KeyString() string {
+	var b strings.Builder
+	b.Grow(32 + len(m.Payload) + 4*len(m.Set))
+	b.WriteString(strconv.Itoa(int(m.From)))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(int(m.To)))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(m.Round))
+	b.WriteByte('|')
+	b.WriteString(string(m.Kind))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(m.Value))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(int(m.Proposer)))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(m.Instance))
+	b.WriteByte('|')
+	for _, v := range m.Set {
+		b.WriteString(strconv.Itoa(v))
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	// Length-prefixed so a Payload containing separators stays injective.
+	b.WriteString(strconv.Itoa(len(m.Payload)))
+	b.WriteByte(':')
+	b.WriteString(m.Payload)
+	return b.String()
+}
+
 func (m Message) String() string {
 	switch m.Kind {
 	case MsgBV:
@@ -123,15 +165,45 @@ type Ticker interface {
 	OnTick(step int, send Sender)
 }
 
+// Backend selects the in-flight message store.
+type Backend int
+
+const (
+	// BackendBus (the default) stores messages in per-peer queues behind a
+	// broker. With zero BusOptions it replays byte-identically to the flat
+	// loop under any Scheduler.
+	BackendBus Backend = iota
+	// BackendFlat is the legacy flat in-flight slice, kept as the
+	// compatibility shim the byte-identity tests cross-validate against.
+	BackendFlat
+)
+
+// Options configure a System beyond processes and scheduler.
+type Options struct {
+	Backend Backend
+	Bus     BusOptions
+	// Native, when non-nil, switches the bus to window-drain mode: the
+	// Scheduler is no longer consulted (it may be nil); every Step drains
+	// up to Batch eligible entries per peer, optionally across parallel
+	// partitions. Required for sparse topologies.
+	Native *NativeOptions
+}
+
 // System wires processes, the in-flight message multiset and a scheduler.
 type System struct {
 	procs map[ProcID]Process
 	order []ProcID
 	sched Scheduler
 
-	inflight []Message
-	started  bool
-	sender   ProcID // process currently executing Start/Deliver
+	flat    []Message // BackendFlat store
+	bus     *busStore // BackendBus store
+	native  *NativeOptions
+	started bool
+	sender  ProcID // process currently executing Start/Deliver
+
+	// native-mode scratch, reused across windows
+	drains     []peerDrain
+	egressUsed []int
 
 	// Trace records every delivered message when enabled.
 	Trace       []Message
@@ -145,6 +217,22 @@ type System struct {
 	// hook of internal/faults; the base network is reliable.
 	SendTap func(m Message) []Message
 
+	// HoldTap, consulted once per enqueued copy in native mode, returns the
+	// earliest step the copy may deliver (0 = immediately). It is how the
+	// fault plane's delivery delays thread through the bus: the compat path
+	// keeps them inside the Scheduler instead.
+	HoldTap func(m Message) int
+
+	// CutTap, consulted at dequeue time in native mode, reports whether the
+	// physical from->to link is severed at the given step (partitions).
+	// It must be pure: native workers call it concurrently.
+	CutTap func(from, to ProcID, step int) bool
+
+	// StepTap observes the window clock at the top of each native step,
+	// before any delivery — the native analogue of the fault injector
+	// advancing its clock inside Scheduler.Next.
+	StepTap func(step int)
+
 	// TickInterval > 0 invokes OnTick on every Ticker process each
 	// TickInterval steps (delivery steps and scheduler Tick steps alike).
 	// With ticks enabled the system no longer quiesces on an empty in-flight
@@ -153,12 +241,30 @@ type System struct {
 	TickInterval int
 }
 
-// NewSystem builds a system over the given processes.
+// peerDrain buffers one peer's native-window results so the merge phase can
+// apply them deterministically in peer-id order regardless of how many
+// worker partitions produced them.
+type peerDrain struct {
+	delivered []Message  // messages handed to the process, in pop order
+	sends     []Message  // handler output, in emission order
+	relays    []busEntry // in-transit entries to forward at merge
+	taken     int        // entries popped (delivered + filtered + relayed)
+	filtered  int64      // dupemap suppressions at delivery time
+}
+
+// NewSystem builds a system over the given processes with the default
+// event-bus backend (byte-identical to the legacy flat loop).
 func NewSystem(procs []Process, sched Scheduler) (*System, error) {
+	return NewSystemOpts(procs, sched, Options{})
+}
+
+// NewSystemOpts builds a system with explicit backend, bus and drain-mode
+// options.
+func NewSystemOpts(procs []Process, sched Scheduler, opts Options) (*System, error) {
 	if len(procs) == 0 {
 		return nil, fmt.Errorf("network: no processes")
 	}
-	if sched == nil {
+	if sched == nil && opts.Native == nil {
 		return nil, fmt.Errorf("network: no scheduler")
 	}
 	s := &System{procs: make(map[ProcID]Process, len(procs)), sched: sched}
@@ -170,7 +276,90 @@ func NewSystem(procs []Process, sched Scheduler) (*System, error) {
 		s.order = append(s.order, p.ID())
 	}
 	sort.Slice(s.order, func(i, j int) bool { return s.order[i] < s.order[j] })
+	switch opts.Backend {
+	case BackendFlat:
+		if opts.Native != nil {
+			return nil, fmt.Errorf("network: native drain mode requires the bus backend")
+		}
+		if opts.Bus.QueueCap != 0 || opts.Bus.EgressCap != 0 || opts.Bus.Dupemap ||
+			opts.Bus.DupemapCap != 0 || opts.Bus.StallK != 0 || opts.Bus.Topology != nil {
+			return nil, fmt.Errorf("network: flat backend does not support bus options")
+		}
+	case BackendBus:
+		s.bus = newBusStore(s.order, opts.Bus)
+		if s.bus.sparse && opts.Native == nil {
+			return nil, fmt.Errorf("network: topology %q relays through peers and requires native drain mode", s.bus.topo.Name())
+		}
+		if opts.Native != nil {
+			nat := *opts.Native
+			if nat.Batch <= 0 {
+				nat.Batch = 4
+			}
+			if nat.Partitions <= 0 {
+				nat.Partitions = 1
+			}
+			if nat.ScanLimit <= 0 {
+				nat.ScanLimit = 128
+			}
+			s.native = &nat
+			s.drains = make([]peerDrain, len(s.order))
+			s.egressUsed = make([]int, len(s.order))
+		}
+	default:
+		return nil, fmt.Errorf("network: unknown backend %d", opts.Backend)
+	}
 	return s, nil
+}
+
+// NativeMode reports whether the system drains in native windows (no
+// Scheduler consultation).
+func (s *System) NativeMode() bool { return s.native != nil }
+
+// Subscribe restricts a process's queue to the given topics. Before the
+// first call a peer receives everything; afterwards only matching
+// (Kind, Instance) messages are enqueued (AnyInstance wildcards the
+// instance). Bus backend only.
+func (s *System) Subscribe(id ProcID, topics ...Topic) error {
+	if s.bus == nil {
+		return fmt.Errorf("network: subscriptions require the bus backend")
+	}
+	if _, ok := s.procs[id]; !ok {
+		return fmt.Errorf("network: subscribe: unknown process %d", id)
+	}
+	s.bus.subscribe(id, topics...)
+	return nil
+}
+
+// BusStats returns a snapshot of the bus counters (zero value on the flat
+// backend).
+func (s *System) BusStats() BusStats {
+	if s.bus == nil {
+		return BusStats{}
+	}
+	return s.bus.stats
+}
+
+// StallEvents returns the first stall transitions observed (capped), and
+// Stalled the set of currently-stalled peers.
+func (s *System) StallEvents() []StallEvent {
+	if s.bus == nil {
+		return nil
+	}
+	return s.bus.stallLog
+}
+
+// Stalled returns the peers currently flagged by the stall detector.
+func (s *System) Stalled() []ProcID {
+	if s.bus == nil {
+		return nil
+	}
+	var out []ProcID
+	for qi := range s.bus.queues {
+		if s.bus.queues[qi].stalled {
+			out = append(out, s.bus.queues[qi].id)
+		}
+	}
+	return out
 }
 
 // send enqueues a message (reliable: it stays in flight until delivered).
@@ -184,18 +373,65 @@ func (s *System) send(m Message) {
 		return
 	}
 	m.From = s.sender
+	if s.native != nil && s.bus.opts.EgressCap > 0 {
+		fi := s.bus.idx[m.From]
+		if s.egressUsed[fi] >= s.bus.opts.EgressCap {
+			// Defer to the sender's bounded egress buffer; drained FIFO at
+			// the top of later windows, so nothing starves.
+			q := &s.bus.queues[fi]
+			if s.bus.opts.QueueCap > 0 && q.egressDepth() >= s.bus.opts.QueueCap {
+				s.bus.stats.EgressDrops++
+				obsEgressDrops.Inc()
+				return
+			}
+			q.egress = append(q.egress, m)
+			return
+		}
+		s.egressUsed[fi]++
+	}
 	if s.SendTap != nil {
 		for _, c := range s.SendTap(m) {
 			c.From = m.From // the tap may copy but not forge the sender
-			s.inflight = append(s.inflight, c)
+			s.enqueue(c)
 		}
 		return
 	}
-	s.inflight = append(s.inflight, m)
+	s.enqueue(m)
 }
 
-// Inflight returns the number of undelivered messages.
-func (s *System) Inflight() int { return len(s.inflight) }
+// enqueue places one copy into the backing store. Copy-on-enqueue: every
+// in-flight copy owns its Set backing array, so a later mutation through the
+// sender's template (a Byzantine strategy reusing one literal, a
+// retransmitted outbox entry, a fault-layer duplicate) cannot bleed into
+// copies already in flight — the append-backing-array aliasing family PR 3
+// fixed in fullWalk.
+func (s *System) enqueue(m Message) {
+	if m.Set != nil {
+		m.Set = append([]int(nil), m.Set...)
+	}
+	if s.bus == nil {
+		s.flat = append(s.flat, m)
+		return
+	}
+	notBefore := 0
+	if s.HoldTap != nil {
+		notBefore = s.HoldTap(m)
+	}
+	s.bus.enqueue(m, notBefore)
+}
+
+// Inflight returns the number of undelivered messages (including native-mode
+// deferred egress).
+func (s *System) Inflight() int {
+	if s.bus == nil {
+		return len(s.flat)
+	}
+	n := s.bus.size
+	if s.native != nil && s.bus.opts.EgressCap > 0 {
+		n += s.bus.egressPending()
+	}
+	return n
+}
 
 // Inject enqueues a message from outside any handler (scripted adversaries,
 // fault-plane tests). Unlike in-handler sends the sender identity is taken
@@ -205,17 +441,26 @@ func (s *System) Inject(m Message) {
 	s.send(m)
 }
 
+// start runs every process's Start hook once.
+func (s *System) start() {
+	s.started = true
+	for _, id := range s.order {
+		s.sender = id
+		s.procs[id].Start(s.send)
+	}
+}
+
 // Step delivers exactly one message (after starting all processes on the
 // first call). It reports whether a delivery happened (false = quiescent).
+// In native mode one Step is one drain window instead (see stepWindow).
 func (s *System) Step() (bool, error) {
-	if !s.started {
-		s.started = true
-		for _, id := range s.order {
-			s.sender = id
-			s.procs[id].Start(s.send)
-		}
+	if s.native != nil {
+		return s.stepWindow()
 	}
-	if len(s.inflight) == 0 {
+	if !s.started {
+		s.start()
+	}
+	if s.Inflight() == 0 {
 		if s.TickInterval > 0 {
 			// Time passes even with nothing in flight: retransmission
 			// timers must be able to repopulate the network (e.g. after a
@@ -226,18 +471,45 @@ func (s *System) Step() (bool, error) {
 		}
 		return false, nil
 	}
-	idx := s.sched.Next(s.inflight, s.Steps)
+	view := s.flat
+	if s.bus != nil {
+		view = s.bus.compatView()
+	}
+	idx := s.sched.Next(view, s.Steps)
 	if idx == Tick {
 		s.Steps++
 		s.tick()
 		return true, nil
 	}
-	if idx < 0 || idx >= len(s.inflight) {
-		return false, fmt.Errorf("network: scheduler chose out-of-range message %d of %d", idx, len(s.inflight))
+	if idx < 0 || idx >= len(view) {
+		return false, fmt.Errorf("network: scheduler chose out-of-range message %d of %d", idx, len(view))
 	}
-	m := s.inflight[idx]
-	s.inflight = append(s.inflight[:idx], s.inflight[idx+1:]...)
 	s.Steps++
+	var m Message
+	if s.bus != nil {
+		m = s.bus.takeCompat(idx, s.Steps)
+		s.bus.stats.Delivered++
+		obsDelivered.Inc()
+		if q := &s.bus.queues[s.bus.idx[m.To]]; q.seen != nil {
+			k := m.KeyString()
+			if q.seen.has(k) {
+				// Replay filter (opt-in): the copy is consumed but not
+				// delivered; the step still advances simulated time.
+				s.bus.stats.Delivered--
+				s.bus.stats.Filtered++
+				obsDelivered.Add(-1)
+				obsFiltered.Inc()
+				s.bus.scanStalls(s.Steps)
+				s.tick()
+				return true, nil
+			}
+			q.seen.add(k)
+		}
+		s.bus.scanStalls(s.Steps)
+	} else {
+		m = s.flat[idx]
+		s.flat = append(s.flat[:idx], s.flat[idx+1:]...)
+	}
 	if s.RecordTrace {
 		s.Trace = append(s.Trace, m)
 	}
@@ -265,7 +537,8 @@ func (s *System) tick() {
 // reached. It returns the number of steps taken. A panic in a process
 // handler or scheduler is converted into an error (annotated with the step
 // at which it fired) so that property campaigns survive a misbehaving
-// worker instead of crashing wholesale.
+// worker instead of crashing wholesale; native-mode worker goroutines carry
+// their own recovery (see stepWindow) and surface the same way.
 func (s *System) Run(maxSteps int, stop func() bool) (steps int, err error) {
 	defer func() {
 		if r := recover(); r != nil {

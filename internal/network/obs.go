@@ -1,0 +1,16 @@
+package network
+
+import "repro/internal/obs"
+
+// Bus counters (observational only — deterministic verdicts come from the
+// fault plane's per-seed event folds, never from process-wide counters).
+var (
+	obsEnqueued    = obs.Default.Counter("network", "bus_enqueued")
+	obsDelivered   = obs.Default.Counter("network", "bus_delivered")
+	obsRelayed     = obs.Default.Counter("network", "bus_relayed")
+	obsCapDrops    = obs.Default.Counter("network", "bus_cap_drops")
+	obsEgressDrops = obs.Default.Counter("network", "bus_egress_drops")
+	obsFiltered    = obs.Default.Counter("network", "bus_dupemap_filtered")
+	obsStalls      = obs.Default.Counter("network", "bus_stalls")
+	obsPeakDepth   = obs.Default.Gauge("network", "bus_peak_depth")
+)

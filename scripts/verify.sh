@@ -30,6 +30,10 @@ go test -short -race -run Incremental ./internal/smt ./internal/schema
 echo "==> go test -race ./internal/schema ./internal/core (parallel enumeration determinism)"
 go test -race ./internal/schema ./internal/core
 
+echo "==> go test -race event-bus leg (queues, dupemap, stalls, gossip, flat-vs-bus identity)"
+go test -race -run 'Bus|Native|Dupemap|Kadcast|Gossip|Stall|CopyOnEnqueue|Egress|QueueCap|Topic' ./internal/network
+go test -short -race -run 'FingerprintsBusVsFlat|NativeFingerprint|Livelock' ./internal/faults
+
 echo "==> go test -race ./..."
 go test -race ./...
 
@@ -38,6 +42,24 @@ go run ./cmd/dbftsim -chaos -chaos-seeds 25 -seed 1 -n 4 -t 1
 
 echo "==> storage torture smoke (fixed seed, 10 runs)"
 go run ./cmd/dbftsim -torture -torture-seeds 10 -seed 1 -n 4 -t 1
+
+echo "==> simulator smoke (1k replicas, native drain; partitions 1 vs 2 byte-identity)"
+SIMDIR=$(mktemp -d)
+INPUTS=$(seq 1 1000 | awk '{printf "%s%d", (NR>1?",":""), NR%2}')
+for P in 1 2; do
+    printf '{"n":1000,"t":333,"max_rounds":12,"max_steps":40000,"tick":25,"inputs":[%s],"sched":"native","sim":{"queue_cap":4096,"dupemap":true,"stall_k":4000,"batch":8,"partitions":%d},"plan":{"seed":1,"drops":[{"prob":0.05,"budget":1}],"delay_prob":0.05,"delay_steps":16}}' \
+        "$INPUTS" "$P" > "$SIMDIR/sim1k_p$P.json"
+done
+go run ./cmd/dbftsim -plan @"$SIMDIR/sim1k_p1.json" -fingerprint > "$SIMDIR/p1.out"
+go run ./cmd/dbftsim -plan @"$SIMDIR/sim1k_p2.json" -fingerprint > "$SIMDIR/p2.out"
+grep -q 'decided=true' "$SIMDIR/p1.out" || { echo "sim smoke: 1k-replica run undecided"; cat "$SIMDIR/p1.out"; exit 1; }
+FP1=$(awk '/^fingerprint:/{print $2}' "$SIMDIR/p1.out")
+FP2=$(awk '/^fingerprint:/{print $2}' "$SIMDIR/p2.out")
+[ -n "$FP1" ] && [ "$FP1" = "$FP2" ] || {
+    echo "sim smoke: native fingerprints diverge across partition counts (p1=$FP1 p2=$FP2)"
+    exit 1
+}
+rm -rf "$SIMDIR"
 
 echo "==> observability determinism (table2 -report at -j 1 vs -j 8)"
 OBSDIR=$(mktemp -d)
