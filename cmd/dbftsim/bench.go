@@ -25,16 +25,17 @@ import (
 )
 
 type benchSimConfig struct {
-	sizes      string
-	out        string
-	steps      int
-	queueCap   int
-	batch      int
-	partitions int
-	gossip     bool
-	seed       int64
-	tick       int
-	cpuprofile string
+	sizes       string
+	out         string
+	steps       int
+	queueCap    int
+	batch       int
+	partitions  int
+	gossip      bool
+	gossipLarge int
+	seed        int64
+	tick        int
+	cpuprofile  string
 }
 
 type benchSimRow struct {
@@ -216,6 +217,23 @@ func runBenchSim(cfg benchSimConfig) error {
 		for _, n := range sizes {
 			if n <= 512 {
 				if err := run(n, "gossip"); err != nil {
+					return err
+				}
+			}
+		}
+		// The gossip-only large-n row: full mesh at this size would swamp the
+		// window budget with O(n^2) links, but kadcast relays keep per-peer
+		// fan-out logarithmic, so the topology scales past the <= 512 cap the
+		// paired rows stop at. Run only when no paired row covers the size.
+		if cfg.gossipLarge > 512 {
+			already := false
+			for _, n := range sizes {
+				if n == cfg.gossipLarge {
+					already = true
+				}
+			}
+			if !already {
+				if err := run(cfg.gossipLarge, "gossip"); err != nil {
 					return err
 				}
 			}

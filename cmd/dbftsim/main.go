@@ -1,19 +1,22 @@
-// Command dbftsim runs the executable DBFT binary consensus (Algorithm 1
-// over the Fig. 1 bv-broadcast) on the simulated asynchronous network, with
-// configurable Byzantine strategies and schedulers. It also replays the
-// Appendix B non-termination execution (-lemma7), runs randomized
-// fault-injection campaigns (-chaos), runs storage-fault torture campaigns
-// over the durable WAL-backed replicas (-torture) and replays single chaos
-// scenarios (-plan).
+// Command dbftsim runs an executable consensus protocol front-end on the
+// simulated asynchronous network, with configurable Byzantine strategies and
+// schedulers. The -protocol selector picks the front-end: dbft (the default —
+// Algorithm 1 over the Fig. 1 bv-broadcast) or sba (the SBA*-style binary
+// reduction). It also replays the Appendix B non-termination execution
+// (-lemma7, dbft-only), runs randomized fault-injection campaigns (-chaos),
+// runs storage-fault torture campaigns over the durable WAL-backed replicas
+// (-torture, dbft-only) and replays single chaos scenarios (-plan).
 //
 // Usage examples:
 //
 //	dbftsim -n 4 -t 1 -inputs 0,1,1 -byz liar -sched fair
 //	dbftsim -n 7 -t 2 -inputs 0,1,0,1,1 -byz equivocator,silent -sched random -seed 7
+//	dbftsim -protocol sba -n 4 -t 1 -inputs 0,1,1 -byz liar -sched random
 //	dbftsim -lemma7 -rounds 12
 //	dbftsim -chaos -chaos-seeds 200 -n 4 -t 1 -seed 1
+//	dbftsim -chaos -protocol sba -chaos-seeds 200 -n 4 -t 1 -seed 1
 //	dbftsim -torture -torture-seeds 200 -n 4 -t 1 -seed 1
-//	dbftsim -plan '{"n":4,"t":1,...}'   (or -plan @scenario.json)
+//	dbftsim -plan '{"protocol":"sba","n":4,"t":1,...}'   (or -plan @scenario.json)
 //
 // The campaign modes accept the observability flags -trace out.jsonl (one
 // JSONL event per seed), -report out.json (campaign metric snapshot),
@@ -41,6 +44,7 @@ import (
 	"repro/internal/fairness"
 	"repro/internal/faults"
 	"repro/internal/network"
+	"repro/internal/sba"
 	"repro/internal/vcache"
 )
 
@@ -71,6 +75,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("dbftsim", flag.ContinueOnError)
+	protocol := fs.String("protocol", "dbft", "protocol front-end: dbft or sba (single runs, -chaos and -plan)")
 	n := fs.Int("n", 4, "total number of processes")
 	t := fs.Int("t", 1, "tolerated Byzantine processes")
 	inputs := fs.String("inputs", "0,1,1", "comma-separated binary inputs of the correct processes")
@@ -99,6 +104,7 @@ func run(args []string) error {
 	benchBatch := fs.Int("bench-batch", 8, "per-peer deliveries per window for -bench-sim")
 	benchParts := fs.Int("bench-partitions", 1, "drain partitions for -bench-sim (fingerprints are partition-independent)")
 	benchGossip := fs.Bool("bench-gossip", true, "include kadcast-gossip topology rows (sizes <= 512) in -bench-sim")
+	benchGossipLarge := fs.Int("bench-gossip-large", 768, "gossip-only large-n row for -bench-sim: a replica count run only on the kadcast topology, past the full-mesh gossip cap (0 = off)")
 	benchProf := fs.String("bench-cpuprofile", "", "write a CPU profile of the -bench-sim sweep to this file")
 	workers := fs.Int("j", runtime.NumCPU(), "campaign worker count for -chaos and -torture (results are deterministic at any count)")
 	version := fs.Bool("version", false, "print the verification engine version and exit")
@@ -111,30 +117,44 @@ func run(args []string) error {
 		fmt.Printf("dbftsim engine %s\n", vcache.EngineVersion)
 		return nil
 	}
+	if !faults.Protocols[*protocol] {
+		return fmt.Errorf("unknown protocol %q (known protocols: %s)", *protocol, faults.KnownProtocols)
+	}
+	isSBA := *protocol == "sba"
 	if *lemma7 {
+		if isSBA {
+			return fmt.Errorf("-lemma7 replays a dbft-specific execution; it does not accept -protocol sba")
+		}
 		return runLemma7(*maxRounds)
 	}
 	if *plan != "" {
-		return runPlan(*plan, *fingerprint)
+		return runPlan(*plan, *protocol, *fingerprint)
 	}
 	if *benchSim {
+		if isSBA {
+			return fmt.Errorf("-bench-sim drives the dbft front-end; it does not accept -protocol sba")
+		}
 		return runBenchSim(benchSimConfig{
-			sizes:      *benchSizes,
-			out:        *benchOut,
-			steps:      *benchSteps,
-			queueCap:   *benchCap,
-			batch:      *benchBatch,
-			partitions: *benchParts,
-			gossip:     *benchGossip,
-			seed:       *seed,
-			tick:       *tick,
-			cpuprofile: *benchProf,
+			sizes:       *benchSizes,
+			out:         *benchOut,
+			steps:       *benchSteps,
+			queueCap:    *benchCap,
+			batch:       *benchBatch,
+			partitions:  *benchParts,
+			gossip:      *benchGossip,
+			gossipLarge: *benchGossipLarge,
+			seed:        *seed,
+			tick:        *tick,
+			cpuprofile:  *benchProf,
 		})
 	}
 	if *chaos {
-		return runChaos(*chaosSeeds, *seed, *n, *t, *maxRounds, *maxSteps, *tick, *workers, *chaosV, of)
+		return runChaos(*protocol, *chaosSeeds, *seed, *n, *t, *maxRounds, *maxSteps, *tick, *workers, *chaosV, of)
 	}
 	if *torture {
+		if isSBA {
+			return fmt.Errorf("-torture exercises durable WAL replicas, which are dbft-only; it does not accept -protocol sba")
+		}
 		return runTorture(*tortureSeeds, *seed, *n, *t, *maxRounds, *tick, *workers, *tortureV, of)
 	}
 
@@ -145,6 +165,9 @@ func run(args []string) error {
 	strategies := strings.Split(*byz, ",")
 	if len(ins)+len(strategies) != *n {
 		return fmt.Errorf("%d inputs + %d byzantine strategies != n = %d", len(ins), len(strategies), *n)
+	}
+	if isSBA {
+		return runSingleSBA(ins, strategies, *n, *t, *maxRounds, *maxSteps, *tick, *seed, *sched, *backend)
 	}
 
 	cfg := dbft.Config{N: *n, T: *t, MaxRounds: *maxRounds}
@@ -233,6 +256,56 @@ func run(args []string) error {
 	return nil
 }
 
+// runSingleSBA runs one sba-reduction execution through the fault-injection
+// plane with an empty fault plan — the sba analogue of the dbft single-run
+// path, sharing the scenario machinery (scheduler wiring, retransmission
+// ticks, seeded per-liar PRNGs) with -chaos and -plan.
+func runSingleSBA(ins []int, strategies []string, n, t, maxRounds, maxSteps, tick int, seed int64, sched, backend string) error {
+	byz := make([]string, 0, len(strategies))
+	for _, s := range strategies {
+		byz = append(byz, strings.TrimSpace(s))
+	}
+	sc := faults.Scenario{
+		Protocol:  "sba",
+		N:         n,
+		T:         t,
+		MaxRounds: maxRounds,
+		MaxSteps:  maxSteps,
+		Tick:      tick,
+		Inputs:    ins,
+		Byz:       byz,
+		Sched:     sched,
+		Plan:      faults.Plan{Seed: seed},
+	}
+	if backend != "" && backend != "bus" {
+		sc.Sim = &faults.SimOptions{Backend: backend}
+	}
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	out := sc.Run()
+	if out.Err != nil {
+		return out.Err
+	}
+	fmt.Printf("protocol=sba n=%d t=%d f=%d scheduler=%s steps=%d\n", n, t, len(byz), sched, out.Steps)
+	fmt.Print(sba.Describe(out.SBAParticipating))
+	if out.Decided {
+		if out.AgreementErr != nil {
+			fmt.Println("AGREEMENT VIOLATED:", out.AgreementErr)
+		} else {
+			fmt.Println("agreement: ok")
+		}
+		if out.ValidityErr != nil {
+			fmt.Println("VALIDITY VIOLATED:", out.ValidityErr)
+		} else {
+			fmt.Println("validity: ok")
+		}
+	} else {
+		fmt.Println("no decision within the step budget")
+	}
+	return nil
+}
+
 func parseInputs(s string) ([]int, error) {
 	parts := strings.Split(s, ",")
 	out := make([]int, 0, len(parts))
@@ -250,13 +323,14 @@ func parseInputs(s string) ([]int, error) {
 // on any safety/termination violation, printing each violation's seed and
 // replayable scenario JSON. An interrupt also exits non-zero, after flushing
 // a partial report covering the completed seed prefix.
-func runChaos(runs int, baseSeed int64, n, t, maxRounds, maxSteps, tick, workers int, verbose bool, of *obsFlags) error {
+func runChaos(protocol string, runs int, baseSeed int64, n, t, maxRounds, maxSteps, tick, workers int, verbose bool, of *obsFlags) error {
 	sink, err := of.open("dbftsim chaos")
 	if err != nil {
 		return err
 	}
 	defer sink.Close()
 	c := faults.Campaign{
+		Protocol: protocol,
 		Runs:     runs,
 		BaseSeed: baseSeed,
 		N:        n,
@@ -350,8 +424,10 @@ func runTorture(runs int, baseSeed int64, n, t, maxRounds, tick, workers int, ve
 // runPlan replays a single chaos scenario (inline JSON or @file) and prints
 // the outcome, the per-process states and the fault log. With fingerprint
 // set it also prints the outcome's replay digest, the currency of the
-// flat-vs-bus and partition-independence byte-identity checks.
-func runPlan(spec string, fingerprint bool) error {
+// flat-vs-bus and partition-independence byte-identity checks. A scenario
+// without a protocol field inherits the -protocol selector; one with a
+// protocol field must agree with a non-default selector.
+func runPlan(spec, protocol string, fingerprint bool) error {
 	if strings.HasPrefix(spec, "@") {
 		b, err := os.ReadFile(spec[1:])
 		if err != nil {
@@ -362,6 +438,15 @@ func runPlan(spec string, fingerprint bool) error {
 	sc, err := faults.ParseScenario(spec)
 	if err != nil {
 		return err
+	}
+	if sc.Protocol == "" && protocol != "dbft" {
+		sc.Protocol = protocol
+		if err := sc.Validate(); err != nil {
+			return err
+		}
+	} else if protocol != "dbft" && sc.Protocol != protocol {
+		return fmt.Errorf("-protocol %s contradicts the scenario's protocol %q (known protocols: %s)",
+			protocol, sc.Protocol, faults.KnownProtocols)
 	}
 	out := sc.Run()
 	if out.Err != nil {
@@ -374,9 +459,13 @@ func runPlan(spec string, fingerprint bool) error {
 	if sc.Plan.FairDelivery() {
 		fair = "fair"
 	}
-	fmt.Printf("scenario: n=%d t=%d seed=%d plan=%s steps=%d decided=%v\n",
-		sc.N, sc.T, sc.Plan.Seed, fair, out.Steps, out.Decided)
-	fmt.Print(dbft.Describe(out.Procs))
+	fmt.Printf("scenario: protocol=%s n=%d t=%d seed=%d plan=%s steps=%d decided=%v\n",
+		protoName(sc.Protocol), sc.N, sc.T, sc.Plan.Seed, fair, out.Steps, out.Decided)
+	if sc.Protocol == "sba" {
+		fmt.Print(sba.Describe(out.SBAProcs))
+	} else {
+		fmt.Print(dbft.Describe(out.Procs))
+	}
 	if out.AgreementErr != nil {
 		fmt.Println("AGREEMENT VIOLATED:", out.AgreementErr)
 	} else {
@@ -404,6 +493,13 @@ func runPlan(spec string, fingerprint bool) error {
 	}
 	fmt.Print(faults.FormatEvents(out.Events, 20))
 	return nil
+}
+
+func protoName(p string) string {
+	if p == "" {
+		return "dbft"
+	}
+	return p
 }
 
 func runLemma7(rounds int) error {

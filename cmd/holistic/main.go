@@ -12,6 +12,7 @@
 //	holistic ce                       generate the n<=3t counterexample
 //	holistic dot     [flags]          print a model as Graphviz DOT
 //	holistic spec    [flags]          compile & check a property file
+//	holistic specs                    list bundled specs with canonical hashes
 //	holistic bench   [flags]          Table 2 wall-clock at 1 vs N workers
 //	holistic queue   [flags]          enqueue jobs into a daemon's durable queue and watch them
 //	holistic cluster [flags]          coordinate full-mode verification across worker daemons
@@ -92,6 +93,8 @@ func run(args []string) error {
 		return cmdSpec(args[1:])
 	case "export":
 		return cmdExport(args[1:])
+	case "specs":
+		return cmdSpecs(args[1:])
 	case "bench":
 		return cmdBench(args[1:])
 	case "serve":
@@ -131,6 +134,7 @@ subcommands:
   dot        print a model as Graphviz DOT (-model ...)
   spec       compile and check a ByMC-style property file (-model ..., -file ...)
   export     print a model in the textual automaton format (-model ...)
+  specs      list the bundled specs with canonical hashes and query counts
   bench      compare Table 2 wall-clock at 1 worker vs -j workers (-out file.json)
   serve      run the verification HTTP daemon (-addr, -cache-dir, ...)
   loadgen    drive a service with a request mix, write BENCH_service.json
@@ -515,7 +519,7 @@ func loadTA(path string) (*ta.TA, error) {
 
 func cmdExport(args []string) error {
 	fs := flag.NewFlagSet("export", flag.ContinueOnError)
-	model := fs.String("model", "bv", "model: bv, naive or simplified")
+	model := fs.String("model", "bv", "model: bv, naive, simplified, strb, bosco or sba")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -524,4 +528,40 @@ func cmdExport(args []string) error {
 		return err
 	}
 	return taformat.Write(os.Stdout, a)
+}
+
+// bundledSpecs maps every builtin model name to its shipped spec file under
+// specs/ (the artifact `holistic export` regenerates and the golden-hash
+// test pins).
+var bundledSpecs = []struct{ model, file string }{
+	{"bv", "bvbroadcast.ta"},
+	{"naive", "naive.ta"},
+	{"simplified", "simplified.ta"},
+	{"strb", "strb.ta"},
+	{"bosco", "bosco.ta"},
+	{"sba", "sba.ta"},
+}
+
+// cmdSpecs lists the bundled specs with their sizes, query counts and
+// canonical vcache hashes — the identities under which verdicts are cached.
+// The hashes must match testdata/golden_hashes.txt in internal/vcache; a
+// mismatch at an unchanged engine version means the canonical serialization
+// drifted.
+func cmdSpecs(args []string) error {
+	fs := flag.NewFlagSet("specs", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("engine %s\n", vcache.EngineVersion)
+	fmt.Printf("%-12s %-16s %5s %6s %8s  %s\n", "MODEL", "SPEC", "LOCS", "RULES", "QUERIES", "HASH")
+	for _, s := range bundledSpecs {
+		a, queries, err := modelByName(s.model)
+		if err != nil {
+			return err
+		}
+		size := a.Size()
+		fmt.Printf("%-12s %-16s %5d %6d %8d  %s\n",
+			s.model, s.file, size.Locations, size.Rules, len(queries), vcache.TAHash(a))
+	}
+	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/fairness"
 	"repro/internal/network"
 	"repro/internal/obs"
+	"repro/internal/sba"
 )
 
 // Scenario is one fully replayable chaos run: the consensus parameters, the
@@ -19,6 +20,9 @@ import (
 // derived from Plan.Seed), so the JSON form printed on a violation replays
 // the exact failing execution.
 type Scenario struct {
+	// Protocol selects the executable protocol front-end: "dbft" (default,
+	// also "") or "sba" — the SBA* binary reduction of internal/sba.
+	Protocol  string   `json:"protocol,omitempty"`
 	N         int      `json:"n"`
 	T         int      `json:"t"`
 	MaxRounds int      `json:"max_rounds"`
@@ -68,13 +72,16 @@ type Outcome struct {
 	Steps   int
 	Decided bool // every participating correct process decided
 	// Participating excludes crash-stopped processes (they count as faults);
-	// Procs holds every correct process for invariant checks.
-	Procs         []*dbft.Process
-	Participating []*dbft.Process
-	AgreementErr  error
-	ValidityErr   error
-	Err           error // run/panic error, already annotated with the scenario
-	Events        []Event
+	// Procs holds every correct process for invariant checks. Exactly one of
+	// the dbft and sba pairs is populated, per Scenario.Protocol.
+	Procs            []*dbft.Process
+	Participating    []*dbft.Process
+	SBAProcs         []*sba.Process
+	SBAParticipating []*sba.Process
+	AgreementErr     error
+	ValidityErr      error
+	Err              error // run/panic error, already annotated with the scenario
+	Events           []Event
 
 	// Bus is the event-bus counter snapshot (zero on the flat backend);
 	// Stalled lists peers the stall detector left flagged at run end.
@@ -103,6 +110,10 @@ func (sc Scenario) Run() (out Outcome) {
 			out.Err = fmt.Errorf("faults: panic in scenario %s: %v\n%s", sc.Encode(), r, debug.Stack())
 		}
 	}()
+	if sc.Protocol == "sba" {
+		sc.runSBA(&out)
+		return out
+	}
 
 	cfg := dbft.Config{N: sc.N, T: sc.T, MaxRounds: sc.MaxRounds}
 	all := dbft.AllIDs(sc.N)
@@ -282,6 +293,10 @@ type Campaign struct {
 	N        int
 	T        int
 
+	// Protocol selects the executable front-end for every generated
+	// scenario: "" or "dbft" (default), or "sba".
+	Protocol string
+
 	MaxRounds int // default 12
 	MaxSteps  int // default 120_000
 	Tick      int // default 25
@@ -356,6 +371,7 @@ func (r CampaignResult) String() string {
 func (c Campaign) RandomScenario(seed int64) Scenario {
 	rng := rand.New(rand.NewSource(seed))
 	sc := Scenario{
+		Protocol:  c.Protocol,
 		N:         c.N,
 		T:         c.T,
 		MaxRounds: c.maxRounds(),

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/dbft"
 	"repro/internal/network"
+	"repro/internal/sba"
 )
 
 // DropRule describes one class of message loss.
@@ -568,13 +569,22 @@ func (inj *Injector) downNow(id network.ProcID) bool {
 	return false
 }
 
-// snapshotter is the crash-recovery contract: processes that persist their
-// state survive a crash window with only the window's deliveries lost.
-// Processes without it are paused-with-memory instead (the crash degrades to
-// an omission fault for them).
+// snapshotter is the crash-recovery contract for dbft processes: processes
+// that persist their state survive a crash window with only the window's
+// deliveries lost. The durable WAL plane (replicaStore) is typed against it.
+// Processes without a snapshot contract are paused-with-memory instead (the
+// crash degrades to an omission fault for them).
 type snapshotter interface {
 	Snapshot() *dbft.Snapshot
 	Restore(*dbft.Snapshot)
+}
+
+// sbaSnapshotter is the same contract for sba processes. The volatile
+// crash-recovery path is generalized over both via capture/restore closures
+// (see Wrap); the durable WAL plane stays dbft-only.
+type sbaSnapshotter interface {
+	Snapshot() *sba.Snapshot
+	Restore(*sba.Snapshot)
 }
 
 // Wrap interposes crash handling on every process. The returned slice is
@@ -585,12 +595,17 @@ func (inj *Injector) Wrap(procs []network.Process) []network.Process {
 	out := make([]network.Process, len(procs))
 	for i, p := range procs {
 		w := &wrapProc{inner: p, inj: inj}
-		if s, ok := p.(snapshotter); ok {
-			w.rec = s
+		switch s := p.(type) {
+		case snapshotter:
+			w.capture = func() any { return s.Snapshot() }
+			w.restore = func(v any) { s.Restore(v.(*dbft.Snapshot)) }
 			if st := inj.stores[p.ID()]; st != nil {
 				st.rec = s
 				w.store = st
 			}
+		case sbaSnapshotter:
+			w.capture = func() any { return s.Snapshot() }
+			w.restore = func(v any) { s.Restore(v.(*sba.Snapshot)) }
 		}
 		// The in-memory snapshot regime is only consumed by revive() after a
 		// scheduled crash window on the non-durable path (storage faults and
@@ -619,15 +634,21 @@ func (inj *Injector) Wrap(procs []network.Process) []network.Process {
 type wrapProc struct {
 	inner network.Process
 	inj   *Injector
-	rec   snapshotter
 	store *replicaStore
+
+	// capture and restore realize the in-memory snapshot regime generically
+	// over the protocol front-ends (dbft and sba snapshots have different
+	// types; the closures erase that). Nil for processes without a snapshot
+	// contract.
+	capture func() any
+	restore func(any)
 
 	started bool
 	down    bool
 	// volatileCrash marks replicas the plan crashes on the non-durable path —
 	// the only consumers of the per-delivery in-memory snapshot below.
 	volatileCrash bool
-	snap          *dbft.Snapshot
+	snap          any
 }
 
 var _ network.Process = (*wrapProc)(nil)
@@ -761,8 +782,8 @@ func (w *wrapProc) revive(send network.Sender) bool {
 		} else {
 			w.down = false
 			w.inj.log(EvRecover, w.ID(), network.Message{})
-			if w.rec != nil && w.snap != nil {
-				w.rec.Restore(w.snap)
+			if w.restore != nil && w.snap != nil {
+				w.restore(w.snap)
 			}
 		}
 	}
@@ -799,7 +820,7 @@ func (w *wrapProc) restoreFromDisk() bool {
 		}
 		return true // never started: the Start path below boots it fresh
 	}
-	w.rec.Restore(ds.snap)
+	w.store.rec.Restore(ds.snap)
 	nop := func(network.Message) {}
 	for _, m := range ds.msgs {
 		w.inner.Deliver(m, nop)
@@ -814,7 +835,7 @@ func (w *wrapProc) restoreFromDisk() bool {
 // against its pre-crash messages (see dbft.Snapshot). Durable replicas
 // persist through their WAL instead (startDurable / Deliver).
 func (w *wrapProc) persist() {
-	if w.rec != nil && w.volatileCrash {
-		w.snap = w.rec.Snapshot()
+	if w.capture != nil && w.volatileCrash {
+		w.snap = w.capture()
 	}
 }

@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fairness"
+	"repro/internal/network"
+	"repro/internal/sba"
+)
+
+// runSBA executes a Protocol: "sba" scenario — the SBA* binary-reduction
+// counterpart of the dbft body of Scenario.Run. The fault plane (injector,
+// schedulers, partitions, crash windows with in-memory snapshots,
+// retransmission) is shared; only the protocol stack differs. Durable WALs
+// and storage faults are dbft-only and rejected by Validate, so the durable
+// branches of the dbft path have no counterpart here.
+func (sc Scenario) runSBA(out *Outcome) {
+	cfg := sba.Config{N: sc.N, T: sc.T, MaxRounds: sc.MaxRounds}
+	all := sba.AllIDs(sc.N)
+	correct, err := sba.Processes(cfg, sc.Inputs, all)
+	if err != nil {
+		out.Err = fmt.Errorf("faults: scenario %s: %w", sc.Encode(), err)
+		return
+	}
+	byzSet := map[network.ProcID]bool{}
+	procs := make([]network.Process, 0, sc.N)
+	for _, p := range correct {
+		procs = append(procs, p)
+	}
+	// Same per-process PRNG discipline as the dbft path: liar randomness is
+	// derived from the seed and the id, never shared across processes.
+	for i, strat := range sc.Byz {
+		id := network.ProcID(len(sc.Inputs) + i)
+		byzSet[id] = true
+		switch strat {
+		case "silent":
+			procs = append(procs, &sba.Silent{Id: id})
+		case "equivocator":
+			procs = append(procs, &sba.Equivocator{Id: id, All: all,
+				ZeroSide: func(p network.ProcID) bool { return int(p) < sc.N/2 }})
+		case "liar":
+			procs = append(procs, &sba.RandomLiar{Id: id, All: all,
+				Rng: rand.New(rand.NewSource(sc.Plan.Seed + 1 + 1_000_003*int64(id)))})
+		default:
+			out.Err = fmt.Errorf("faults: scenario %s: unknown byzantine strategy %q", sc.Encode(), strat)
+			return
+		}
+	}
+	if len(sc.Inputs)+len(sc.Byz) != sc.N {
+		out.Err = fmt.Errorf("faults: scenario %s: %d inputs + %d byzantine != n=%d",
+			sc.Encode(), len(sc.Inputs), len(sc.Byz), sc.N)
+		return
+	}
+
+	var inner network.Scheduler
+	switch sc.Sched {
+	case "", "random":
+		inner = network.RandomScheduler{Rng: rand.New(rand.NewSource(sc.Plan.Seed + 2))}
+	case "fifo":
+		inner = network.FIFOScheduler{}
+	case "fair":
+		inner = fairness.Scheduler{Byzantine: byzSet}
+	case "native":
+		inner = network.FIFOScheduler{}
+	default:
+		out.Err = fmt.Errorf("faults: scenario %s: unknown scheduler %q", sc.Encode(), sc.Sched)
+		return
+	}
+
+	inj := NewInjector(sc.Plan, inner)
+	netOpts, err := sc.networkOptions()
+	if err != nil {
+		out.Err = fmt.Errorf("faults: scenario %s: %w", sc.Encode(), err)
+		return
+	}
+	sys, err := network.NewSystemOpts(inj.Wrap(procs), inj, netOpts)
+	if err != nil {
+		out.Err = fmt.Errorf("faults: scenario %s: %w", sc.Encode(), err)
+		return
+	}
+	inj.Install(sys)
+	sys.TickInterval = sc.Tick
+
+	stopped := map[network.ProcID]bool{}
+	for _, id := range sc.Plan.CrashStops() {
+		stopped[id] = true
+	}
+	participating := make([]*sba.Process, 0, len(correct))
+	for _, p := range correct {
+		if !stopped[p.ID()] {
+			participating = append(participating, p)
+		}
+	}
+	cleanDecided := func() bool {
+		for _, p := range participating {
+			if _, _, ok := p.Decided(); !ok {
+				return false
+			}
+		}
+		return true
+	}
+
+	steps, err := sys.Run(sc.MaxSteps, cleanDecided)
+	out.Steps = steps
+	out.SBAProcs = correct
+	out.SBAParticipating = participating
+	out.Events = inj.Log
+	out.Bus = sys.BusStats()
+	out.Stalled = sys.Stalled()
+	if err != nil {
+		out.Err = fmt.Errorf("faults: scenario %s: %w", sc.Encode(), err)
+		return
+	}
+	out.Decided = cleanDecided()
+	// Safety invariants over every correct process, including crash-stopped
+	// ones: whatever they reduced to before dying must agree.
+	out.AgreementErr = sba.Agreement(correct)
+	out.ValidityErr = sba.Validity(correct, sc.Inputs)
+}

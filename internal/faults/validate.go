@@ -65,6 +65,13 @@ func lineCol(s string, off int64) (line, col int) {
 	return line, col
 }
 
+// Protocols is the accepted protocol vocabulary ("" defaults to dbft). The
+// CLI protocol selector validates against the same set.
+var Protocols = map[string]bool{"": true, "dbft": true, "sba": true}
+
+// KnownProtocols lists the selectable protocol front-ends for error text.
+const KnownProtocols = "dbft, sba"
+
 // byzStrategies is the accepted Byzantine strategy vocabulary.
 var byzStrategies = map[string]bool{"silent": true, "equivocator": true, "liar": true}
 
@@ -86,6 +93,18 @@ func (sc Scenario) Validate() error {
 		errs = append(errs, path+": "+fmt.Sprintf(format, args...))
 	}
 
+	if !Protocols[sc.Protocol] {
+		bad("protocol", "unknown protocol %q (known protocols: %s)", sc.Protocol, KnownProtocols)
+	}
+	isSBA := sc.Protocol == "sba"
+	if isSBA {
+		if sc.Durable {
+			bad("durable", "durable WAL replicas are dbft-only; protocol \"sba\" uses in-memory crash-recovery snapshots")
+		}
+		if len(sc.Plan.Storage) > 0 {
+			bad("plan.storage", "storage faults are dbft-only (they require durable WALs)")
+		}
+	}
 	if sc.N <= 0 {
 		bad("n", "must be positive, got %d", sc.N)
 	}
@@ -181,10 +200,23 @@ func (sc Scenario) Validate() error {
 		if d.Prob < 0 || d.Prob > 1 {
 			bad(path+".prob", "probability must be in [0,1], got %v", d.Prob)
 		}
-		switch d.Kind {
-		case "", network.MsgBV, network.MsgAux:
-		default:
-			bad(path+".kind", "unknown message kind %q (want BV or AUX)", d.Kind)
+		// The drop-kind vocabulary is protocol-aware: dbft exchanges BV and
+		// AUX, the sba reduction exchanges VOTE and CAND.
+		if isSBA {
+			switch d.Kind {
+			case "", network.MsgVote, network.MsgCand:
+			default:
+				bad(path+".kind", "unknown message kind %q for protocol \"sba\" (want VOTE or CAND)", d.Kind)
+			}
+			if d.ParityBV {
+				bad(path+".parity_bv", "parity-BV drops are dbft-only")
+			}
+		} else {
+			switch d.Kind {
+			case "", network.MsgBV, network.MsgAux:
+			default:
+				bad(path+".kind", "unknown message kind %q (want BV or AUX)", d.Kind)
+			}
 		}
 	}
 	if sc.Plan.DupProb < 0 || sc.Plan.DupProb > 1 {

@@ -50,6 +50,11 @@ const (
 	MsgProp  MsgKind = "PROP"
 	MsgEcho  MsgKind = "ECHO"
 	MsgReady MsgKind = "READY"
+	// MsgVote and MsgCand are the two message types of the SBA* binary
+	// reduction (internal/sba): a step-1 vote and a step-2 candidate. Both
+	// carry Value.
+	MsgVote MsgKind = "VOTE"
+	MsgCand MsgKind = "CAND"
 )
 
 // Message is a point-to-point message. Round tags implement
@@ -121,6 +126,8 @@ func (m Message) String() string {
 	switch m.Kind {
 	case MsgBV:
 		return fmt.Sprintf("BV(r%d,%d) %d->%d", m.Round, m.Value, m.From, m.To)
+	case MsgVote, MsgCand:
+		return fmt.Sprintf("%s(r%d,%d) %d->%d", m.Kind, m.Round, m.Value, m.From, m.To)
 	case MsgProp, MsgEcho, MsgReady:
 		return fmt.Sprintf("%s(p%d,%q) %d->%d", m.Kind, m.Proposer, m.Payload, m.From, m.To)
 	default:

@@ -1,0 +1,137 @@
+package reduction
+
+// Communication-closure and round-rigidity of the multi-round sba automaton:
+// the Appendix A reduction argument must apply to the new front-end's spec
+// exactly as it does to the consensus automata, or its round-switch
+// structure would not justify the one-round verification the schema plane
+// performs.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/counter"
+	"repro/internal/models"
+	"repro/internal/ta"
+)
+
+func sbaSystem(t *testing.T, rounds int) (*System, *ta.TA) {
+	t.Helper()
+	a := models.SBA()
+	params := counter.ParamsFor(a, 4, 1, 1)
+	s, err := NewSystem(a, params, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, a
+}
+
+// TestSBACommClosed: the sba automaton satisfies the structural
+// communication-closure conditions (guards over per-round shared variables
+// only; unguarded, update-free round switches).
+func TestSBACommClosed(t *testing.T) {
+	a := models.SBA()
+	if err := CheckCommClosed(a); err != nil {
+		t.Error(err)
+	}
+	if err := EnlargedInitials(a); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSBAMutatedRoundSwitchRejected: communication closure is not vacuous —
+// grafting a guard or an update onto one of sba's round-switch rules must
+// make the structural check fail.
+func TestSBAMutatedRoundSwitchRejected(t *testing.T) {
+	findRule := func(a *ta.TA, name string) int {
+		for i, r := range a.Rules {
+			if r.Name == name {
+				return i
+			}
+		}
+		t.Fatalf("no rule %s", name)
+		return -1
+	}
+
+	a := models.SBA()
+	rs := findRule(a, "rsD1x")
+	donor := findRule(a, "s3") // guarded rule with an update
+	a.Rules[rs].Guard = a.Rules[donor].Guard
+	if err := CheckCommClosed(a); err == nil {
+		t.Error("guarded round-switch rule accepted")
+	}
+
+	a = models.SBA()
+	rs = findRule(a, "rsE0x")
+	donor = findRule(a, "s3")
+	a.Rules[rs].Update = a.Rules[donor].Update
+	if err := CheckCommClosed(a); err == nil {
+		t.Error("round-switch rule with updates accepted")
+	}
+}
+
+// TestSBARoundRigidReduction: every random asynchronous multi-round sba run
+// reorders into a valid round-rigid run with the same final configuration —
+// the empirical form of the Appendix A theorem for the new automaton.
+func TestSBARoundRigidReduction(t *testing.T) {
+	s, a := sbaSystem(t, 3)
+	i0, i1 := a.MustLoc("I0"), a.MustLoc("I1")
+
+	prop := func(seed int64, split uint8) bool {
+		k0 := int64(split % 4)
+		init, err := s.InitialConfig(map[ta.LocID]int64{i0: k0, i1: 3 - k0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		steps := randomRun(t, s, init, rng, 120)
+		rigid, err := s.Verify(init, steps)
+		if err != nil {
+			t.Logf("seed=%d: %v", seed, err)
+			return false
+		}
+		return IsRoundRigid(rigid)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSBARoundSwitchCrossesRounds drives a unanimous-1 superround through
+// the automaton and checks the decide-1 exit switches the population into
+// round 1's I1.
+func TestSBARoundSwitchCrossesRounds(t *testing.T) {
+	s, a := sbaSystem(t, 2)
+	i1 := a.MustLoc("I1")
+	init, err := s.InitialConfig(map[ta.LocID]int64{i1: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unanimous 1: vote, lock 1, exit uniform-1 (estimate stays 1), enter the
+	// parity-1 half, decide 1 there, then switch rounds.
+	script := []string{"s2", "s4", "s8", "s13", "s2x", "s4x", "s8x", "rsD1x"}
+	cur := init
+	for _, name := range script {
+		ri := -1
+		for i, r := range a.Rules {
+			if r.Name == name {
+				ri = i
+			}
+		}
+		if ri == -1 {
+			t.Fatalf("no rule %s", name)
+		}
+		next, err := s.Apply(cur, Step{Round: 0, Rule: ri, Factor: 3})
+		if err != nil {
+			t.Fatalf("rule %s: %v", name, err)
+		}
+		cur = next
+	}
+	if cur.K[1][i1] != 3 {
+		t.Errorf("after round switch: round-1 I1 = %d, want 3", cur.K[1][i1])
+	}
+	if cur.K[0][a.MustLoc("D1x")] != 0 {
+		t.Error("round-0 D1x should have drained")
+	}
+}

@@ -1,0 +1,122 @@
+package sba
+
+import (
+	"math/rand"
+
+	"repro/internal/network"
+)
+
+// Silent is the crash-like Byzantine strategy: it never sends anything.
+type Silent struct {
+	Id network.ProcID
+}
+
+var _ network.Process = (*Silent)(nil)
+
+// ID implements network.Process.
+func (s *Silent) ID() network.ProcID { return s.Id }
+
+// Start implements network.Process.
+func (s *Silent) Start(network.Sender) {}
+
+// Deliver implements network.Process.
+func (s *Silent) Deliver(network.Message, network.Sender) {}
+
+// Equivocator is the split-brain strategy for the reduction: for every round
+// it observes, it sends VOTE 0 and CAND 0 to the processes selected by
+// ZeroSide and VOTE 1 / CAND 1 to the rest, pushing the two sides toward
+// locking and choosing opposite bits. With f <= t it cannot break safety;
+// with f > n/3 it drives disagreement.
+type Equivocator struct {
+	Id       network.ProcID
+	All      []network.ProcID
+	ZeroSide func(network.ProcID) bool
+
+	sent map[int]bool
+}
+
+var _ network.Process = (*Equivocator)(nil)
+
+// ID implements network.Process.
+func (e *Equivocator) ID() network.ProcID { return e.Id }
+
+// Start implements network.Process.
+func (e *Equivocator) Start(send network.Sender) {
+	e.emit(0, send)
+}
+
+// Deliver implements network.Process: the first message of each round
+// triggers that round's equivocation.
+func (e *Equivocator) Deliver(m network.Message, send network.Sender) {
+	e.emit(m.Round, send)
+}
+
+func (e *Equivocator) emit(round int, send network.Sender) {
+	if e.sent == nil {
+		e.sent = make(map[int]bool)
+	}
+	if e.sent[round] {
+		return
+	}
+	e.sent[round] = true
+	for _, to := range e.All {
+		if to == e.Id {
+			continue
+		}
+		v := 1
+		if e.ZeroSide != nil && e.ZeroSide(to) {
+			v = 0
+		}
+		send(network.Message{From: e.Id, To: to, Round: round, Kind: network.MsgVote, Value: v})
+		send(network.Message{From: e.Id, To: to, Round: round, Kind: network.MsgCand, Value: v})
+	}
+}
+
+// RandomLiar sends uniformly random votes and candidates to every process
+// for every round it observes — the fuzzing adversary for property-based
+// tests. Candidate values are drawn from {0, 1, 2} so the receiver's
+// malformed-content sanitization is exercised too.
+//
+// Rng must be private to this process: in the bus's native drain mode each
+// Byzantine process runs on its partition's goroutine, so a *rand.Rand
+// shared between two liars is a data race (and nondeterministic even when
+// the race detector stays quiet). Construction sites derive one seeded PRNG
+// per liar id.
+type RandomLiar struct {
+	Id  network.ProcID
+	All []network.ProcID
+	Rng *rand.Rand
+
+	sent map[int]bool
+}
+
+var _ network.Process = (*RandomLiar)(nil)
+
+// ID implements network.Process.
+func (l *RandomLiar) ID() network.ProcID { return l.Id }
+
+// Start implements network.Process.
+func (l *RandomLiar) Start(send network.Sender) { l.emit(0, send) }
+
+// Deliver implements network.Process.
+func (l *RandomLiar) Deliver(m network.Message, send network.Sender) { l.emit(m.Round, send) }
+
+func (l *RandomLiar) emit(round int, send network.Sender) {
+	if l.sent == nil {
+		l.sent = make(map[int]bool)
+	}
+	if l.sent[round] {
+		return
+	}
+	l.sent[round] = true
+	for _, to := range l.All {
+		if to == l.Id {
+			continue
+		}
+		send(network.Message{From: l.Id, To: to, Round: round, Kind: network.MsgVote, Value: l.Rng.Intn(2)})
+		if l.Rng.Intn(2) == 0 { // sometimes vote both bits — legal even for correct processes
+			send(network.Message{From: l.Id, To: to, Round: round, Kind: network.MsgVote, Value: l.Rng.Intn(2)})
+		}
+		send(network.Message{From: l.Id, To: to, Round: round, Kind: network.MsgCand, Value: l.Rng.Intn(3)})
+	}
+}

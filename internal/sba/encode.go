@@ -1,0 +1,363 @@
+package sba
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/network"
+)
+
+// Canonical encoding of Snapshot, mirroring internal/dbft/encode.go: map
+// keys are sorted, so two state-identical snapshots always encode to the
+// same bytes. The fault plane's Fingerprint uses this as the per-process
+// state digest; the byte-identity tests (-j1 vs -j8, flat vs bus) lean on
+// the canonical property.
+
+// snapshotVersion guards the layout; bump on any change.
+const snapshotVersion = 1
+
+// maxDecodeLen caps every decoded length field so a hostile (or fuzzed)
+// input cannot demand gigabytes.
+const maxDecodeLen = 1 << 20
+
+type encBuf struct{ b []byte }
+
+func (e *encBuf) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *encBuf) varint(v int)     { e.b = binary.AppendVarint(e.b, int64(v)) }
+func (e *encBuf) bool(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+func (e *encBuf) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *encBuf) ints(vs []int) {
+	e.uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		e.varint(v)
+	}
+}
+func (e *encBuf) procs(ids []network.ProcID) {
+	e.uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		e.varint(int(id))
+	}
+}
+
+type decBuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decBuf) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("sba: decode: "+format, args...)
+	}
+}
+
+func (d *decBuf) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint at %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decBuf) varint() int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad varint at %d", d.off)
+		return 0
+	}
+	d.off += n
+	return int(v)
+}
+
+func (d *decBuf) length() int {
+	v := d.uvarint()
+	if v > maxDecodeLen {
+		d.fail("length %d exceeds cap", v)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decBuf) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.b) {
+		d.fail("bool past end")
+		return false
+	}
+	v := d.b[d.off]
+	d.off++
+	return v != 0
+}
+
+func (d *decBuf) str() string {
+	n := d.length()
+	if d.err != nil {
+		return ""
+	}
+	if d.off+n > len(d.b) {
+		d.fail("string of %d past end", n)
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decBuf) ints() []int {
+	n := d.length()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int, 0, min(n, 1024))
+	for i := 0; i < n; i++ {
+		out = append(out, d.varint())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+func (d *decBuf) procIDs() []network.ProcID {
+	n := d.length()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]network.ProcID, 0, min(n, 1024))
+	for i := 0; i < n; i++ {
+		out = append(out, network.ProcID(d.varint()))
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+func encodeMessage(e *encBuf, m network.Message) {
+	e.varint(int(m.From))
+	e.varint(int(m.To))
+	e.varint(m.Round)
+	e.str(string(m.Kind))
+	e.varint(m.Value)
+	e.ints(m.Set)
+	e.varint(m.Instance)
+	e.varint(int(m.Proposer))
+	e.str(m.Payload)
+	// Seq is per-copy fault-layer metadata, deliberately not persisted.
+}
+
+func decodeMessage(d *decBuf) network.Message {
+	var m network.Message
+	m.From = network.ProcID(d.varint())
+	m.To = network.ProcID(d.varint())
+	m.Round = d.varint()
+	m.Kind = network.MsgKind(d.str())
+	m.Value = d.varint()
+	m.Set = d.ints()
+	m.Instance = d.varint()
+	m.Proposer = network.ProcID(d.varint())
+	m.Payload = d.str()
+	return m
+}
+
+// EncodeSnapshot renders the snapshot canonically: state-identical
+// snapshots yield identical bytes.
+func EncodeSnapshot(s *Snapshot) []byte {
+	e := &encBuf{b: make([]byte, 0, 256)}
+	e.b = append(e.b, snapshotVersion)
+	e.varint(s.est)
+	e.varint(s.round)
+	e.bool(s.decided)
+	e.varint(s.decision)
+	e.varint(s.decRound)
+	e.ints(s.estimateHistory)
+
+	rounds := make([]int, 0, len(s.lockOrder))
+	for r := range s.lockOrder {
+		rounds = append(rounds, r)
+	}
+	sort.Ints(rounds)
+	e.uvarint(uint64(len(rounds)))
+	for _, r := range rounds {
+		e.varint(r)
+		e.ints(s.lockOrder[r])
+	}
+
+	rounds = rounds[:0]
+	for r := range s.rounds {
+		rounds = append(rounds, r)
+	}
+	sort.Ints(rounds)
+	e.uvarint(uint64(len(rounds)))
+	for _, r := range rounds {
+		e.varint(r)
+		encodeRoundState(e, s.rounds[r])
+	}
+
+	e.uvarint(uint64(len(s.outbox)))
+	for _, m := range s.outbox {
+		encodeMessage(e, m)
+	}
+	return e.b
+}
+
+func encodeRoundState(e *encBuf, st *roundState) {
+	for v := 0; v <= 1; v++ {
+		ids := make([]network.ProcID, 0, len(st.voteSenders[v]))
+		for id := range st.voteSenders[v] {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		e.procs(ids)
+	}
+	// Bit-pack the five flags.
+	var flags byte
+	if st.voted[0] {
+		flags |= 1
+	}
+	if st.voted[1] {
+		flags |= 2
+	}
+	if st.locked[0] {
+		flags |= 4
+	}
+	if st.locked[1] {
+		flags |= 8
+	}
+	if st.candSent {
+		flags |= 16
+	}
+	e.b = append(e.b, flags)
+	e.ints(st.lockOrder)
+	// Candidates in arrival order (candOrder), preserving
+	// first-candidate-wins semantics across a recovery.
+	e.uvarint(uint64(len(st.candOrder)))
+	for _, q := range st.candOrder {
+		e.varint(int(q))
+		e.varint(st.candidates[q])
+	}
+}
+
+// DecodeSnapshot parses a snapshot previously rendered by EncodeSnapshot.
+// It never panics on malformed input (fuzzed in encode_test.go).
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("sba: decode: empty snapshot")
+	}
+	if b[0] != snapshotVersion {
+		return nil, fmt.Errorf("sba: decode: unknown snapshot version %d", b[0])
+	}
+	d := &decBuf{b: b, off: 1}
+	s := &Snapshot{
+		rounds:    map[int]*roundState{},
+		lockOrder: map[int][]int{},
+	}
+	s.est = d.varint()
+	s.round = d.varint()
+	s.decided = d.bool()
+	s.decision = d.varint()
+	s.decRound = d.varint()
+	s.estimateHistory = d.ints()
+
+	n := d.length()
+	for i := 0; i < n && d.err == nil; i++ {
+		r := d.varint()
+		vs := d.ints()
+		if d.err == nil {
+			if _, dup := s.lockOrder[r]; dup {
+				d.fail("duplicate lock-order round %d", r)
+				break
+			}
+			s.lockOrder[r] = vs
+		}
+	}
+
+	n = d.length()
+	for i := 0; i < n && d.err == nil; i++ {
+		r := d.varint()
+		st := decodeRoundState(d)
+		if d.err == nil {
+			if _, dup := s.rounds[r]; dup {
+				d.fail("duplicate round %d", r)
+				break
+			}
+			s.rounds[r] = st
+		}
+	}
+
+	n = d.length()
+	for i := 0; i < n && d.err == nil; i++ {
+		s.outbox = append(s.outbox, decodeMessage(d))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("sba: decode: %d trailing bytes after snapshot", len(b)-d.off)
+	}
+	return s, nil
+}
+
+func decodeRoundState(d *decBuf) *roundState {
+	st := newRoundState()
+	for v := 0; v <= 1; v++ {
+		for _, id := range d.procIDs() {
+			if st.voteSenders[v][id] {
+				d.fail("duplicate vote sender %d", id)
+				return st
+			}
+			st.voteSenders[v][id] = true
+		}
+	}
+	if d.err != nil {
+		return st
+	}
+	if d.off >= len(d.b) {
+		d.fail("flags past end")
+		return st
+	}
+	flags := d.b[d.off]
+	d.off++
+	st.voted[0] = flags&1 != 0
+	st.voted[1] = flags&2 != 0
+	st.locked[0] = flags&4 != 0
+	st.locked[1] = flags&8 != 0
+	st.candSent = flags&16 != 0
+	st.lockOrder = d.ints()
+
+	n := d.length()
+	for i := 0; i < n && d.err == nil; i++ {
+		q := network.ProcID(d.varint())
+		b := d.varint()
+		if d.err == nil {
+			if _, dup := st.candidates[q]; dup {
+				d.fail("duplicate candidate %d", q)
+				return st
+			}
+			st.candidates[q] = b
+			st.candOrder = append(st.candOrder, q)
+		}
+	}
+	st.recountJustified()
+	return st
+}

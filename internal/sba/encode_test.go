@@ -1,0 +1,181 @@
+package sba
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/network"
+)
+
+// snapshotAfterSteps runs a 4-process reduction under a seeded random
+// scheduler for at most maxSteps deliveries and returns the live processes —
+// a generator of realistic mid-protocol states (buffered future rounds,
+// partial quorums, nonempty outboxes).
+func snapshotAfterSteps(t *testing.T, seed int64, maxSteps int) []*Process {
+	t.Helper()
+	cfg := Config{N: 4, T: 1, MaxRounds: 8}
+	rng := rand.New(rand.NewSource(seed))
+	inputs := []int{int(seed) & 1, int(seed>>1) & 1, int(seed>>2) & 1}
+	all := AllIDs(cfg.N)
+	correct, err := Processes(cfg, inputs, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := []network.Process{correct[0], correct[1], correct[2],
+		&RandomLiar{Id: 3, All: all, Rng: rng}}
+	sys, err := network.NewSystem(procs, network.RandomScheduler{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(maxSteps, nil); err != nil {
+		t.Fatal(err)
+	}
+	return correct
+}
+
+// TestSnapshotCodecRoundTrip: for many seeded mid-protocol states,
+// Restore(decode(encode(Snapshot()))) must be state-identical — same
+// canonical bytes, same outbox order — for both the on-disk codec and the
+// in-memory clone path.
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		for _, p := range snapshotAfterSteps(t, seed, 40+int(seed)*17%300) {
+			snap := p.Snapshot()
+			enc := EncodeSnapshot(snap)
+
+			dec, err := DecodeSnapshot(enc)
+			if err != nil {
+				t.Fatalf("seed %d p%d: decode: %v", seed, p.ID(), err)
+			}
+			if !bytes.Equal(EncodeSnapshot(dec), enc) {
+				t.Fatalf("seed %d p%d: encode(decode(enc)) != enc", seed, p.ID())
+			}
+
+			// Disk path: restore the decoded snapshot into a fresh process.
+			fresh, err := NewProcess(p.ID(), 0, Config{N: 4, T: 1, MaxRounds: 8}, AllIDs(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh.Restore(dec)
+			restored := fresh.Snapshot()
+			if !bytes.Equal(EncodeSnapshot(restored), enc) {
+				t.Fatalf("seed %d p%d: disk round-trip not state-identical", seed, p.ID())
+			}
+			if !reflect.DeepEqual(restored.outbox, snap.outbox) {
+				t.Fatalf("seed %d p%d: outbox order changed across disk round-trip", seed, p.ID())
+			}
+
+			// In-memory clone path: Restore(Snapshot()) on the live process.
+			p.Restore(snap)
+			if !bytes.Equal(EncodeSnapshot(p.Snapshot()), enc) {
+				t.Fatalf("seed %d p%d: in-memory round-trip not state-identical", seed, p.ID())
+			}
+		}
+	}
+}
+
+// TestSnapshotCanonicalEncoding: two snapshots of the same state encode to
+// identical bytes even though map iteration order differs between them.
+func TestSnapshotCanonicalEncoding(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		for _, p := range snapshotAfterSteps(t, seed, 200) {
+			a := EncodeSnapshot(p.Snapshot())
+			b := EncodeSnapshot(p.Snapshot())
+			if !bytes.Equal(a, b) {
+				t.Fatalf("seed %d p%d: same state, different bytes", seed, p.ID())
+			}
+		}
+	}
+}
+
+// TestRestoreIsolation: mutating the process after Restore must not leak
+// into the snapshot it was restored from.
+func TestRestoreIsolation(t *testing.T) {
+	p := snapshotAfterSteps(t, 7, 150)[0]
+	snap := p.Snapshot()
+	enc := EncodeSnapshot(snap)
+	// Drive the process further; the captured snapshot must not change.
+	send := func(network.Message) {}
+	p.Deliver(network.Message{From: 1, To: p.ID(), Round: p.Round(), Kind: network.MsgVote, Value: 1}, send)
+	p.Deliver(network.Message{From: 2, To: p.ID(), Round: p.Round(), Kind: network.MsgVote, Value: 1}, send)
+	if !bytes.Equal(EncodeSnapshot(snap), enc) {
+		t.Fatal("snapshot mutated by post-capture deliveries")
+	}
+	p.Restore(snap)
+	if !bytes.Equal(EncodeSnapshot(p.Snapshot()), enc) {
+		t.Fatal("restore did not reproduce the captured state")
+	}
+}
+
+func TestDecodeSnapshotRejectsJunk(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0x00},             // bad version
+		{0x01},             // truncated after version
+		{0x01, 0x80},       // dangling varint
+		{0x01, 0x00, 0x80}, // dangling varint later
+	}
+	for i, b := range cases {
+		if _, err := DecodeSnapshot(b); err == nil {
+			t.Errorf("case %d: decode accepted junk %v", i, b)
+		}
+	}
+	// Trailing garbage after a valid snapshot must be rejected too.
+	p := snapshotAfterSteps(t, 3, 100)[0]
+	enc := EncodeSnapshot(p.Snapshot())
+	if _, err := DecodeSnapshot(append(append([]byte(nil), enc...), 0xFF)); err == nil {
+		t.Error("decode accepted trailing garbage")
+	}
+}
+
+// FuzzSnapshotDecode: DecodeSnapshot must never panic, and any bytes it
+// accepts must re-encode to a fixed point (decode∘encode is the identity on
+// canonical forms).
+func FuzzSnapshotDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{snapshotVersion})
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := Config{N: 4, T: 1, MaxRounds: 8}
+		rng := rand.New(rand.NewSource(seed))
+		inputs := []int{1, 0, 1}
+		all := AllIDs(cfg.N)
+		correct, err := Processes(cfg, inputs, all)
+		if err != nil {
+			f.Fatal(err)
+		}
+		procs := []network.Process{correct[0], correct[1], correct[2], &Silent{Id: 3}}
+		sys, err := network.NewSystem(procs, network.RandomScheduler{Rng: rng})
+		if err != nil {
+			f.Fatal(err)
+		}
+		if _, err := sys.Run(int(seed)*60, nil); err != nil {
+			f.Fatal(err)
+		}
+		for _, p := range correct {
+			f.Add(EncodeSnapshot(p.Snapshot()))
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		c1 := EncodeSnapshot(s)
+		s2, err := DecodeSnapshot(c1)
+		if err != nil {
+			t.Fatalf("re-decode of canonical form failed: %v", err)
+		}
+		if !bytes.Equal(EncodeSnapshot(s2), c1) {
+			t.Fatal("canonical form is not a fixed point")
+		}
+		// Restore must accept anything the decoder admits without panicking.
+		p, err := NewProcess(0, 0, Config{N: 4, T: 1, MaxRounds: 8}, AllIDs(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Restore(s)
+	})
+}

@@ -1,0 +1,467 @@
+// Package sba is an executable SBA*-style binary reduction protocol — the
+// Turpin–Coan two-step reduction for n > 3t as adapted by the Dusk SBA*
+// agreement loop. Each round runs two reduction steps: step 1 votes the
+// current estimate and threshold-collects votes until a bit is *locked*
+// (n-t distinct senders), step 2 propagates a single candidate bit (the
+// first-locked one) and collects n-t candidates that are justified by a
+// local lock. A uniform candidate set reduces the round to that bit; a mixed
+// set falls back to the round's default.
+//
+// Two deliberate adaptations keep the reduction sound in full asynchrony,
+// where Turpin–Coan's synchronous-round counting argument is unavailable:
+//
+//   - Step 1 amplifies votes Bracha-style (echo a bit once t+1 distinct
+//     senders vote it), so a locked bit is always justified by a correct
+//     vote and locks propagate to every correct process.
+//   - The default value rotates with the round parity (round r defaults to
+//     r mod 2) instead of being a fixed "empty block": a process decides the
+//     reduced bit only when it equals the round default, so processes that
+//     saw a mixed candidate set and fell back to the default adopt exactly
+//     the bit any uniform-set process decided. A fixed default would let a
+//     decided bit and the fallback diverge, which is safe only under
+//     synchronous rounds.
+//
+// Processes run over the asynchronous simulated network of internal/network
+// and are cross-validated against the multi-round threshold automaton
+// specs/sba.ta (internal/models.SBA) the same way dbft is validated against
+// its specs.
+package sba
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/network"
+)
+
+// Config carries the static parameters of a run.
+type Config struct {
+	N int // total number of processes
+	T int // tolerated Byzantine processes (algorithm constant)
+	// MaxRounds caps execution; a correct process stops advancing past it.
+	MaxRounds int
+}
+
+// Validate checks the configuration. The reduction thresholds require
+// n > 3t (quorum intersection of two n-t quorums contains a correct
+// process).
+func (c Config) Validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("sba: n must be positive, got %d", c.N)
+	}
+	if c.T < 0 {
+		return fmt.Errorf("sba: t must be nonnegative, got %d", c.T)
+	}
+	if c.N <= 3*c.T {
+		return fmt.Errorf("sba: reduction requires n > 3t, got n=%d t=%d", c.N, c.T)
+	}
+	if c.MaxRounds <= 0 {
+		return fmt.Errorf("sba: MaxRounds must be positive, got %d", c.MaxRounds)
+	}
+	return nil
+}
+
+// roundState holds the per-round message state. Communication closure is
+// implemented exactly as in dbft: one state per round, early messages
+// accumulate here and take effect once the process enters the round.
+type roundState struct {
+	// voteSenders[v] = distinct processes from which VOTE(v) was received.
+	voteSenders [2]map[network.ProcID]bool
+	// voted[v] reports whether this process has broadcast VOTE(v).
+	voted [2]bool
+	// locked[v] reports whether v reached n-t distinct vote senders — the
+	// step-1 threshold-collect output.
+	locked [2]bool
+	// lockOrder records the bits in lock order; the first entry is the
+	// step-2 candidate.
+	lockOrder []int
+	candSent  bool
+	// candidates[q] = the candidate bit announced by q's first CAND message.
+	candidates map[network.ProcID]int
+	candOrder  []network.ProcID
+	// justified counts candidates whose bit is locked locally — the ones the
+	// step-2 exit scan would accept. Locks only grow, so the count is bumped
+	// per arrival and recounted on the (<= 2 per round) lock additions.
+	justified int
+}
+
+func newRoundState() *roundState {
+	return &roundState{
+		voteSenders: [2]map[network.ProcID]bool{make(map[network.ProcID]bool), make(map[network.ProcID]bool)},
+		candidates:  make(map[network.ProcID]int),
+	}
+}
+
+// recountJustified recomputes justified from scratch; called when a bit
+// locks (which can turn previously blocked candidates justified) and when a
+// round state is rebuilt from a clone or a decoded snapshot.
+func (st *roundState) recountJustified() {
+	c := 0
+	for _, q := range st.candOrder {
+		if st.locked[st.candidates[q]] {
+			c++
+		}
+	}
+	st.justified = c
+}
+
+// Process is a correct SBA reduction process.
+type Process struct {
+	id  network.ProcID
+	cfg Config
+	all []network.ProcID // broadcast targets
+
+	est    int
+	round  int
+	rounds map[int]*roundState
+
+	decided      bool
+	decision     int
+	decidedRound int
+
+	// outbox records every logical broadcast (vote echoes and candidates,
+	// all rounds) for verbatim retransmission — re-sending recorded content
+	// is what keeps a crash-recovered replica from equivocating against its
+	// pre-crash messages.
+	outbox []network.Message
+	// Activity-gated retransmission backoff, the dbft regime: a tick period
+	// that delivered new information skips the countdown; the wait doubles
+	// up to retxBackoffCap and resets on round entry.
+	retxWait   int
+	retxLeft   int
+	sawTraffic bool
+
+	// EstimateHistory[r] is the estimate held at the START of round r.
+	EstimateHistory []int
+	// LockOrder[r] lists the bits in step-1 lock order for round r
+	// (diagnostics; the first entry is the candidate the process propagated).
+	LockOrder map[int][]int
+}
+
+var _ network.Process = (*Process)(nil)
+var _ network.Ticker = (*Process)(nil)
+
+// NewProcess builds a correct process with the given input bit.
+func NewProcess(id network.ProcID, input int, cfg Config, all []network.ProcID) (*Process, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if input != 0 && input != 1 {
+		return nil, fmt.Errorf("sba: input must be binary, got %d", input)
+	}
+	return &Process{
+		id:        id,
+		cfg:       cfg,
+		all:       append([]network.ProcID(nil), all...),
+		est:       input,
+		rounds:    map[int]*roundState{},
+		LockOrder: map[int][]int{},
+	}, nil
+}
+
+// ID implements network.Process.
+func (p *Process) ID() network.ProcID { return p.id }
+
+// Decided reports the reduced bit, if any.
+func (p *Process) Decided() (value int, round int, ok bool) {
+	return p.decision, p.decidedRound, p.decided
+}
+
+// Round returns the current round.
+func (p *Process) Round() int { return p.round }
+
+// Estimate returns the current estimate.
+func (p *Process) Estimate() int { return p.est }
+
+func (p *Process) state(r int) *roundState {
+	st, ok := p.rounds[r]
+	if !ok {
+		st = newRoundState()
+		p.rounds[r] = st
+	}
+	return st
+}
+
+// Start implements network.Process: enter round 0 and vote the input.
+func (p *Process) Start(send network.Sender) {
+	p.EstimateHistory = append(p.EstimateHistory, p.est)
+	p.vote(p.round, p.est, send)
+}
+
+// vote emits VOTE(r, v) once per (round, bit).
+func (p *Process) vote(round, v int, send network.Sender) {
+	st := p.state(round)
+	if st.voted[v] {
+		return
+	}
+	st.voted[v] = true
+	p.broadcast(send, network.Message{
+		From: p.id, Round: round, Kind: network.MsgVote, Value: v,
+	})
+}
+
+// broadcast sends m to all and records it in the outbox for retransmission.
+func (p *Process) broadcast(send network.Sender, m network.Message) {
+	p.outbox = append(p.outbox, m)
+	network.Broadcast(send, p.all, m)
+}
+
+// Deliver implements network.Process. Only a message carrying new
+// information counts as traffic for the retransmission heuristic (see the
+// dbft.Process.Deliver comment for the liveness wedge this avoids).
+func (p *Process) Deliver(m network.Message, send network.Sender) {
+	if m.Round < 0 || m.Round > p.cfg.MaxRounds {
+		return
+	}
+	if m.Value != 0 && m.Value != 1 {
+		return // malformed (Byzantine) content is ignored
+	}
+	st := p.state(m.Round)
+	switch m.Kind {
+	case network.MsgVote:
+		if st.voteSenders[m.Value][m.From] {
+			return // duplicate: nothing new, no traffic credit
+		}
+		st.voteSenders[m.Value][m.From] = true
+	case network.MsgCand:
+		if _, dup := st.candidates[m.From]; dup {
+			return // only the first candidate per sender counts
+		}
+		st.candidates[m.From] = m.Value
+		st.candOrder = append(st.candOrder, m.From)
+		if st.locked[m.Value] {
+			st.justified++
+		}
+	default:
+		return
+	}
+	p.sawTraffic = true
+	p.progress(m.Round, send)
+}
+
+// progress re-evaluates the guarded statements of both reduction steps for a
+// round. Vote amplification and locking fire for any round (they only
+// depend on that round's messages); the candidate broadcast and the exit
+// evaluation only fire for the process's current round.
+func (p *Process) progress(round int, send network.Sender) {
+	st := p.state(round)
+
+	// Step 1 amplification: echo v after t+1 distinct VOTE(v) — a locked
+	// bit is thereby always justified by a correct vote.
+	for v := 0; v <= 1; v++ {
+		if len(st.voteSenders[v]) >= p.cfg.T+1 && !st.voted[v] {
+			p.vote(round, v, send)
+		}
+	}
+	// Step 1 threshold-collect: lock v after n-t distinct VOTE(v).
+	for v := 0; v <= 1; v++ {
+		if len(st.voteSenders[v]) >= p.cfg.N-p.cfg.T && !st.locked[v] {
+			st.locked[v] = true
+			st.lockOrder = append(st.lockOrder, v)
+			p.LockOrder[round] = append(p.LockOrder[round], v)
+			st.recountJustified()
+		}
+	}
+
+	if round != p.round {
+		return
+	}
+	// Step 2 propagate: once some bit is locked, announce the first-locked
+	// bit as this process's candidate (once).
+	if !st.candSent && len(st.lockOrder) > 0 {
+		st.candSent = true
+		p.broadcast(send, network.Message{
+			From: p.id, Round: round, Kind: network.MsgCand, Value: st.lockOrder[0],
+		})
+	}
+	p.tryExit(send)
+}
+
+// tryExit implements the step-2 exit: wait until n-t candidates justified by
+// local locks, reduce to the uniform bit (deciding it when it matches the
+// round default) or fall back to the default on a mixed set.
+func (p *Process) tryExit(send network.Sender) {
+	st := p.state(p.round)
+	if !st.candSent {
+		return // a process propagates before it evaluates
+	}
+	if st.justified < p.cfg.N-p.cfg.T {
+		return // the scan below cannot reach n-t chosen yet
+	}
+	var seen [2]bool
+	chosen := 0
+	for _, q := range st.candOrder {
+		b := st.candidates[q]
+		if !st.locked[b] {
+			continue
+		}
+		seen[b] = true
+		chosen++
+		if chosen == p.cfg.N-p.cfg.T {
+			break
+		}
+	}
+	if chosen < p.cfg.N-p.cfg.T {
+		return
+	}
+
+	def := p.round % 2
+	switch {
+	case seen[0] != seen[1]: // uniform candidate set {b}
+		b := 0
+		if seen[1] {
+			b = 1
+		}
+		p.est = b
+		if b == def && !p.decided {
+			p.decided = true
+			p.decision = b
+			p.decidedRound = p.round
+		}
+	default: // mixed: no uniform-value consensus, fall back to the default
+		p.est = def
+	}
+	p.advance(send)
+}
+
+// advance enters the next round and replays its buffered messages.
+func (p *Process) advance(send network.Sender) {
+	if p.round >= p.cfg.MaxRounds {
+		return
+	}
+	p.round++
+	p.EstimateHistory = append(p.EstimateHistory, p.est)
+	p.retxWait, p.retxLeft = 0, 0 // entering a round resets the backoff
+	p.vote(p.round, p.est, send)
+	// Guards over already-buffered messages of the new round re-fire.
+	p.progress(p.round, send)
+}
+
+// retxBackoffCap bounds the retransmission backoff (in ticks).
+const retxBackoffCap = 8
+
+// OnTick implements network.Ticker: periodic retransmission with capped
+// exponential backoff, gated on quiet periods — the dbft regime. The whole
+// outbox is re-broadcast so a replica recovering from a crash or partition
+// gets the old-round vote and candidate quorums replayed; every handler is
+// idempotent (distinct-sender sets, first-candidate-wins).
+func (p *Process) OnTick(step int, send network.Sender) {
+	if p.sawTraffic {
+		p.sawTraffic = false
+		return
+	}
+	if p.retxLeft > 0 {
+		p.retxLeft--
+		return
+	}
+	p.Retransmit(send)
+	if p.retxWait < retxBackoffCap {
+		if p.retxWait == 0 {
+			p.retxWait = 1
+		} else {
+			p.retxWait *= 2
+		}
+	}
+	p.retxLeft = p.retxWait
+}
+
+// Retransmit immediately re-broadcasts every recorded logical broadcast.
+func (p *Process) Retransmit(send network.Sender) {
+	for _, m := range p.outbox {
+		network.Broadcast(send, p.all, m)
+	}
+}
+
+// Processes builds correct processes with the given inputs and ids
+// 0..len(inputs)-1; ids beyond are left to Byzantine strategies.
+func Processes(cfg Config, inputs []int, all []network.ProcID) ([]*Process, error) {
+	out := make([]*Process, 0, len(inputs))
+	for i, in := range inputs {
+		p, err := NewProcess(network.ProcID(i), in, cfg, all)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// AllIDs returns the id slice [0, n).
+func AllIDs(n int) []network.ProcID {
+	out := make([]network.ProcID, n)
+	for i := range out {
+		out[i] = network.ProcID(i)
+	}
+	return out
+}
+
+// Agreement checks that no two decided processes reduced to different bits,
+// returning the offending pair otherwise.
+func Agreement(procs []*Process) error {
+	decidedVal := -1
+	var who network.ProcID
+	for _, p := range procs {
+		v, _, ok := p.Decided()
+		if !ok {
+			continue
+		}
+		if decidedVal == -1 {
+			decidedVal, who = v, p.ID()
+		} else if v != decidedVal {
+			return fmt.Errorf("sba: agreement violated: process %d reduced to %d, process %d reduced to %d",
+				who, decidedVal, p.ID(), v)
+		}
+	}
+	return nil
+}
+
+// Validity checks that every reduced bit was proposed by some correct
+// process: under unanimity the reduction must return the unanimous bit, and
+// a binary decision is always one of the proposed values otherwise.
+func Validity(procs []*Process, inputs []int) error {
+	proposed := map[int]bool{}
+	for _, in := range inputs {
+		proposed[in] = true
+	}
+	for _, p := range procs {
+		if v, _, ok := p.Decided(); ok && !proposed[v] {
+			return fmt.Errorf("sba: validity violated: process %d reduced to %d, which no correct process proposed",
+				p.ID(), v)
+		}
+	}
+	return nil
+}
+
+// AllDecided reports whether every process in the slice decided.
+func AllDecided(procs []*Process) bool {
+	for _, p := range procs {
+		if _, _, ok := p.Decided(); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Describe summarizes the processes' outcomes.
+func Describe(procs []*Process) string {
+	type row struct {
+		id      network.ProcID
+		est     int
+		round   int
+		decided string
+	}
+	rows := make([]row, len(procs))
+	for i, p := range procs {
+		r := row{id: p.ID(), est: p.Estimate(), round: p.Round(), decided: "-"}
+		if v, rd, ok := p.Decided(); ok {
+			r.decided = fmt.Sprintf("%d@r%d", v, rd)
+		}
+		rows[i] = r
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+	s := ""
+	for _, r := range rows {
+		s += fmt.Sprintf("p%d: est=%d round=%d decided=%s\n", r.id, r.est, r.round, r.decided)
+	}
+	return s
+}

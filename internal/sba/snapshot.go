@@ -1,0 +1,89 @@
+package sba
+
+import "repro/internal/network"
+
+// Snapshot is a deep copy of a Process's durable state, the unit the fault
+// plane persists for crash-recovery (volatile crash-recovery for sba: the
+// plane captures a snapshot after every delivery and hands it back on
+// revival). As with dbft, synchronous persistence is a safety requirement:
+// a replica that crashed after broadcasting CAND and recovered from an older
+// state could lock the bits in a different order and announce a conflicting
+// candidate for the same round — equivocation, which only Byzantine
+// processes are budgeted for.
+type Snapshot struct {
+	est      int
+	round    int
+	rounds   map[int]*roundState
+	decided  bool
+	decision int
+	decRound int
+
+	estimateHistory []int
+	lockOrder       map[int][]int
+	outbox          []network.Message
+}
+
+func cloneRoundState(st *roundState) *roundState {
+	c := newRoundState()
+	for v := 0; v <= 1; v++ {
+		for id := range st.voteSenders[v] {
+			c.voteSenders[v][id] = true
+		}
+		c.voted[v] = st.voted[v]
+		c.locked[v] = st.locked[v]
+	}
+	c.lockOrder = append([]int(nil), st.lockOrder...)
+	c.candSent = st.candSent
+	for id, b := range st.candidates {
+		c.candidates[id] = b
+	}
+	c.candOrder = append([]network.ProcID(nil), st.candOrder...)
+	c.recountJustified()
+	return c
+}
+
+func cloneLockOrder(d map[int][]int) map[int][]int {
+	out := make(map[int][]int, len(d))
+	for r, vs := range d {
+		out[r] = append([]int(nil), vs...)
+	}
+	return out
+}
+
+// Snapshot captures the process's state.
+func (p *Process) Snapshot() *Snapshot {
+	s := &Snapshot{
+		est:             p.est,
+		round:           p.round,
+		rounds:          make(map[int]*roundState, len(p.rounds)),
+		decided:         p.decided,
+		decision:        p.decision,
+		decRound:        p.decidedRound,
+		estimateHistory: append([]int(nil), p.EstimateHistory...),
+		lockOrder:       cloneLockOrder(p.LockOrder),
+		outbox:          append([]network.Message(nil), p.outbox...),
+	}
+	for r, st := range p.rounds {
+		s.rounds[r] = cloneRoundState(st)
+	}
+	return s
+}
+
+// Restore replaces the process's in-memory state with the snapshot,
+// simulating a reboot. Volatile retransmission backoff resets, so a
+// recovered replica re-announces its outbox promptly.
+func (p *Process) Restore(s *Snapshot) {
+	p.est = s.est
+	p.round = s.round
+	p.rounds = make(map[int]*roundState, len(s.rounds))
+	for r, st := range s.rounds {
+		p.rounds[r] = cloneRoundState(st)
+	}
+	p.decided = s.decided
+	p.decision = s.decision
+	p.decidedRound = s.decRound
+	p.EstimateHistory = append([]int(nil), s.estimateHistory...)
+	p.LockOrder = cloneLockOrder(s.lockOrder)
+	p.outbox = append([]network.Message(nil), s.outbox...)
+	p.retxWait, p.retxLeft, p.sawTraffic = 0, 0, false
+}

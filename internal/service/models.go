@@ -36,8 +36,12 @@ func BuiltinModel(name string) (*ta.TA, []spec.Query, error) {
 		a := models.Bosco()
 		qs, err := models.BoscoQueries(a)
 		return a, qs, err
+	case "sba":
+		a := models.SBA()
+		qs, err := models.SBAQueries(a)
+		return a, qs, err
 	default:
-		return nil, nil, fmt.Errorf("unknown model %q (want bv, naive, simplified, strb or bosco)", name)
+		return nil, nil, fmt.Errorf("unknown model %q (want bv, naive, simplified, strb, bosco or sba)", name)
 	}
 }
 

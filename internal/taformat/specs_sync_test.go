@@ -24,6 +24,7 @@ func TestShippedSpecsInSync(t *testing.T) {
 		{"simplified.ta", models.SimplifiedConsensus},
 		{"strb.ta", models.STReliableBroadcast},
 		{"bosco.ta", models.Bosco},
+		{"sba.ta", models.SBA},
 	}
 	for _, c := range cases {
 		data, err := os.ReadFile(filepath.Join("..", "..", "specs", c.file))

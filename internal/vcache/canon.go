@@ -48,7 +48,10 @@ import (
 // attributed by the canonical-walk rule (Unsat-subtree pruning, warm-started
 // prefixes), so cached Solver stats from 1.0.0 no longer describe what the
 // engine would report.
-const EngineVersion = "1.1.0"
+// 1.2.0: the sba-reduction automaton joins the bundled spec set; existing
+// verdicts are unchanged, but the golden-hash table gains a row and mixing
+// 1.1.0 caches with the grown bundle would leave sba entries unpinned.
+const EngineVersion = "1.2.0"
 
 // canonLin renders a linear expression with terms sorted by symbol *name*,
 // so the form is independent of symbol-table intern order.

@@ -14,7 +14,7 @@ import (
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_hashes.txt from the current specs/")
 
 // goldenSpecs are the bundled automata whose canonical hashes are pinned.
-var goldenSpecs = []string{"bosco.ta", "bvbroadcast.ta", "naive.ta", "simplified.ta", "strb.ta"}
+var goldenSpecs = []string{"bosco.ta", "bvbroadcast.ta", "naive.ta", "sba.ta", "simplified.ta", "strb.ta"}
 
 const goldenPath = "testdata/golden_hashes.txt"
 

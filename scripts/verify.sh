@@ -43,6 +43,39 @@ go run ./cmd/dbftsim -chaos -chaos-seeds 25 -seed 1 -n 4 -t 1
 echo "==> storage torture smoke (fixed seed, 10 runs)"
 go run ./cmd/dbftsim -torture -torture-seeds 10 -seed 1 -n 4 -t 1
 
+echo "==> sba front-end leg (race-clean units + cross-validation vs specs/sba.ta)"
+go test -race ./internal/sba
+go test -race -run 'SBA' ./internal/faults ./internal/models ./internal/reduction
+
+echo "==> sba chaos smoke (fixed seed, 25 runs)"
+go run ./cmd/dbftsim -chaos -protocol sba -chaos-seeds 25 -seed 1 -n 4 -t 1
+
+echo "==> sba replay smoke (flat-vs-bus fingerprint byte-identity)"
+SBADIR=$(mktemp -d)
+printf '{"protocol":"sba","n":4,"t":1,"max_rounds":12,"max_steps":120000,"tick":25,"inputs":[0,1,1],"byz":["liar"],"sched":"random","plan":{"seed":3,"drops":[{"prob":0.1,"budget":2}],"dup_prob":0.05,"delay_prob":0.05,"delay_steps":20,"crashes":[{"proc":0,"at":40,"recover":400}]}}' > "$SBADIR/bus.json"
+printf '{"protocol":"sba","n":4,"t":1,"max_rounds":12,"max_steps":120000,"tick":25,"inputs":[0,1,1],"byz":["liar"],"sched":"random","sim":{"backend":"flat"},"plan":{"seed":3,"drops":[{"prob":0.1,"budget":2}],"dup_prob":0.05,"delay_prob":0.05,"delay_steps":20,"crashes":[{"proc":0,"at":40,"recover":400}]}}' > "$SBADIR/flat.json"
+go run ./cmd/dbftsim -plan @"$SBADIR/bus.json" -fingerprint > "$SBADIR/bus.out"
+go run ./cmd/dbftsim -plan @"$SBADIR/flat.json" -fingerprint > "$SBADIR/flat.out"
+grep -q 'decided=true' "$SBADIR/bus.out" || { echo "sba smoke: seeded run undecided"; cat "$SBADIR/bus.out"; exit 1; }
+grep -q 'agreement: ok' "$SBADIR/bus.out" || { echo "sba smoke: agreement violated"; cat "$SBADIR/bus.out"; exit 1; }
+SFP1=$(awk '/^fingerprint:/{print $2}' "$SBADIR/bus.out")
+SFP2=$(awk '/^fingerprint:/{print $2}' "$SBADIR/flat.out")
+[ -n "$SFP1" ] && [ "$SFP1" = "$SFP2" ] || {
+    echo "sba smoke: flat-vs-bus fingerprints diverge (bus=$SFP1 flat=$SFP2)"
+    exit 1
+}
+
+echo "==> sba verification (staged determinism at -j 1 vs -j 8; full-mode incremental leg)"
+go run ./cmd/holistic verify -model sba -j 1 -report "$SBADIR/sba1.json" > /dev/null
+go run ./cmd/holistic verify -model sba -j 8 -report "$SBADIR/sba8.json" > /dev/null
+go run ./cmd/obscheck "$SBADIR/sba1.json" "$SBADIR/sba8.json"
+go run ./cmd/holistic verify -model sba -mode full -prop Quiet_0 > "$SBADIR/full.out"
+go run ./cmd/holistic verify -model sba -mode full -prop Quiet_1 >> "$SBADIR/full.out"
+[ "$(grep -c 'holds' "$SBADIR/full.out")" = "2" ] || {
+    echo "sba verification: full-mode Quiet lemmas did not hold"; cat "$SBADIR/full.out"; exit 1
+}
+rm -rf "$SBADIR"
+
 echo "==> simulator smoke (1k replicas, native drain; partitions 1 vs 2 byte-identity)"
 SIMDIR=$(mktemp -d)
 INPUTS=$(seq 1 1000 | awk '{printf "%s%d", (NR>1?",":""), NR%2}')
